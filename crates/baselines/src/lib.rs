@@ -1,0 +1,33 @@
+//! Baseline optimizers and comparator systems for the CliqueSquare
+//! evaluation.
+//!
+//! * [`binary`] — exhaustive (dynamic-programming) enumeration of **binary**
+//!   join plans: the *best binary bushy* and *best binary linear* plans of
+//!   Figure 20, against which the flat n-ary CliqueSquare-MSC plans are
+//!   compared.
+//! * [`shape`] — a simulation of **SHAPE** with 2-hop forward semantic hash
+//!   partitioning \[Lee & Liu, PVLDB 2013\]: queries covered by the 2-hop
+//!   guarantee are evaluated locally (PWOC), the rest are joined fragment by
+//!   fragment with one MapReduce job per binary join.
+//! * [`h2rdf`] — a simulation of **H2RDF+** \[Papailiou et al., IEEE BigData
+//!   2013\]: sorted HBase index scans feeding a left-deep sequence of joins,
+//!   one MapReduce job per join (the first may be map-only).
+//!
+//! The two system simulations re-implement the *planning strategies* of the
+//! original systems over our simulated cluster. This isolates exactly the
+//! variable the paper studies in Figure 21 — how the plan shape and job
+//! count affect response time — while keeping the data, cost parameters and
+//! hardware identical across systems.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binary;
+pub mod h2rdf;
+pub mod report;
+pub mod shape;
+
+pub use binary::BinaryPlanner;
+pub use h2rdf::H2RdfSystem;
+pub use report::SystemRunReport;
+pub use shape::ShapeSystem;

@@ -1,0 +1,51 @@
+//! Common report structure for comparator-system runs (Figure 21 rows).
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of running one query on one (simulated) system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemRunReport {
+    /// System name (`"CSQ"`, `"SHAPE-2f"`, `"H2RDF+"`).
+    pub system: String,
+    /// Query name.
+    pub query: String,
+    /// Number of MapReduce jobs the system needed (0 = fully local / PWOC).
+    pub jobs: usize,
+    /// Paper-style job descriptor (`"M"`, `"0"`, `"3"`, …).
+    pub job_descriptor: String,
+    /// Number of distinct answers produced.
+    pub result_count: usize,
+    /// Simulated response time in seconds.
+    pub simulated_seconds: f64,
+}
+
+impl SystemRunReport {
+    /// Pretty one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:8} {:5} jobs={:<2} |Q|={:<8} time={:.2}s",
+            self.system, self.query, self.job_descriptor, self.result_count, self.simulated_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let report = SystemRunReport {
+            system: "CSQ".to_string(),
+            query: "Q7".to_string(),
+            jobs: 1,
+            job_descriptor: "1".to_string(),
+            result_count: 42,
+            simulated_seconds: 12.5,
+        };
+        let text = report.summary();
+        assert!(text.contains("CSQ"));
+        assert!(text.contains("Q7"));
+        assert!(text.contains("42"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the system comparison (Figure 21 companion):
+//! CSQ vs SHAPE-2f vs H2RDF+ on one selective and one non-selective query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cliquesquare_baselines::{H2RdfSystem, ShapeSystem};
+use cliquesquare_bench::{bench_scale, lubm_cluster};
+use cliquesquare_engine::csq::{Csq, CsqConfig};
+use cliquesquare_querygen::lubm_queries::{q12, q4};
+
+fn bench_systems(c: &mut Criterion) {
+    let cluster = lubm_cluster(bench_scale());
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let shape = ShapeSystem::new(&cluster);
+    let h2rdf = H2RdfSystem::new(&cluster);
+
+    let mut group = c.benchmark_group("figure21_systems");
+    for query in [q4(), q12()] {
+        group.bench_function(format!("{}/csq", query.name()), |b| {
+            b.iter(|| black_box(csq.run(black_box(&query))).result_count)
+        });
+        group.bench_function(format!("{}/shape", query.name()), |b| {
+            b.iter(|| black_box(shape.run(black_box(&query))).result_count)
+        });
+        group.bench_function(format!("{}/h2rdf", query.name()), |b| {
+            b.iter(|| black_box(h2rdf.run(black_box(&query))).result_count)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Reproduces **Figure 8**: the worst-case upper bounds on the number of
+//! clique decompositions a single optimization step may enumerate, per
+//! variant, as a function of the number of variable-graph nodes `n`.
+//!
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_complexity`
+
+use cliquesquare_bench::table;
+use cliquesquare_core::complexity::worst_case_decompositions;
+use cliquesquare_core::Variant;
+
+fn main() {
+    println!("== Figure 8: worst-case number of decompositions D(n) per variant ==\n");
+    let headers: Vec<String> = std::iter::once("n".to_string())
+        .chain(Variant::ALL.iter().map(|v| v.name().to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for n in 2..=10usize {
+        let mut row = vec![n.to_string()];
+        for variant in Variant::ALL {
+            let bound = worst_case_decompositions(variant, n);
+            row.push(if bound == u128::MAX {
+                "overflow".to_string()
+            } else {
+                bound.to_string()
+            });
+        }
+        rows.push(row);
+    }
+    println!("{}", table(&header_refs, &rows));
+    println!(
+        "Formulas (paper, Figure 8): MXC+ C(n+1,⌈n/2⌉); MSC+ C(2n+1,⌈n/2⌉); MXC S(n,⌈n/2⌉); \
+         MSC C(2^n-1,⌈n/2⌉); XC+ Σ C(n+1,k); SC+ Σ C(2n+1,k); XC Σ S(n,k); SC Σ C(2^n-1,k)."
+    );
+}

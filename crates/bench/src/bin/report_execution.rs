@@ -1,0 +1,80 @@
+//! Reproduces **Figure 20**: simulated execution time of the plan chosen by
+//! the cost model among the CliqueSquare-MSC plans, versus the best binary
+//! bushy plan and the best binary linear plan, for the 14 LUBM queries.
+//! Next to each query we print the paper-style annotation
+//! `Qi(#tps | jobs_MSC jobs_bushy jobs_linear)` where `M` denotes a map-only
+//! job.
+//!
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution`
+
+use cliquesquare_baselines::BinaryPlanner;
+use cliquesquare_bench::{fmt_f64, lubm_cluster, report_scale, table};
+use cliquesquare_core::LogicalPlan;
+use cliquesquare_engine::csq::{Csq, CsqConfig};
+use cliquesquare_engine::Executor;
+use cliquesquare_querygen::lubm_queries;
+
+fn main() {
+    let cluster = lubm_cluster(report_scale());
+    println!(
+        "== Figure 20: MSC plans vs best binary bushy / linear plans ==\ndataset: {} triples on {} nodes\n",
+        cluster.graph().len(),
+        cluster.nodes()
+    );
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let planner = BinaryPlanner::new(cluster.graph());
+    let executor = Executor::new(&cluster);
+
+    let mut rows = Vec::new();
+    for query in lubm_queries::lubm_queries() {
+        let report = csq.run(&query);
+        let run_binary = |plan: Option<LogicalPlan>| {
+            plan.map(|p| executor.execute_logical(&p)).map(|out| {
+                (
+                    out.job_log.descriptor(),
+                    out.simulated_seconds,
+                    out.distinct_count(),
+                )
+            })
+        };
+        let bushy = run_binary(planner.best_bushy(&query)).expect("bushy plan");
+        let linear = run_binary(planner.best_linear(&query)).expect("linear plan");
+        assert_eq!(report.result_count, bushy.2, "{}: answer mismatch", query.name());
+        assert_eq!(report.result_count, linear.2, "{}: answer mismatch", query.name());
+
+        rows.push(vec![
+            format!(
+                "{}({}|{}{}{})",
+                query.name(),
+                query.len(),
+                report.job_descriptor,
+                bushy.0,
+                linear.0
+            ),
+            report.plan_height.to_string(),
+            fmt_f64(report.simulated_seconds),
+            fmt_f64(bushy.1),
+            fmt_f64(linear.1),
+            fmt_f64(bushy.1 / report.simulated_seconds),
+            fmt_f64(linear.1 / report.simulated_seconds),
+            report.result_count.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "Query(#tps|jobs)",
+                "MSC height",
+                "MSC-Best (s)",
+                "Best Bushy (s)",
+                "Best Linear (s)",
+                "bushy/MSC",
+                "linear/MSC",
+                "|Q|",
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape (paper): MSC plans are fastest for every query, up to ~2x vs bushy and up to ~16x vs linear.");
+}

@@ -1,0 +1,60 @@
+//! Reproduces **Figure 7** (and Theorem 4.1): the inclusion lattice between
+//! the plan spaces of the eight variants, verified empirically by comparing
+//! the sets of plan signatures each variant generates on small queries.
+//!
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_planspaces`
+
+use cliquesquare_bench::table;
+use cliquesquare_core::paper_examples;
+use cliquesquare_core::planspace::{figure7_inclusions, plan_signatures};
+use cliquesquare_core::OptimizerConfig;
+use cliquesquare_querygen::{SyntheticWorkload, WorkloadConfig};
+
+fn main() {
+    println!("== Figure 7: plan-space inclusions between variants ==\n");
+    let mut queries = vec![
+        paper_examples::figure10_query(),
+        paper_examples::figure11_qx(),
+        paper_examples::figure14_query(),
+    ];
+    queries.extend(SyntheticWorkload::generate(WorkloadConfig {
+        queries_per_shape: 3,
+        min_patterns: 2,
+        max_patterns: 5,
+        seed: 23,
+    }));
+    let config = OptimizerConfig::recommended();
+
+    let mut rows = Vec::new();
+    for (smaller, larger) in figure7_inclusions() {
+        let mut holds = true;
+        let mut strict_somewhere = false;
+        for query in &queries {
+            let s = plan_signatures(query, smaller, config);
+            let l = plan_signatures(query, larger, config);
+            if !s.is_subset(&l) {
+                holds = false;
+            }
+            if s.len() < l.len() {
+                strict_somewhere = true;
+            }
+        }
+        rows.push(vec![
+            format!("P_{} ⊆ P_{}", smaller.name(), larger.name()),
+            if holds { "verified" } else { "VIOLATED" }.to_string(),
+            if strict_somewhere { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["Inclusion (Figure 7)", "Empirically", "Strict on some query"],
+            &rows
+        )
+    );
+    println!(
+        "All {} inclusion edges of Figure 7 are checked over {} queries.",
+        figure7_inclusions().len(),
+        queries.len()
+    );
+}

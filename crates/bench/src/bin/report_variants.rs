@@ -1,0 +1,136 @@
+//! Reproduces **Figures 16–19**: for each of the eight CliqueSquare variants
+//! and each synthetic query shape (chain, dense, thin, star), the average
+//! number of generated plans, the average height-optimality ratio, the
+//! average optimization time and the average uniqueness ratio over the
+//! 120-query synthetic workload of Section 6.2.
+//!
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_variants [--fast]`
+//!
+//! The paper stops each optimization after 100 s; we instead cap the number
+//! of enumerated decompositions and plans (the SC / XC variants explode
+//! exactly as in the paper), so the qualitative conclusions are identical:
+//! MXC+/XC+ fail on some queries, SC/XC produce unusably many plans, and
+//! MSC+/MXC/MSC are the practical variants.
+
+use cliquesquare_bench::{fmt_f64, fmt_percent, table};
+use cliquesquare_core::decomposition::DecompositionLimits;
+use cliquesquare_core::planspace::{measure_query, QueryMeasurement};
+use cliquesquare_core::{OptimizerConfig, Variant};
+use cliquesquare_querygen::{SyntheticShape, SyntheticWorkload, WorkloadConfig};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let workload_config = if fast {
+        WorkloadConfig {
+            queries_per_shape: 12,
+            min_patterns: 1,
+            max_patterns: 8,
+            ..WorkloadConfig::default()
+        }
+    } else {
+        WorkloadConfig::default()
+    };
+    let optimizer_config = OptimizerConfig::recommended()
+        .with_max_plans(20_000)
+        .with_limits(DecompositionLimits {
+            max_decompositions: 2_000,
+            max_candidate_cliques: 20_000,
+        });
+
+    println!("== Section 6.2: CliqueSquare variant comparison ==");
+    println!(
+        "workload: {} synthetic queries per shape, {}-{} triple patterns\n",
+        workload_config.queries_per_shape, workload_config.min_patterns, workload_config.max_patterns
+    );
+
+    // shape -> variant -> measurements
+    let shapes = SyntheticShape::ALL;
+    let mut measurements: Vec<Vec<Vec<QueryMeasurement>>> =
+        vec![vec![Vec::new(); Variant::ALL.len()]; shapes.len()];
+    for (si, &shape) in shapes.iter().enumerate() {
+        let queries = SyntheticWorkload::generate_shape(shape, workload_config);
+        for (vi, &variant) in Variant::ALL.iter().enumerate() {
+            for query in &queries {
+                measurements[si][vi].push(measure_query(query, variant, optimizer_config));
+            }
+        }
+    }
+
+    let avg = |values: &[f64]| values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let shape_headers: Vec<&str> = {
+        let mut h = vec!["Option"];
+        h.extend(shapes.iter().map(|s| s.label()));
+        h
+    };
+
+    // Figure 16: average number of generated plans.
+    let mut rows = Vec::new();
+    for (vi, variant) in Variant::ALL.iter().enumerate() {
+        let mut row = vec![variant.name().to_string()];
+        for (si, _) in shapes.iter().enumerate() {
+            let plans: Vec<f64> = measurements[si][vi].iter().map(|m| m.plans as f64).collect();
+            row.push(fmt_f64(avg(&plans)));
+        }
+        rows.push(row);
+    }
+    println!("Figure 16: average number of plans per algorithm and query shape");
+    println!("{}", table(&shape_headers, &rows));
+
+    // Figure 17: average optimality ratio.
+    let mut rows = Vec::new();
+    for (vi, variant) in Variant::ALL.iter().enumerate() {
+        let mut row = vec![variant.name().to_string()];
+        for (si, _) in shapes.iter().enumerate() {
+            let ratios: Vec<f64> = measurements[si][vi]
+                .iter()
+                .map(QueryMeasurement::optimality_ratio)
+                .collect();
+            row.push(fmt_percent(avg(&ratios)));
+        }
+        rows.push(row);
+    }
+    println!("Figure 17: average optimality ratio per algorithm and query shape");
+    println!("{}", table(&shape_headers, &rows));
+
+    // Figure 18: average optimization time (ms).
+    let mut rows = Vec::new();
+    for (vi, variant) in Variant::ALL.iter().enumerate() {
+        let mut row = vec![variant.name().to_string()];
+        for (si, _) in shapes.iter().enumerate() {
+            let times: Vec<f64> = measurements[si][vi].iter().map(|m| m.time_ms).collect();
+            row.push(fmt_f64(avg(&times)));
+        }
+        rows.push(row);
+    }
+    println!("Figure 18: average optimization time (ms) per algorithm and query shape");
+    println!("{}", table(&shape_headers, &rows));
+
+    // Figure 19: average uniqueness ratio.
+    let mut rows = Vec::new();
+    for (vi, variant) in Variant::ALL.iter().enumerate() {
+        let mut row = vec![variant.name().to_string()];
+        for (si, _) in shapes.iter().enumerate() {
+            let ratios: Vec<f64> = measurements[si][vi]
+                .iter()
+                .map(QueryMeasurement::uniqueness_ratio)
+                .collect();
+            row.push(fmt_percent(avg(&ratios)));
+        }
+        rows.push(row);
+    }
+    println!("Figure 19: average uniqueness ratio per algorithm and query shape");
+    println!("{}", table(&shape_headers, &rows));
+
+    // Failure summary (the reason MXC+ / XC+ are discarded by the paper).
+    let mut rows = Vec::new();
+    for (vi, variant) in Variant::ALL.iter().enumerate() {
+        let mut row = vec![variant.name().to_string()];
+        for (si, _) in shapes.iter().enumerate() {
+            let failures = measurements[si][vi].iter().filter(|m| m.plans == 0).count();
+            row.push(failures.to_string());
+        }
+        rows.push(row);
+    }
+    println!("Companion table: queries for which the variant found no plan");
+    println!("{}", table(&shape_headers, &rows));
+}

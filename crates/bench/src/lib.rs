@@ -1,0 +1,117 @@
+//! Shared harness utilities for the benchmark report binaries and Criterion
+//! benches that regenerate every table and figure of the paper's evaluation
+//! (Section 6). Each `report_*` binary prints one figure; see EXPERIMENTS.md
+//! at the repository root for the mapping and recorded outputs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cliquesquare_mapreduce::{Cluster, ClusterConfig};
+use cliquesquare_rdf::{Graph, LubmGenerator, LubmScale};
+
+/// Default LUBM scale used by the execution reports: large enough that join
+/// selectivities differentiate plans (and that the `"University3"` constant
+/// of Q11/Q14 exists), small enough to run in seconds.
+pub fn report_scale() -> LubmScale {
+    LubmScale::with_universities(5)
+}
+
+/// A smaller scale for Criterion benches (they run each measurement many times).
+pub fn bench_scale() -> LubmScale {
+    LubmScale::tiny()
+}
+
+/// Generates the LUBM-like dataset at the given scale.
+pub fn lubm_graph(scale: LubmScale) -> Graph {
+    LubmGenerator::new(scale).generate()
+}
+
+/// Loads a 7-node cluster (the paper's testbed size) with the given scale.
+pub fn lubm_cluster(scale: LubmScale) -> Cluster {
+    Cluster::load(lubm_graph(scale), ClusterConfig::with_nodes(7))
+}
+
+/// Formats a fixed-width text table with a header row, used by every report
+/// binary so figures are easy to diff against EXPERIMENTS.md.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let format_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut out = format_row(&header_cells);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with three significant decimals for report tables.
+pub fn fmt_f64(value: f64) -> String {
+    if value >= 1000.0 {
+        format!("{value:.0}")
+    } else if value >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let text = table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1".to_string()],
+                vec!["longer".to_string(), "2.5".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(0.1234), "0.123");
+        assert_eq!(fmt_f64(12.34), "12.3");
+        assert_eq!(fmt_f64(1234.6), "1235");
+        assert_eq!(fmt_percent(0.5), "50.0%");
+    }
+
+    #[test]
+    fn cluster_helpers_load_data() {
+        let cluster = lubm_cluster(bench_scale());
+        assert_eq!(cluster.nodes(), 7);
+        assert!(cluster.graph().len() > 100);
+    }
+}

@@ -1,0 +1,267 @@
+//! Variable cliques, clique decompositions and clique reduction
+//! (Definitions 3.2 – 3.4).
+
+use crate::variable_graph::{GraphNode, VariableGraph};
+use cliquesquare_sparql::Variable;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A variable clique: a set of nodes of a variable graph all incident to
+/// edges carrying the same variable (Definition 3.2).
+///
+/// A *maximal* clique contains every node mentioning the variable; a
+/// *partial* clique is any non-empty subset of a maximal clique (including
+/// singletons, which act as pass-through nodes in the reduction).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Clique {
+    /// The variable that generated the clique.
+    pub variable: Variable,
+    /// Indices of the nodes (in the graph being decomposed) forming the clique.
+    pub nodes: BTreeSet<usize>,
+}
+
+impl Clique {
+    /// Creates a clique from its generating variable and node set.
+    pub fn new(variable: Variable, nodes: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            variable,
+            nodes: nodes.into_iter().collect(),
+        }
+    }
+
+    /// Number of nodes in the clique.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the clique is empty (never produced by the
+    /// decomposition enumerators).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `true` if this is a singleton (pass-through) clique.
+    pub fn is_singleton(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+impl fmt::Display for Clique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nodes: Vec<String> = self.nodes.iter().map(|n| format!("n{n}")).collect();
+        write!(f, "{}:{{{}}}", self.variable, nodes.join(","))
+    }
+}
+
+/// A clique decomposition: a set of cliques covering every node of the graph
+/// with strictly fewer cliques than there are nodes (Definition 3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// The cliques of the decomposition, in canonical (sorted) order.
+    pub cliques: Vec<Clique>,
+}
+
+impl Decomposition {
+    /// Creates a decomposition, normalizing clique order.
+    pub fn new(mut cliques: Vec<Clique>) -> Self {
+        cliques.sort();
+        Self { cliques }
+    }
+
+    /// Number of cliques `|D|`.
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Returns `true` if the decomposition contains no cliques.
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+
+    /// Returns the set of node indices covered by the decomposition.
+    pub fn covered_nodes(&self) -> BTreeSet<usize> {
+        self.cliques.iter().flat_map(|c| c.nodes.clone()).collect()
+    }
+
+    /// Checks Definition 3.3 against `graph`: all nodes covered and
+    /// `|D| < |N|`.
+    pub fn is_valid_for(&self, graph: &VariableGraph) -> bool {
+        self.len() < graph.len() && self.covered_nodes().len() == graph.len()
+    }
+
+    /// Returns `true` if no two cliques share a node (exact cover).
+    pub fn is_exact(&self) -> bool {
+        let total: usize = self.cliques.iter().map(Clique::len).sum();
+        total == self.covered_nodes().len()
+    }
+
+    /// A canonical signature of the decomposition ignoring generating
+    /// variables: the sorted list of node sets. Two decompositions with the
+    /// same signature induce the same joins and therefore the same plans.
+    pub fn signature(&self) -> Vec<BTreeSet<usize>> {
+        let mut sets: Vec<BTreeSet<usize>> =
+            self.cliques.iter().map(|c| c.nodes.clone()).collect();
+        sets.sort();
+        sets.dedup();
+        sets
+    }
+}
+
+impl fmt::Display for Decomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.cliques.iter().map(|c| c.to_string()).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// Applies a clique decomposition to a variable graph (Definition 3.4):
+/// every clique becomes a node of the reduced graph whose pattern set is the
+/// union of its members' pattern sets; edges are recomputed from shared
+/// variables.
+///
+/// Each produced node records the indices of the nodes it was derived from
+/// (`derived_from`), which the plan builder uses to wire join inputs.
+pub fn reduce(graph: &VariableGraph, decomposition: &Decomposition) -> VariableGraph {
+    // Deduplicate cliques with identical node sets: they would produce
+    // identical nodes (the same join) and only inflate the reduced graph.
+    let node_sets = decomposition.signature();
+    let nodes = node_sets
+        .into_iter()
+        .map(|members| {
+            let mut patterns = BTreeSet::new();
+            let mut variables = BTreeSet::new();
+            for &m in &members {
+                let node = &graph.nodes()[m];
+                patterns.extend(node.patterns.iter().copied());
+                variables.extend(node.variables.iter().cloned());
+            }
+            GraphNode {
+                patterns,
+                variables,
+                derived_from: members,
+            }
+        })
+        .collect();
+    VariableGraph::from_nodes(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_examples;
+    use cliquesquare_sparql::Variable;
+
+    fn clique(v: &str, nodes: &[usize]) -> Clique {
+        Clique::new(Variable::new(v), nodes.iter().copied())
+    }
+
+    #[test]
+    fn clique_basics() {
+        let c = clique("d", &[2, 3, 4, 5]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!(!c.is_singleton());
+        assert!(clique("x", &[1]).is_singleton());
+        assert_eq!(c.to_string(), "?d:{n2,n3,n4,n5}");
+    }
+
+    #[test]
+    fn decomposition_validity_against_paper_d1() {
+        // d1 from Section 3.2: {{t1,t2,t3},{t3,t4,t5,t6},{t6,t7},{t7,t8,t9},{t9,t10},{t10,t11}}
+        let q = paper_examples::figure1_q1();
+        let g = VariableGraph::from_query(&q);
+        let d1 = Decomposition::new(vec![
+            clique("a", &[0, 1, 2]),
+            clique("d", &[2, 3, 4, 5]),
+            clique("f", &[5, 6]),
+            clique("g", &[6, 7, 8]),
+            clique("i", &[8, 9]),
+            clique("j", &[9, 10]),
+        ]);
+        assert!(d1.is_valid_for(&g));
+        assert!(!d1.is_exact()); // t3, t6, t7, t9, t10 are shared
+        assert_eq!(d1.len(), 6);
+        assert_eq!(d1.covered_nodes().len(), 11);
+    }
+
+    #[test]
+    fn decomposition_with_too_many_cliques_is_invalid() {
+        let q = paper_examples::figure10_query();
+        let g = VariableGraph::from_query(&q);
+        // 3 singleton cliques for a 3 node graph: |D| == |N| is not allowed.
+        let d = Decomposition::new(vec![
+            clique("x", &[0]),
+            clique("x", &[1]),
+            clique("y", &[2]),
+        ]);
+        assert!(!d.is_valid_for(&g));
+    }
+
+    #[test]
+    fn decomposition_missing_a_node_is_invalid() {
+        let q = paper_examples::figure10_query();
+        let g = VariableGraph::from_query(&q);
+        let d = Decomposition::new(vec![clique("x", &[0, 1])]);
+        assert!(!d.is_valid_for(&g));
+    }
+
+    #[test]
+    fn reduction_follows_paper_figure_2() {
+        // Reducing Q1's graph by d1 yields the 6-node graph G2 of Figure 2.
+        let q = paper_examples::figure1_q1();
+        let g1 = VariableGraph::from_query(&q);
+        let d1 = Decomposition::new(vec![
+            clique("a", &[0, 1, 2]),
+            clique("d", &[2, 3, 4, 5]),
+            clique("f", &[5, 6]),
+            clique("g", &[6, 7, 8]),
+            clique("i", &[8, 9]),
+            clique("j", &[9, 10]),
+        ]);
+        let g2 = reduce(&g1, &d1);
+        assert_eq!(g2.len(), 6);
+        let pattern_sets: Vec<BTreeSet<usize>> =
+            g2.nodes().iter().map(|n| n.patterns.clone()).collect();
+        assert!(pattern_sets.contains(&BTreeSet::from([0, 1, 2])));
+        assert!(pattern_sets.contains(&BTreeSet::from([2, 3, 4, 5])));
+        assert!(pattern_sets.contains(&BTreeSet::from([9, 10])));
+        // G2 is still connected and can be decomposed further.
+        assert!(g2.is_connected());
+        assert!(!g2.join_variables().is_empty());
+    }
+
+    #[test]
+    fn reduction_records_derivation() {
+        let q = paper_examples::figure10_query();
+        let g = VariableGraph::from_query(&q);
+        let d = Decomposition::new(vec![clique("x", &[0, 1]), clique("y", &[1, 2])]);
+        let reduced = reduce(&g, &d);
+        assert_eq!(reduced.len(), 2);
+        for node in reduced.nodes() {
+            assert!(!node.derived_from.is_empty());
+            assert_eq!(node.derived_from.len(), 2);
+        }
+    }
+
+    #[test]
+    fn reduction_deduplicates_identical_node_sets() {
+        let q = paper_examples::figure10_query();
+        let g = VariableGraph::from_query(&q);
+        // The same node set generated from two different variables collapses
+        // into one reduced node.
+        let d = Decomposition::new(vec![
+            clique("x", &[0, 1, 2]),
+            clique("y", &[0, 1, 2]),
+        ]);
+        let reduced = reduce(&g, &d);
+        assert_eq!(reduced.len(), 1);
+    }
+
+    #[test]
+    fn signature_ignores_generating_variable() {
+        let d1 = Decomposition::new(vec![clique("x", &[0, 1]), clique("y", &[1, 2])]);
+        let d2 = Decomposition::new(vec![clique("w", &[1, 2]), clique("z", &[0, 1])]);
+        assert_eq!(d1.signature(), d2.signature());
+    }
+}

@@ -1,0 +1,205 @@
+//! Worst-case decomposition-count bounds per variant (Figure 8 and
+//! Section 4.5).
+//!
+//! For a variable graph of `n` nodes the paper derives upper bounds on the
+//! number of decompositions `D(n)` a single call of the decomposition
+//! routine may produce:
+//!
+//! | variant | bound |
+//! |---------|-------|
+//! | MXC+    | C(n+1, ⌈n/2⌉) |
+//! | MSC+    | C(2n+1, ⌈n/2⌉) |
+//! | MXC     | S(n, ⌈n/2⌉) |
+//! | MSC     | C(2ⁿ−1, ⌈n/2⌉) |
+//! | XC+     | Σ_{k=1}^{n−1} C(n+1, k) |
+//! | SC+     | Σ_{k=1}^{n−1} C(2n+1, k) |
+//! | XC      | Σ_{k=0}^{n−1} S(n, k) |
+//! | SC      | Σ_{k=1}^{n−1} C(2ⁿ−1, k) |
+//!
+//! where `C` is the binomial coefficient and `S` the Stirling number of the
+//! second kind. All functions saturate at `u128::MAX` instead of overflowing.
+
+use crate::decomposition::Variant;
+
+/// Binomial coefficient `C(n, k)`, saturating at `u128::MAX`.
+pub fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        // result *= (n - i); result /= (i + 1); performed carefully to keep
+        // intermediate values exact: multiply first, dividing by (i + 1)
+        // always yields an integer because result is C(n, i+1) * (i+1)!.
+        let factor = n - i;
+        result = match result.checked_mul(factor) {
+            Some(v) => v / (i + 1),
+            None => return u128::MAX,
+        };
+    }
+    result
+}
+
+/// Stirling number of the second kind `S(n, k)`: the number of ways to
+/// partition a set of `n` objects into `k` non-empty subsets. Saturating.
+pub fn stirling2(n: u128, k: u128) -> u128 {
+    if n == 0 && k == 0 {
+        return 1;
+    }
+    if k == 0 || k > n {
+        return 0;
+    }
+    let n = n as usize;
+    let k = k as usize;
+    // Dynamic programming over S(i, j) = j * S(i-1, j) + S(i-1, j-1).
+    let mut previous = vec![0u128; k + 1];
+    previous[0] = 1; // S(0, 0)
+    let mut current = vec![0u128; k + 1];
+    for i in 1..=n {
+        current[0] = 0;
+        for j in 1..=k.min(i) {
+            let grow = (j as u128).saturating_mul(previous[j]);
+            current[j] = grow.saturating_add(previous[j - 1]);
+        }
+        for cell in current.iter_mut().take(k + 1).skip(k.min(i) + 1) {
+            *cell = 0;
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[k]
+}
+
+/// Upper bound on the number of decompositions a single decomposition step
+/// may produce for a graph of `n` nodes under `variant` (Figure 8).
+pub fn worst_case_decompositions(variant: Variant, n: usize) -> u128 {
+    if n < 2 {
+        return 0;
+    }
+    let n_u = n as u128;
+    let half = n_u.div_ceil(2);
+    let partial_cliques = if n >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+    let maximal_cliques = 2 * n_u + 1;
+    match variant {
+        Variant::MxcPlus => binomial(n_u + 1, half),
+        Variant::MscPlus => binomial(maximal_cliques, half),
+        Variant::Mxc => stirling2(n_u, half),
+        Variant::Msc => binomial(partial_cliques, half),
+        Variant::XcPlus => (1..n_u)
+            .map(|k| binomial(n_u + 1, k))
+            .fold(0u128, u128::saturating_add),
+        Variant::ScPlus => (1..n_u)
+            .map(|k| binomial(maximal_cliques, k))
+            .fold(0u128, u128::saturating_add),
+        Variant::Xc => (0..n_u)
+            .map(|k| stirling2(n_u, k))
+            .fold(0u128, u128::saturating_add),
+        Variant::Sc => (1..n_u)
+            .map(|k| binomial(partial_cliques, k))
+            .fold(0u128, u128::saturating_add),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn binomial_saturates_instead_of_overflowing() {
+        assert_eq!(binomial(1 << 70, 40), u128::MAX);
+    }
+
+    #[test]
+    fn stirling_basics() {
+        assert_eq!(stirling2(0, 0), 1);
+        assert_eq!(stirling2(4, 0), 0);
+        assert_eq!(stirling2(4, 5), 0);
+        assert_eq!(stirling2(4, 1), 1);
+        assert_eq!(stirling2(4, 2), 7);
+        assert_eq!(stirling2(4, 4), 1);
+        assert_eq!(stirling2(5, 3), 25);
+        assert_eq!(stirling2(10, 5), 42_525);
+    }
+
+    #[test]
+    fn figure8_values_for_small_n() {
+        // For n = 4: ⌈n/2⌉ = 2.
+        assert_eq!(worst_case_decompositions(Variant::MxcPlus, 4), binomial(5, 2));
+        assert_eq!(worst_case_decompositions(Variant::MscPlus, 4), binomial(9, 2));
+        assert_eq!(worst_case_decompositions(Variant::Mxc, 4), stirling2(4, 2));
+        assert_eq!(worst_case_decompositions(Variant::Msc, 4), binomial(15, 2));
+        assert_eq!(
+            worst_case_decompositions(Variant::XcPlus, 4),
+            binomial(5, 1) + binomial(5, 2) + binomial(5, 3)
+        );
+        assert_eq!(
+            worst_case_decompositions(Variant::Xc, 4),
+            stirling2(4, 0) + stirling2(4, 1) + stirling2(4, 2) + stirling2(4, 3)
+        );
+    }
+
+    #[test]
+    fn minimum_variants_are_bounded_by_their_unrestricted_counterparts() {
+        for n in 2..=10 {
+            assert!(
+                worst_case_decompositions(Variant::MxcPlus, n)
+                    <= worst_case_decompositions(Variant::XcPlus, n)
+            );
+            assert!(
+                worst_case_decompositions(Variant::MscPlus, n)
+                    <= worst_case_decompositions(Variant::ScPlus, n)
+            );
+            assert!(
+                worst_case_decompositions(Variant::Msc, n)
+                    <= worst_case_decompositions(Variant::Sc, n)
+            );
+        }
+    }
+
+    #[test]
+    fn maximal_variants_are_bounded_by_partial_variants_for_larger_n() {
+        // The Figure 8 bounds are loose worst cases built from mutually
+        // exclusive scenarios; the expected ordering (maximal-clique spaces
+        // smaller than partial-clique spaces) only emerges once 2^n − 1
+        // exceeds 2n + 1, i.e. from n = 4 onwards.
+        for n in 4..=10 {
+            assert!(
+                worst_case_decompositions(Variant::MscPlus, n)
+                    <= worst_case_decompositions(Variant::Msc, n)
+            );
+            assert!(
+                worst_case_decompositions(Variant::ScPlus, n)
+                    <= worst_case_decompositions(Variant::Sc, n)
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        for variant in Variant::ALL {
+            assert_eq!(worst_case_decompositions(variant, 0), 0);
+            assert_eq!(worst_case_decompositions(variant, 1), 0);
+        }
+    }
+
+    #[test]
+    fn large_n_saturates_gracefully() {
+        // SC over a 130-node graph overflows any fixed-width integer; the
+        // bound saturates rather than panicking.
+        assert_eq!(worst_case_decompositions(Variant::Sc, 130), u128::MAX);
+    }
+}

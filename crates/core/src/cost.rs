@@ -1,0 +1,138 @@
+//! Logical-level cost estimation and plan selection.
+//!
+//! The full cost model of Section 5.4 (scan, CPU, I/O and network costs of
+//! the physical MapReduce operators) lives in the `cliquesquare-engine`
+//! crate, where cardinalities are available. This module provides the
+//! *logical* counterpart: a pluggable [`CostModel`] trait plus a simple
+//! structural model that is sufficient to rank plans when no engine is
+//! attached (e.g. in the optimizer-only experiments of Section 6.2).
+
+use crate::plan::{LogicalOp, LogicalPlan};
+
+/// Estimates the cost of a logical plan; lower is better.
+pub trait CostModel {
+    /// Returns the estimated cost of `plan`.
+    fn cost(&self, plan: &LogicalPlan) -> f64;
+
+    /// Picks the cheapest plan of a slice, breaking ties by generation order.
+    fn choose_best<'a>(&self, plans: &'a [LogicalPlan]) -> Option<&'a LogicalPlan> {
+        plans.iter().min_by(|a, b| {
+            self.cost(a)
+                .partial_cmp(&self.cost(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// A structural cost model over plan shape.
+///
+/// Each join level adds a full MapReduce job's worth of latency, each join
+/// operator adds processing work, and wide intermediate results (joins with
+/// few shared attributes relative to their output width) add shuffle volume.
+/// The default weights make height the dominant factor, matching the paper's
+/// observation that response time is driven by the number of successive jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleCostModel {
+    /// Cost charged per unit of plan height (per successive join level).
+    pub height_weight: f64,
+    /// Cost charged per join operator.
+    pub join_weight: f64,
+    /// Cost charged per join input (models shuffle volume).
+    pub input_weight: f64,
+    /// Cost charged per output attribute of each join (models tuple width).
+    pub width_weight: f64,
+}
+
+impl Default for SimpleCostModel {
+    fn default() -> Self {
+        Self {
+            height_weight: 1000.0,
+            join_weight: 10.0,
+            input_weight: 1.0,
+            width_weight: 0.1,
+        }
+    }
+}
+
+impl CostModel for SimpleCostModel {
+    fn cost(&self, plan: &LogicalPlan) -> f64 {
+        let mut cost = plan.height() as f64 * self.height_weight;
+        for id in plan.join_ops() {
+            if let LogicalOp::Join { inputs, output, .. } = plan.op(id) {
+                cost += self.join_weight;
+                cost += inputs.len() as f64 * self.input_weight;
+                cost += output.len() as f64 * self.width_weight;
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Optimizer;
+    use crate::paper_examples;
+    use crate::Variant;
+
+    #[test]
+    fn flatter_plans_cost_less() {
+        let q = paper_examples::figure14_query();
+        let flat = Optimizer::with_variant(Variant::MscPlus)
+            .optimize(&q)
+            .plans
+            .into_iter()
+            .next()
+            .unwrap();
+        let tall = Optimizer::with_variant(Variant::Mxc)
+            .optimize(&q)
+            .plans
+            .into_iter()
+            .next()
+            .unwrap();
+        assert!(flat.height() < tall.height());
+        let model = SimpleCostModel::default();
+        assert!(model.cost(&flat) < model.cost(&tall));
+    }
+
+    #[test]
+    fn choose_best_prefers_minimum_cost() {
+        let q = paper_examples::figure1_q1();
+        let result = Optimizer::with_variant(Variant::Msc).optimize(&q);
+        let model = SimpleCostModel::default();
+        let best = model.choose_best(&result.plans).unwrap();
+        let best_cost = model.cost(best);
+        for plan in &result.plans {
+            assert!(model.cost(plan) >= best_cost);
+        }
+        // The best plan according to the structural model is height-optimal.
+        assert_eq!(best.height(), result.min_height().unwrap());
+    }
+
+    #[test]
+    fn choose_best_on_empty_slice_is_none() {
+        let model = SimpleCostModel::default();
+        assert!(model.choose_best(&[]).is_none());
+    }
+
+    #[test]
+    fn weights_influence_ranking() {
+        let q = paper_examples::figure11_qx();
+        let plans = Optimizer::with_variant(Variant::Sc).optimize(&q).plans;
+        assert!(plans.len() > 1);
+        let height_focused = SimpleCostModel::default();
+        let join_focused = SimpleCostModel {
+            height_weight: 0.0,
+            join_weight: 100.0,
+            input_weight: 0.0,
+            width_weight: 0.0,
+        };
+        let best_h = height_focused.choose_best(&plans).unwrap();
+        let best_j = join_focused.choose_best(&plans).unwrap();
+        assert_eq!(best_h.height(), plans.iter().map(LogicalPlan::height).min().unwrap());
+        assert_eq!(
+            best_j.join_count(),
+            plans.iter().map(LogicalPlan::join_count).min().unwrap()
+        );
+    }
+}

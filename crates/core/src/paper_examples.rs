@@ -1,0 +1,152 @@
+//! The example queries used throughout the paper's figures.
+//!
+//! These are useful both as documentation and as fixtures for tests,
+//! benchmarks and examples: they are exactly the queries on which the paper
+//! demonstrates the behaviour (and failure modes) of the eight CliqueSquare
+//! variants.
+
+use cliquesquare_sparql::parser::parse_query;
+use cliquesquare_sparql::BgpQuery;
+
+/// The running example query Q1 of Figure 1: 11 triple patterns whose
+/// variable graph has maximal cliques on `a`, `d`, `f`, `g`, `i`, `j`.
+pub fn figure1_q1() -> BgpQuery {
+    let mut q = parse_query(
+        "SELECT ?a ?b WHERE {
+            ?a ub:p1 ?b .
+            ?a ub:p2 ?c .
+            ?d ub:p3 ?a .
+            ?d ub:p4 ?e .
+            ?l ub:p5 ?d .
+            ?f ub:p6 ?d .
+            ?f ub:p7 ?g .
+            ?g ub:p8 ?h .
+            ?g ub:p9 ?i .
+            ?i ub:p10 ?j .
+            ?j ub:p11 \"C1\" }",
+    )
+    .expect("figure 1 query is well-formed");
+    q.set_name("Fig1-Q1");
+    q
+}
+
+/// The 3-pattern chain of Figure 10 (`t1 –x– t2 –y– t3`): the query on which
+/// the maximal-clique exact-cover variants (MXC+, XC+) fail to find *any*
+/// plan, and on which SC+ misses some height-optimal plans.
+pub fn figure10_query() -> BgpQuery {
+    let mut q = parse_query(
+        "SELECT ?x ?y WHERE {
+            ?x ub:q1 ?u .
+            ?x ub:q2 ?y .
+            ?y ub:q3 ?w }",
+    )
+    .expect("figure 10 query is well-formed");
+    q.set_name("Fig10");
+    q
+}
+
+/// The 4-pattern chain QX of Figure 11 (`t1 –x– t2 –y– t3 –z– t4`): the query
+/// showing that minimum covers (MSC) may miss some height-optimal plans,
+/// while still finding one (Figures 12 and 13).
+pub fn figure11_qx() -> BgpQuery {
+    let mut q = parse_query(
+        "SELECT ?x ?z WHERE {
+            ?x ub:q1 ?u .
+            ?x ub:q2 ?y .
+            ?y ub:q3 ?z .
+            ?z ub:q4 ?w }",
+    )
+    .expect("figure 11 query is well-formed");
+    q.set_name("Fig11-QX");
+    q
+}
+
+/// The 4-pattern star of Figure 14 (`t2` sharing a different variable with
+/// each of `t1`, `t3`, `t4`): the query on which every exact-cover variant is
+/// height-optimal lossy, because only overlapping (simple) covers allow a
+/// two-stage plan.
+///
+/// The central pattern uses variables in all three positions so that it
+/// shares a *different* variable with each neighbour.
+pub fn figure14_query() -> BgpQuery {
+    let mut q = parse_query(
+        "SELECT ?w ?x ?y WHERE {
+            ?w ub:q1 ?a .
+            ?w ?x ?y .
+            ?x ub:q2 ?b .
+            ?y ub:q3 ?c }",
+    )
+    .expect("figure 14 query is well-formed");
+    q.set_name("Fig14");
+    q
+}
+
+/// All paper example queries with their figure labels.
+pub fn all() -> Vec<BgpQuery> {
+    vec![
+        figure1_q1(),
+        figure10_query(),
+        figure11_qx(),
+        figure14_query(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable_graph::VariableGraph;
+    use cliquesquare_sparql::Variable;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn figure1_structure() {
+        let q = figure1_q1();
+        assert_eq!(q.len(), 11);
+        let g = VariableGraph::from_query(&q);
+        let cliques = g.maximal_cliques();
+        assert_eq!(cliques.len(), 6);
+        assert_eq!(
+            cliques[&Variable::new("d")],
+            BTreeSet::from([2, 3, 4, 5])
+        );
+    }
+
+    #[test]
+    fn figure10_structure() {
+        let q = figure10_query();
+        let g = VariableGraph::from_query(&q);
+        let cliques = g.maximal_cliques();
+        assert_eq!(cliques.len(), 2);
+        assert_eq!(cliques[&Variable::new("x")], BTreeSet::from([0, 1]));
+        assert_eq!(cliques[&Variable::new("y")], BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn figure11_structure() {
+        let q = figure11_qx();
+        let g = VariableGraph::from_query(&q);
+        let cliques = g.maximal_cliques();
+        assert_eq!(cliques.len(), 3);
+        assert_eq!(cliques[&Variable::new("y")], BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn figure14_structure() {
+        let q = figure14_query();
+        let g = VariableGraph::from_query(&q);
+        let cliques = g.maximal_cliques();
+        // w:{t1,t2}, x:{t2,t3}, y:{t2,t4}
+        assert_eq!(cliques.len(), 3);
+        assert_eq!(cliques[&Variable::new("w")], BTreeSet::from([0, 1]));
+        assert_eq!(cliques[&Variable::new("x")], BTreeSet::from([1, 2]));
+        assert_eq!(cliques[&Variable::new("y")], BTreeSet::from([1, 3]));
+    }
+
+    #[test]
+    fn all_examples_are_connected() {
+        for q in all() {
+            assert!(q.is_connected(), "{} should be connected", q.name());
+            assert!(VariableGraph::from_query(&q).is_connected());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the CliqueSquare optimizer's core invariants:
+//! decomposition validity, clique reduction, plan structure and height
+//! optimality over randomly generated connected queries.
+
+use cliquesquare_core::clique::reduce;
+use cliquesquare_core::decomposition::{decompositions, DecompositionLimits, Variant};
+use cliquesquare_core::{LogicalOp, Optimizer, VariableGraph};
+use cliquesquare_sparql::{BgpQuery, PatternTerm, TriplePattern, Variable};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Generates a random *connected* BGP query: pattern `i` always shares a
+/// variable with one of the earlier patterns.
+fn connected_query_strategy() -> impl Strategy<Value = BgpQuery> {
+    (2usize..7, any::<u64>()).prop_map(|(n, seed)| {
+        // Simple deterministic pseudo-random attachment from the seed.
+        let mut patterns = Vec::with_capacity(n);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let pool = (n / 2).max(2) + 2;
+        let mut used: Vec<usize> = vec![0];
+        for i in 0..n {
+            // Anchor each new pattern on an already-used variable so the
+            // generated query is always connected (×-free).
+            let subject = used[next() % used.len()];
+            let mut object = next() % pool;
+            if object == subject {
+                object = (object + 1) % pool;
+            }
+            for v in [subject, object] {
+                if !used.contains(&v) {
+                    used.push(v);
+                }
+            }
+            patterns.push(TriplePattern::new(
+                PatternTerm::variable(format!("v{subject}")),
+                PatternTerm::iri(format!("http://ex.org/p{i}")),
+                PatternTerm::variable(format!("v{object}")),
+            ));
+        }
+        let distinguished = vec![Variable::new("v0")];
+        BgpQuery::new(distinguished, patterns)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every decomposition produced by every variant satisfies Definition 3.3
+    /// (covers all nodes, strictly fewer cliques than nodes), and exact-cover
+    /// variants produce disjoint cliques.
+    #[test]
+    fn decompositions_satisfy_definition_3_3(query in connected_query_strategy()) {
+        prop_assume!(query.is_connected());
+        let graph = VariableGraph::from_query(&query);
+        let limits = DecompositionLimits::default();
+        for variant in Variant::ALL {
+            for d in decompositions(&graph, variant, &limits) {
+                prop_assert!(d.is_valid_for(&graph), "{variant}: {d}");
+                if variant.exact_cover() {
+                    prop_assert!(d.is_exact(), "{variant}: {d}");
+                }
+                if variant.maximal_only() {
+                    let maximal = graph.maximal_cliques();
+                    for clique in &d.cliques {
+                        prop_assert!(maximal.values().any(|m| *m == clique.nodes));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clique reduction strictly shrinks the graph and preserves the set of
+    /// triple patterns covered.
+    #[test]
+    fn reduction_shrinks_and_preserves_patterns(query in connected_query_strategy()) {
+        prop_assume!(query.is_connected());
+        let graph = VariableGraph::from_query(&query);
+        let limits = DecompositionLimits::default();
+        for d in decompositions(&graph, Variant::Msc, &limits) {
+            let reduced = reduce(&graph, &d);
+            prop_assert!(reduced.len() < graph.len());
+            let covered: BTreeSet<usize> = reduced
+                .nodes()
+                .iter()
+                .flat_map(|n| n.patterns.iter().copied())
+                .collect();
+            prop_assert_eq!(covered, (0..query.len()).collect::<BTreeSet<_>>());
+        }
+    }
+
+    /// Minimum-cover variants never return covers of different sizes, and
+    /// their covers are never larger than what the unrestricted variant finds.
+    #[test]
+    fn minimum_covers_are_minimum(query in connected_query_strategy()) {
+        prop_assume!(query.is_connected());
+        let graph = VariableGraph::from_query(&query);
+        let limits = DecompositionLimits::default();
+        let msc = decompositions(&graph, Variant::Msc, &limits);
+        if let Some(first) = msc.first() {
+            prop_assert!(msc.iter().all(|d| d.len() == first.len()));
+            let sc = decompositions(&graph, Variant::Sc, &limits);
+            if let Some(sc_min) = sc.iter().map(|d| d.len()).min() {
+                prop_assert!(first.len() <= sc_min);
+            }
+        }
+    }
+
+    /// Every plan built by MSC covers each triple pattern with exactly one
+    /// Match operator, projects the distinguished variables, and respects the
+    /// n-ary join semantics (join attributes are shared by all inputs).
+    #[test]
+    fn msc_plans_are_well_formed(query in connected_query_strategy()) {
+        prop_assume!(query.is_connected());
+        let result = Optimizer::with_variant(Variant::Msc).optimize(&query);
+        prop_assert!(!result.plans.is_empty());
+        for plan in &result.plans {
+            let matched: BTreeSet<usize> = plan
+                .match_ops()
+                .into_iter()
+                .map(|id| match plan.op(id) {
+                    LogicalOp::Match { pattern_index, .. } => *pattern_index,
+                    _ => unreachable!(),
+                })
+                .collect();
+            prop_assert_eq!(matched, (0..query.len()).collect::<BTreeSet<_>>());
+            prop_assert_eq!(
+                plan.output_variables(),
+                query.distinguished().to_vec()
+            );
+            for id in plan.join_ops() {
+                if let LogicalOp::Join { attributes, inputs, .. } = plan.op(id) {
+                    prop_assert!(!attributes.is_empty());
+                    prop_assert!(inputs.len() >= 2);
+                    for input in inputs {
+                        let output = plan.op(*input).output();
+                        for attr in attributes {
+                            prop_assert!(output.contains(attr), "join attribute missing from input");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plan heights behave monotonically: the flattest MSC plan is never
+    /// deeper than the flattest plan of any exact-cover variant.
+    #[test]
+    fn msc_is_at_least_as_flat_as_exact_variants(query in connected_query_strategy()) {
+        prop_assume!(query.is_connected());
+        let msc = Optimizer::with_variant(Variant::Msc).optimize(&query);
+        let msc_best = msc.min_height().unwrap();
+        for variant in [Variant::Mxc, Variant::MxcPlus, Variant::XcPlus] {
+            let other = Optimizer::with_variant(variant).optimize(&query);
+            if let Some(other_best) = other.min_height() {
+                prop_assert!(
+                    msc_best <= other_best,
+                    "MSC height {msc_best} deeper than {variant} height {other_best}"
+                );
+            }
+        }
+    }
+}

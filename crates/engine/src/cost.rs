@@ -1,0 +1,234 @@
+//! The MapReduce cost model of Section 5.4, over *estimated* cardinalities.
+//!
+//! The optimizer needs to pick one plan among the candidates before anything
+//! is executed, so the model walks the physical plan and estimates, for every
+//! operator, the work it will cause:
+//!
+//! * `c(MS)   = |file| · c_read`
+//! * `c(F)    = |input| · c_check`
+//! * `c(π)    = |input| · c_check`
+//! * `c(MF)   = |input| · (c_read + c_write)`
+//! * `c(MJ)   = |output| · (c_join + c_write)`
+//! * `c(RJ)   = Σ|inputs| · c_shuffle + |output| · (c_join + c_write)`
+//!
+//! plus the per-job start-up overhead, which is what makes flat plans win.
+//! Scan cardinalities are exact (they come from the partitioned store);
+//! join cardinalities use the classic independence assumption.
+
+use crate::jobs::schedule;
+use crate::physical::{PhysId, PhysicalOp, PhysicalPlan};
+use crate::translate::translate;
+use cliquesquare_core::LogicalPlan;
+use cliquesquare_mapreduce::Cluster;
+use serde::{Deserialize, Serialize};
+
+/// The estimated cost of a physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Estimated total work plus job overhead, in simulated seconds.
+    pub total_seconds: f64,
+    /// Number of MapReduce jobs the plan needs.
+    pub jobs: usize,
+    /// Estimated cardinality of the final result.
+    pub estimated_result: f64,
+}
+
+/// The Section 5.4 cost model bound to a loaded cluster.
+#[derive(Debug, Clone)]
+pub struct MapReduceCostModel<'a> {
+    cluster: &'a Cluster,
+}
+
+impl<'a> MapReduceCostModel<'a> {
+    /// Creates a cost model over the given cluster.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        Self { cluster }
+    }
+
+    /// Estimates the cost of a physical plan.
+    pub fn estimate(&self, plan: &PhysicalPlan) -> CostEstimate {
+        let params = &self.cluster.config().cost;
+        let nodes = self.cluster.nodes().max(1) as f64;
+        let sched = schedule(plan);
+
+        // Estimated output cardinality of every operator, bottom-up.
+        let mut cards = vec![0.0f64; plan.len()];
+        let mut work = 0.0f64;
+        for index in 0..plan.len() {
+            let id = PhysId(index);
+            let op = plan.op(id);
+            let card = match op {
+                PhysicalOp::MapScan { spec, .. } => {
+                    let scanned = self.cluster.store().scan_cardinality(
+                        spec.placement,
+                        spec.property,
+                        spec.type_object,
+                    ) as f64;
+                    work += scanned * params.read;
+                    scanned
+                }
+                PhysicalOp::Filter {
+                    conditions, input, ..
+                } => {
+                    let input_card = cards[input.index()];
+                    work += input_card * params.check;
+                    // Each equality condition keeps roughly one value out of
+                    // the distinct values of that column; without per-column
+                    // statistics use a fixed selectivity of 5% per condition.
+                    input_card * 0.05f64.powi(conditions.len() as i32)
+                }
+                PhysicalOp::MapShuffler { input, .. } => {
+                    let input_card = cards[input.index()];
+                    work += input_card * (params.read + params.write);
+                    input_card
+                }
+                PhysicalOp::MapJoin { inputs, .. } | PhysicalOp::ReduceJoin { inputs, .. } => {
+                    let input_cards: Vec<f64> =
+                        inputs.iter().map(|i| cards[i.index()]).collect();
+                    let output = join_cardinality(&input_cards);
+                    if matches!(op, PhysicalOp::ReduceJoin { .. }) {
+                        let shuffled: f64 = input_cards.iter().sum();
+                        work += shuffled * params.shuffle;
+                    }
+                    work += output * (params.join + params.write);
+                    output
+                }
+                PhysicalOp::Project { input, .. } => {
+                    let input_card = cards[input.index()];
+                    work += input_card * params.check;
+                    input_card
+                }
+            };
+            cards[index] = card;
+        }
+
+        let overhead = sched.job_count as f64 * params.job_startup
+            + sched
+                .kinds
+                .iter()
+                .map(|k| match k {
+                    cliquesquare_mapreduce::JobKind::MapOnly => params.task_startup,
+                    cliquesquare_mapreduce::JobKind::MapReduce => 2.0 * params.task_startup,
+                })
+                .sum::<f64>();
+        CostEstimate {
+            total_seconds: overhead + work / nodes,
+            jobs: sched.job_count,
+            estimated_result: cards[plan.root().index()],
+        }
+    }
+
+    /// Translates and estimates a logical plan.
+    pub fn estimate_logical(&self, plan: &LogicalPlan) -> CostEstimate {
+        self.estimate(&translate(plan, self.cluster.graph()))
+    }
+
+    /// Picks the cheapest logical plan of a slice according to the model.
+    pub fn choose_best<'p>(&self, plans: &'p [LogicalPlan]) -> Option<&'p LogicalPlan> {
+        plans.iter().min_by(|a, b| {
+            self.estimate_logical(a)
+                .total_seconds
+                .partial_cmp(&self.estimate_logical(b).total_seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// Join cardinality under the textbook independence assumption: the product
+/// of the input cardinalities divided by the largest input once per joined
+/// input beyond the first (i.e. every extra input acts as a filter with
+/// selectivity `1 / max_input`).
+fn join_cardinality(inputs: &[f64]) -> f64 {
+    if inputs.is_empty() {
+        return 0.0;
+    }
+    let max = inputs.iter().cloned().fold(1.0f64, f64::max).max(1.0);
+    let product: f64 = inputs.iter().product();
+    product / max.powi(inputs.len() as i32 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_core::{Optimizer, Variant};
+    use cliquesquare_mapreduce::ClusterConfig;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+    use cliquesquare_sparql::parser::parse_query;
+
+    fn cluster() -> Cluster {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        Cluster::load(graph, ClusterConfig::with_nodes(4))
+    }
+
+    #[test]
+    fn join_cardinality_behaves() {
+        assert_eq!(join_cardinality(&[]), 0.0);
+        assert_eq!(join_cardinality(&[100.0]), 100.0);
+        assert_eq!(join_cardinality(&[100.0, 50.0]), 50.0);
+        assert!(join_cardinality(&[100.0, 100.0, 100.0]) <= 100.0 + f64::EPSILON);
+        assert_eq!(join_cardinality(&[0.0, 10.0]), 0.0);
+    }
+
+    #[test]
+    fn more_jobs_cost_more() {
+        let cluster = cluster();
+        let model = MapReduceCostModel::new(&cluster);
+        let query = "SELECT ?a WHERE { ?a ub:p1 ?b . ?b ub:p2 ?c . ?c ub:p3 ?d . ?d ub:p4 ?e . ?e ub:p5 ?f . ?f ub:p6 ?g }";
+        let q = parse_query(query).unwrap();
+        let flat = Optimizer::with_variant(Variant::Msc).optimize(&q);
+        let deep = Optimizer::with_variant(Variant::Mxc).optimize(&q);
+        let flat_cost = model.estimate_logical(flat.flattest_plans()[0]);
+        let deep_plan = deep
+            .plans
+            .iter()
+            .max_by_key(|p| p.height())
+            .unwrap();
+        let deep_cost = model.estimate_logical(deep_plan);
+        assert!(flat_cost.jobs <= deep_cost.jobs);
+        assert!(flat_cost.total_seconds <= deep_cost.total_seconds);
+    }
+
+    #[test]
+    fn choose_best_picks_a_cheap_plan() {
+        let cluster = cluster();
+        let model = MapReduceCostModel::new(&cluster);
+        let q = parse_query(
+            "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }",
+        )
+        .unwrap();
+        let plans = Optimizer::with_variant(Variant::Msc).optimize(&q).plans;
+        let best = model.choose_best(&plans).unwrap();
+        let best_cost = model.estimate_logical(best).total_seconds;
+        for plan in &plans {
+            assert!(model.estimate_logical(plan).total_seconds >= best_cost);
+        }
+    }
+
+    #[test]
+    fn selective_scans_are_estimated_cheaper() {
+        let cluster = cluster();
+        let model = MapReduceCostModel::new(&cluster);
+        let narrow = parse_query(
+            "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?d }",
+        )
+        .unwrap();
+        let wide = parse_query("SELECT ?x WHERE { ?x rdf:type ?t . ?x ub:memberOf ?d }").unwrap();
+        let narrow_plan = Optimizer::with_variant(Variant::Msc).optimize(&narrow);
+        let wide_plan = Optimizer::with_variant(Variant::Msc).optimize(&wide);
+        let narrow_cost = model.estimate_logical(narrow_plan.flattest_plans()[0]);
+        let wide_cost = model.estimate_logical(wide_plan.flattest_plans()[0]);
+        assert!(narrow_cost.total_seconds < wide_cost.total_seconds);
+    }
+
+    #[test]
+    fn estimate_reports_job_count() {
+        let cluster = cluster();
+        let model = MapReduceCostModel::new(&cluster);
+        let q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
+        let plans = Optimizer::with_variant(Variant::Msc).optimize(&q).plans;
+        let estimate = model.estimate_logical(&plans[0]);
+        assert_eq!(estimate.jobs, 1);
+        assert!(estimate.total_seconds > 0.0);
+        assert!(estimate.estimated_result > 0.0);
+    }
+}

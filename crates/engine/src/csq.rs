@@ -1,0 +1,187 @@
+//! The CSQ façade: optimize a query with CliqueSquare, pick the cheapest
+//! plan with the MapReduce cost model, and execute it on the simulated
+//! cluster.
+
+use crate::cost::MapReduceCostModel;
+use crate::executor::{ExecutionOutput, Executor};
+use crate::translate::translate;
+use cliquesquare_core::{LogicalPlan, Optimizer, OptimizerConfig, Variant};
+use cliquesquare_mapreduce::Cluster;
+use cliquesquare_sparql::BgpQuery;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of a [`Csq`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsqConfig {
+    /// Optimizer variant (the paper recommends and ships MSC).
+    pub variant: Variant,
+    /// Cap on the number of candidate plans considered by the cost model.
+    pub max_candidate_plans: usize,
+}
+
+impl Default for CsqConfig {
+    fn default() -> Self {
+        Self {
+            variant: Variant::Msc,
+            max_candidate_plans: 2_000,
+        }
+    }
+}
+
+/// The outcome of running one query end to end.
+#[derive(Debug, Clone)]
+pub struct CsqReport {
+    /// Name of the query (if it had one).
+    pub query: String,
+    /// Number of candidate plans produced by the optimizer.
+    pub candidate_plans: usize,
+    /// Wall-clock optimization time in milliseconds.
+    pub optimization_ms: f64,
+    /// The logical plan chosen by the cost model.
+    pub chosen_plan: LogicalPlan,
+    /// Height of the chosen plan.
+    pub plan_height: usize,
+    /// The paper-style job descriptor of the executed plan (`"M"`, `"1"`, …).
+    pub job_descriptor: String,
+    /// Number of MapReduce jobs executed.
+    pub jobs: usize,
+    /// Number of distinct query answers.
+    pub result_count: usize,
+    /// Simulated response time in seconds.
+    pub simulated_seconds: f64,
+    /// The full execution output (job log, metrics, results).
+    pub execution: ExecutionOutput,
+}
+
+/// The CSQ prototype: CliqueSquare optimization + cost-based selection +
+/// MapReduce execution (Section 6's "CSQ system").
+#[derive(Debug, Clone)]
+pub struct Csq {
+    cluster: Cluster,
+    config: CsqConfig,
+}
+
+impl Csq {
+    /// Creates a CSQ instance over a loaded cluster.
+    pub fn new(cluster: Cluster, config: CsqConfig) -> Self {
+        Self { cluster, config }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CsqConfig {
+        &self.config
+    }
+
+    /// Optimizes `query`, returning the candidate plans and the one chosen by
+    /// the cost model (without executing it).
+    pub fn plan(&self, query: &BgpQuery) -> (Vec<LogicalPlan>, LogicalPlan, f64) {
+        let started = Instant::now();
+        let optimizer_config = OptimizerConfig::variant(self.config.variant)
+            .with_max_plans(self.config.max_candidate_plans);
+        let result = Optimizer::new(optimizer_config).optimize(query);
+        assert!(
+            !result.plans.is_empty(),
+            "no plan found for query {:?} (disconnected or empty?)",
+            query.name()
+        );
+        let model = MapReduceCostModel::new(&self.cluster);
+        let chosen = model
+            .choose_best(&result.plans)
+            .expect("at least one plan")
+            .clone();
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+        (result.plans, chosen, elapsed_ms)
+    }
+
+    /// Runs `query` end to end and reports what happened.
+    pub fn run(&self, query: &BgpQuery) -> CsqReport {
+        let (candidates, chosen, optimization_ms) = self.plan(query);
+        let physical = translate(&chosen, self.cluster.graph());
+        let execution = Executor::new(&self.cluster).execute(&physical);
+        CsqReport {
+            query: query.name().to_string(),
+            candidate_plans: candidates.len(),
+            optimization_ms,
+            plan_height: chosen.height(),
+            job_descriptor: execution.job_log.descriptor(),
+            jobs: execution.job_log.job_count(),
+            result_count: execution.distinct_count(),
+            simulated_seconds: execution.simulated_seconds,
+            chosen_plan: chosen,
+            execution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_count;
+    use cliquesquare_mapreduce::ClusterConfig;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+    use cliquesquare_sparql::parser::parse_query;
+
+    fn csq() -> Csq {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
+        Csq::new(cluster, CsqConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_join_query() {
+        let csq = csq();
+        let q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
+        let report = csq.run(&q);
+        assert!(report.candidate_plans >= 1);
+        assert_eq!(report.plan_height, 1);
+        assert_eq!(report.jobs, 1);
+        assert!(report.result_count > 0);
+        assert_eq!(
+            report.result_count,
+            reference_count(csq.cluster().graph(), &q)
+        );
+        assert!(report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn six_pattern_lubm_query_is_correct() {
+        let csq = csq();
+        let q = parse_query(
+            "SELECT ?x ?y ?z WHERE { ?x rdf:type ub:UndergraduateStudent . ?y rdf:type ub:FullProfessor . \
+             ?z rdf:type ub:Course . ?x ub:advisor ?y . ?x ub:takesCourse ?z . ?y ub:teacherOf ?z }",
+        )
+        .unwrap();
+        let report = csq.run(&q);
+        assert_eq!(
+            report.result_count,
+            reference_count(csq.cluster().graph(), &q)
+        );
+        assert!(report.plan_height <= 2);
+    }
+
+    #[test]
+    fn chosen_plan_is_among_the_flattest() {
+        let csq = csq();
+        let q = parse_query(
+            "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }",
+        )
+        .unwrap();
+        let (candidates, chosen, _) = csq.plan(&q);
+        let min_height = candidates.iter().map(LogicalPlan::height).min().unwrap();
+        assert_eq!(chosen.height(), min_height);
+    }
+
+    #[test]
+    #[should_panic(expected = "no plan found")]
+    fn disconnected_query_panics_with_clear_message() {
+        let csq = csq();
+        let q = parse_query("SELECT ?a WHERE { ?a ub:p ?b . ?x ub:q ?y }").unwrap();
+        let _ = csq.run(&q);
+    }
+}

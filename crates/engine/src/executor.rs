@@ -1,0 +1,514 @@
+//! Simulated execution of physical plans against the partitioned cluster.
+//!
+//! Execution is faithful at the data level (it produces the exact query
+//! answers) and at the accounting level (every tuple scanned, shuffled,
+//! joined or written is charged to the job that processes it), but it runs
+//! in-process: "nodes" are partitions of the store and "shuffles" move rows
+//! between in-memory buckets while charging network cost.
+
+use crate::jobs::{schedule, JobSchedule};
+use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
+use crate::relation::Relation;
+use crate::translate::translate;
+use cliquesquare_core::LogicalPlan;
+use cliquesquare_mapreduce::{
+    Cluster, ExecutionMetrics, JobExecution, JobKind, JobLog, TaskExecution,
+};
+use cliquesquare_rdf::{TermId, Triple, TriplePosition};
+use cliquesquare_sparql::{PatternTerm, Variable};
+use std::collections::BTreeSet;
+
+/// The result of executing one plan.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutput {
+    /// The final (projected) result relation, with duplicates preserved.
+    pub results: Relation,
+    /// Per-job execution records.
+    pub job_log: JobLog,
+    /// Aggregated work counters.
+    pub metrics: ExecutionMetrics,
+    /// Simulated response time on the cluster.
+    pub simulated_seconds: f64,
+    /// The job schedule the plan was executed under.
+    pub schedule: JobSchedule,
+}
+
+impl ExecutionOutput {
+    /// Number of distinct result rows (BGP answers are sets of bindings).
+    pub fn distinct_count(&self) -> usize {
+        self.results.clone().distinct().len()
+    }
+}
+
+/// Intermediate operator results: either one relation per compute node
+/// (map-side, co-located data) or a single cluster-wide relation (the output
+/// of a reduce phase).
+#[derive(Debug, Clone)]
+enum Intermediate {
+    Local(Vec<Relation>),
+    Global(Relation),
+}
+
+impl Intermediate {
+    fn cardinality(&self) -> u64 {
+        match self {
+            Intermediate::Local(parts) => parts.iter().map(|r| r.len() as u64).sum(),
+            Intermediate::Global(rel) => rel.len() as u64,
+        }
+    }
+
+    fn into_global(self) -> Relation {
+        match self {
+            Intermediate::Global(rel) => rel,
+            Intermediate::Local(mut parts) => {
+                let mut global = parts.pop().unwrap_or_else(|| Relation::empty(Vec::new()));
+                for part in parts {
+                    // All per-node parts share the same schema by construction.
+                    let mut merged = part;
+                    merged.union_in_place(global);
+                    global = merged;
+                }
+                global
+            }
+        }
+    }
+}
+
+/// Executes physical plans against a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct Executor<'a> {
+    cluster: &'a Cluster,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over the given cluster.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        Self { cluster }
+    }
+
+    /// Translates a logical plan and executes it.
+    pub fn execute_logical(&self, logical: &LogicalPlan) -> ExecutionOutput {
+        let physical = translate(logical, self.cluster.graph());
+        self.execute(&physical)
+    }
+
+    /// Executes a physical plan.
+    pub fn execute(&self, plan: &PhysicalPlan) -> ExecutionOutput {
+        let sched = schedule(plan);
+        let mut state = ExecState {
+            plan,
+            cluster: self.cluster,
+            schedule: &sched,
+            per_job: vec![ExecutionMetrics::default(); sched.job_count],
+            memo: vec![None; plan.len()],
+        };
+        let root = state.eval(plan.root());
+        let results = root.into_global();
+
+        // Per-job fixed counters: one map wave per job, one reduce wave for
+        // map+reduce jobs.
+        for (index, metrics) in state.per_job.iter_mut().enumerate() {
+            metrics.jobs = 1;
+            metrics.map_tasks = 1;
+            metrics.reduce_tasks = u64::from(sched.kinds[index] == JobKind::MapReduce);
+        }
+
+        let nodes = self.cluster.nodes();
+        let mut job_log = JobLog::new();
+        for (index, metrics) in state.per_job.iter().enumerate() {
+            let kind = sched.kinds[index];
+            job_log.push(JobExecution {
+                label: format!("job {}", index + 1),
+                kind,
+                map_tasks: vec![TaskExecution {
+                    node: 0,
+                    input_tuples: metrics.tuples_read,
+                    output_tuples: metrics.tuples_written,
+                }],
+                reduce_tasks: if kind == JobKind::MapReduce {
+                    vec![TaskExecution {
+                        node: 0,
+                        input_tuples: metrics.tuples_shuffled,
+                        output_tuples: metrics.join_output_tuples,
+                    }]
+                } else {
+                    Vec::new()
+                },
+                shuffled_tuples: metrics.tuples_shuffled,
+                metrics: *metrics,
+            });
+        }
+        let metrics = job_log.total_metrics();
+        let simulated_seconds = metrics.simulated_seconds(&self.cluster.config().cost, nodes);
+        ExecutionOutput {
+            results,
+            job_log,
+            metrics,
+            simulated_seconds,
+            schedule: sched,
+        }
+    }
+}
+
+/// Mutable execution state threaded through the recursive evaluation.
+struct ExecState<'a> {
+    plan: &'a PhysicalPlan,
+    cluster: &'a Cluster,
+    schedule: &'a JobSchedule,
+    per_job: Vec<ExecutionMetrics>,
+    memo: Vec<Option<Intermediate>>,
+}
+
+impl ExecState<'_> {
+    fn job_metrics(&mut self, id: PhysId) -> &mut ExecutionMetrics {
+        let job = self.schedule.job_of(id);
+        &mut self.per_job[job - 1]
+    }
+
+    fn eval(&mut self, id: PhysId) -> Intermediate {
+        if let Some(cached) = &self.memo[id.index()] {
+            return cached.clone();
+        }
+        let result = match self.plan.op(id).clone() {
+            PhysicalOp::MapScan { spec, output } => self.eval_scan(id, &spec, &output, &[]),
+            PhysicalOp::Filter {
+                conditions,
+                input,
+                output,
+            } => self.eval_filter(id, &conditions, input, &output),
+            PhysicalOp::MapJoin {
+                attributes, inputs, ..
+            } => self.eval_map_join(id, &attributes, &inputs),
+            PhysicalOp::MapShuffler { input, .. } => self.eval_shuffler(id, input),
+            PhysicalOp::ReduceJoin {
+                attributes, inputs, ..
+            } => self.eval_reduce_join(id, &attributes, &inputs),
+            PhysicalOp::Project { variables, input } => self.eval_project(id, &variables, input),
+        };
+        self.memo[id.index()] = Some(result.clone());
+        result
+    }
+
+    /// Scans the partition files selected by `spec` and converts the raw
+    /// triples to binding rows, applying `extra_conditions` (residual
+    /// constants pushed down from an enclosing Filter) and the pattern's own
+    /// repeated-variable equalities.
+    fn eval_scan(
+        &mut self,
+        id: PhysId,
+        spec: &ScanSpec,
+        output: &BTreeSet<Variable>,
+        extra_conditions: &[FilterCondition],
+    ) -> Intermediate {
+        let store = self.cluster.store();
+        let per_node = store.scan(spec.placement, spec.property, spec.type_object);
+        let scanned: u64 = per_node.iter().map(|v| v.len() as u64).sum();
+        let checks = extra_conditions.len() as u64;
+        {
+            let metrics = self.job_metrics(id);
+            metrics.tuples_read += scanned;
+            metrics.comparisons += scanned * checks.max(1);
+        }
+
+        let schema: Vec<Variable> = output.iter().cloned().collect();
+        let mut parts = Vec::with_capacity(per_node.len());
+        let mut produced: u64 = 0;
+        for triples in per_node {
+            let mut relation = Relation::empty(schema.clone());
+            'triples: for triple in triples {
+                for condition in extra_conditions {
+                    if triple.get(condition.position) != condition.constant {
+                        continue 'triples;
+                    }
+                }
+                if let Some(row) = bind_triple(&triple, spec, &schema) {
+                    relation.push(row);
+                }
+            }
+            produced += relation.len() as u64;
+            parts.push(relation);
+        }
+        self.job_metrics(id).tuples_written += produced;
+        Intermediate::Local(parts)
+    }
+
+    fn eval_filter(
+        &mut self,
+        id: PhysId,
+        conditions: &[FilterCondition],
+        input: PhysId,
+        output: &BTreeSet<Variable>,
+    ) -> Intermediate {
+        // A Filter directly above a MapScan is evaluated together with the
+        // scan, because the constant checks apply to the raw triple rather
+        // than to the binding rows.
+        if let PhysicalOp::MapScan { spec, .. } = self.plan.op(input).clone() {
+            return self.eval_scan(id, &spec, output, conditions);
+        }
+        let value = self.eval(input);
+        let rows = value.cardinality();
+        self.job_metrics(id).comparisons += rows * (conditions.len() as u64).max(1);
+        // Filters over non-scan inputs carry no residual conditions in the
+        // BGP fragment (joins enforce every equality), so they pass through.
+        value
+    }
+
+    fn eval_map_join(
+        &mut self,
+        id: PhysId,
+        attributes: &BTreeSet<Variable>,
+        inputs: &[PhysId],
+    ) -> Intermediate {
+        let attrs: Vec<Variable> = attributes.iter().cloned().collect();
+        let evaluated: Vec<Intermediate> = inputs.iter().map(|&i| self.eval(i)).collect();
+        let nodes = self.cluster.nodes();
+        let all_local = evaluated
+            .iter()
+            .all(|value| matches!(value, Intermediate::Local(parts) if parts.len() == nodes));
+        if !all_local {
+            // Defensive path: a map join over non-co-located inputs degrades
+            // to a cluster-wide join (well-formed translations never hit it).
+            let relations: Vec<Relation> =
+                evaluated.into_iter().map(Intermediate::into_global).collect();
+            let refs: Vec<&Relation> = relations.iter().collect();
+            let joined = Relation::join(&refs, &attrs);
+            let metrics = self.job_metrics(id);
+            metrics.join_output_tuples += joined.len() as u64;
+            metrics.tuples_written += joined.len() as u64;
+            return Intermediate::Global(joined);
+        }
+        let locals: Vec<Vec<Relation>> = evaluated
+            .into_iter()
+            .map(|value| match value {
+                Intermediate::Local(parts) => parts,
+                Intermediate::Global(_) => unreachable!("checked above"),
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(nodes);
+        let mut produced: u64 = 0;
+        for node in 0..nodes {
+            let node_inputs: Vec<&Relation> = locals.iter().map(|per_node| &per_node[node]).collect();
+            let joined = Relation::join(&node_inputs, &attrs);
+            produced += joined.len() as u64;
+            parts.push(joined);
+        }
+        let metrics = self.job_metrics(id);
+        metrics.join_output_tuples += produced;
+        metrics.tuples_written += produced;
+        Intermediate::Local(parts)
+    }
+
+    fn eval_shuffler(&mut self, id: PhysId, input: PhysId) -> Intermediate {
+        let value = self.eval(input);
+        let rows = value.cardinality();
+        let metrics = self.job_metrics(id);
+        metrics.tuples_read += rows;
+        metrics.tuples_written += rows;
+        value
+    }
+
+    fn eval_reduce_join(
+        &mut self,
+        id: PhysId,
+        attributes: &BTreeSet<Variable>,
+        inputs: &[PhysId],
+    ) -> Intermediate {
+        let attrs: Vec<Variable> = attributes.iter().cloned().collect();
+        let mut relations = Vec::with_capacity(inputs.len());
+        let mut shuffled: u64 = 0;
+        for &input in inputs {
+            let value = self.eval(input);
+            shuffled += value.cardinality();
+            relations.push(value.into_global());
+        }
+        let refs: Vec<&Relation> = relations.iter().collect();
+        let joined = Relation::join(&refs, &attrs);
+        let metrics = self.job_metrics(id);
+        metrics.tuples_shuffled += shuffled;
+        metrics.join_output_tuples += joined.len() as u64;
+        metrics.tuples_written += joined.len() as u64;
+        Intermediate::Global(joined)
+    }
+
+    fn eval_project(&mut self, id: PhysId, variables: &[Variable], input: PhysId) -> Intermediate {
+        let value = self.eval(input);
+        let rows = value.cardinality();
+        self.job_metrics(id).comparisons += rows;
+        match value {
+            Intermediate::Local(parts) => {
+                Intermediate::Local(parts.into_iter().map(|r| r.project(variables)).collect())
+            }
+            Intermediate::Global(rel) => Intermediate::Global(rel.project(variables)),
+        }
+    }
+}
+
+/// Converts a raw triple matched by `spec` into a binding row over `schema`,
+/// or `None` when repeated variables in the pattern bind to different values.
+fn bind_triple(triple: &Triple, spec: &ScanSpec, schema: &[Variable]) -> Option<Vec<TermId>> {
+    let positions = [
+        (&spec.pattern.subject, TriplePosition::Subject),
+        (&spec.pattern.property, TriplePosition::Property),
+        (&spec.pattern.object, TriplePosition::Object),
+    ];
+    let mut row = Vec::with_capacity(schema.len());
+    for variable in schema {
+        let mut value: Option<TermId> = None;
+        for (term, position) in positions {
+            if let PatternTerm::Variable(v) = term {
+                if v == variable {
+                    let candidate = triple.get(position);
+                    match value {
+                        None => value = Some(candidate),
+                        Some(existing) if existing != candidate => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        row.push(value?);
+    }
+    Some(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_eval;
+    use cliquesquare_core::{Optimizer, Variant};
+    use cliquesquare_mapreduce::ClusterConfig;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+    use cliquesquare_sparql::parser::parse_query;
+
+    fn cluster() -> Cluster {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        Cluster::load(graph, ClusterConfig::with_nodes(4))
+    }
+
+    fn run(cluster: &Cluster, query: &str, variant: Variant) -> ExecutionOutput {
+        let q = parse_query(query).unwrap();
+        let result = Optimizer::with_variant(variant).optimize(&q);
+        let logical = result.flattest_plans()[0].clone();
+        Executor::new(cluster).execute_logical(&logical)
+    }
+
+    #[test]
+    fn two_pattern_join_matches_reference() {
+        let cluster = cluster();
+        let query = "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }";
+        let output = run(&cluster, query, Variant::Msc);
+        let reference = reference_eval(cluster.graph(), &parse_query(query).unwrap());
+        assert!(output.distinct_count() > 0);
+        assert_eq!(output.distinct_count(), reference.len());
+        assert_eq!(
+            output.results.clone().distinct().sorted(),
+            reference.sorted()
+        );
+    }
+
+    #[test]
+    fn star_query_runs_as_single_map_only_job() {
+        let cluster = cluster();
+        let output = run(
+            &cluster,
+            "SELECT ?x ?d ?e WHERE { ?x ub:worksFor ?d . ?x ub:emailAddress ?e . ?x rdf:type ub:FullProfessor }",
+            Variant::Msc,
+        );
+        assert_eq!(output.job_log.job_count(), 1);
+        assert_eq!(output.job_log.descriptor(), "M");
+        assert_eq!(output.metrics.tuples_shuffled, 0);
+        assert!(output.distinct_count() > 0);
+    }
+
+    #[test]
+    fn selective_constant_query_matches_reference() {
+        let cluster = cluster();
+        let query = "SELECT ?x ?y WHERE { ?x rdf:type ub:Lecturer . ?y rdf:type ub:Department . \
+                     ?x ub:worksFor ?y . ?y ub:subOrganizationOf <http://www.University0.edu> }";
+        let output = run(&cluster, query, Variant::Msc);
+        let reference = reference_eval(cluster.graph(), &parse_query(query).unwrap());
+        assert_eq!(output.distinct_count(), reference.len());
+        assert!(output.distinct_count() > 0);
+    }
+
+    #[test]
+    fn chain_query_matches_reference_for_flat_and_deep_plans() {
+        let cluster = cluster();
+        let query = "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }";
+        let reference = reference_eval(cluster.graph(), &parse_query(query).unwrap());
+        for variant in [Variant::Msc, Variant::Mxc, Variant::MscPlus] {
+            let output = run(&cluster, query, variant);
+            assert_eq!(
+                output.distinct_count(),
+                reference.len(),
+                "variant {variant} returned wrong answers"
+            );
+        }
+    }
+
+    #[test]
+    fn all_msc_plans_of_a_query_agree() {
+        let cluster = cluster();
+        let query = "SELECT ?x ?y ?z WHERE { ?x rdf:type ub:UndergraduateStudent . ?y rdf:type ub:FullProfessor . \
+                     ?z rdf:type ub:Course . ?x ub:advisor ?y . ?x ub:takesCourse ?z . ?y ub:teacherOf ?z }";
+        let q = parse_query(query).unwrap();
+        let plans = Optimizer::with_variant(Variant::Msc).optimize(&q).plans;
+        let reference = reference_eval(cluster.graph(), &q);
+        let executor = Executor::new(&cluster);
+        for plan in plans.iter().take(8) {
+            let output = executor.execute_logical(plan);
+            assert_eq!(output.distinct_count(), reference.len());
+        }
+        assert!(!reference.is_empty());
+    }
+
+    #[test]
+    fn empty_answer_queries_execute_cleanly() {
+        let cluster = cluster();
+        let output = run(
+            &cluster,
+            "SELECT ?x WHERE { ?x ub:noSuchProperty ?y . ?y ub:worksFor ?z }",
+            Variant::Msc,
+        );
+        assert_eq!(output.distinct_count(), 0);
+        assert!(output.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn deeper_plans_cost_more_simulated_time() {
+        let cluster = cluster();
+        let query = "SELECT ?a WHERE { ?a ub:p1 ?b . ?b ub:p2 ?c . ?c ub:p3 ?d . ?d ub:p4 ?e . ?e ub:p5 ?f . ?f ub:p6 ?g }";
+        let flat = run(&cluster, query, Variant::Msc);
+        let deep = run(&cluster, query, Variant::Mxc);
+        assert!(flat.job_log.job_count() <= deep.job_log.job_count());
+        if flat.job_log.job_count() < deep.job_log.job_count() {
+            assert!(flat.simulated_seconds < deep.simulated_seconds);
+        }
+    }
+
+    #[test]
+    fn metrics_account_for_scans_and_joins() {
+        let cluster = cluster();
+        let output = run(
+            &cluster,
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        assert!(output.metrics.tuples_read > 0);
+        assert!(output.metrics.join_output_tuples > 0);
+        assert_eq!(output.metrics.jobs, output.job_log.job_count() as u64);
+    }
+
+    #[test]
+    fn repeated_variable_pattern_binds_consistently() {
+        // A pattern like { ?x ub:advisor ?x } only matches triples whose
+        // subject equals their object; none exist in the LUBM data.
+        let cluster = cluster();
+        let output = run(
+            &cluster,
+            "SELECT ?x WHERE { ?x ub:advisor ?x . ?x ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        assert_eq!(output.distinct_count(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! CSQ: the CliqueSquare execution engine over the simulated MapReduce
+//! cluster.
+//!
+//! This crate turns the logical plans produced by `cliquesquare-core` into
+//! physical MapReduce plans and executes them against the partitioned store
+//! of `cliquesquare-mapreduce`, reproducing Section 5 of the paper:
+//!
+//! * [`physical`] — the physical operators (MapScan, Filter, MapJoin,
+//!   MapShuffler, ReduceJoin, Project) and physical plans,
+//! * [`translate`] — logical → physical translation (Section 5.2),
+//! * [`jobs`] — grouping of physical operators into MapReduce jobs
+//!   (Section 5.3),
+//! * [`executor`] — simulated execution with full work accounting,
+//! * [`cost`] — the Section 5.4 cost model used to choose among plans,
+//! * [`reference`] — a naive single-node BGP evaluator used as a correctness
+//!   oracle in tests,
+//! * [`csq`] — the end-to-end façade (optimize, choose, execute).
+//!
+//! # Example
+//!
+//! ```
+//! use cliquesquare_engine::csq::{Csq, CsqConfig};
+//! use cliquesquare_mapreduce::{Cluster, ClusterConfig};
+//! use cliquesquare_rdf::{LubmGenerator, LubmScale};
+//! use cliquesquare_sparql::parser::parse_query;
+//!
+//! let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+//! let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
+//! let csq = Csq::new(cluster, CsqConfig::default());
+//! let report = csq.run(&parse_query(
+//!     "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . }",
+//! ).unwrap());
+//! assert!(report.result_count > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod csq;
+pub mod executor;
+pub mod jobs;
+pub mod physical;
+pub mod reference;
+pub mod relation;
+pub mod translate;
+
+pub use cost::{CostEstimate, MapReduceCostModel};
+pub use csq::{Csq, CsqConfig, CsqReport};
+pub use executor::{ExecutionOutput, Executor};
+pub use physical::{PhysicalOp, PhysicalPlan, PhysId, ScanSpec};
+pub use relation::Relation;
+pub use translate::translate;

@@ -1,0 +1,343 @@
+//! Physical MapReduce operators and plans (Section 5.2).
+
+use cliquesquare_rdf::{TermId, TriplePosition};
+use cliquesquare_sparql::{TriplePattern, Variable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of an operator inside a [`PhysicalPlan`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysId(pub usize);
+
+impl PhysId {
+    /// Returns the identifier as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Describes which partition files a Map Scan reads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanSpec {
+    /// Index of the triple pattern in the original query.
+    pub pattern_index: usize,
+    /// The triple pattern being matched.
+    pub pattern: TriplePattern,
+    /// The placement replica read, chosen so that the scan is co-located
+    /// with the first-level join consuming it (the position of the join
+    /// variable inside the pattern).
+    pub placement: TriplePosition,
+    /// Property file restriction (dictionary id of the constant property).
+    pub property: Option<TermId>,
+    /// `rdf:type` object file restriction (dictionary id of the class).
+    pub type_object: Option<TermId>,
+}
+
+/// A residual equality check a Filter applies on scanned triples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterCondition {
+    /// The triple position being constrained.
+    pub position: TriplePosition,
+    /// The constant the position must equal.
+    pub constant: TermId,
+}
+
+/// A physical MapReduce operator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhysicalOp {
+    /// `MS[FS]`: scans the HDFS partition files selected by the spec.
+    MapScan {
+        /// What to scan.
+        spec: ScanSpec,
+        /// Output attributes.
+        output: BTreeSet<Variable>,
+    },
+    /// `F_con(op)`: filters tuples by residual constant equalities.
+    Filter {
+        /// The conditions to check (conjunction).
+        conditions: Vec<FilterCondition>,
+        /// Input operator.
+        input: PhysId,
+        /// Output attributes.
+        output: BTreeSet<Variable>,
+    },
+    /// `MJ_A`: a co-located (directed) join evaluated independently on every
+    /// node, possible because its inputs are partitioned on `A`.
+    MapJoin {
+        /// Join attributes.
+        attributes: BTreeSet<Variable>,
+        /// Input operators.
+        inputs: Vec<PhysId>,
+        /// Output attributes.
+        output: BTreeSet<Variable>,
+    },
+    /// `MF_A`: the repartition phase of a repartition join; shuffles its
+    /// input on `A`.
+    MapShuffler {
+        /// Shuffle attributes.
+        attributes: BTreeSet<Variable>,
+        /// Input operator.
+        input: PhysId,
+        /// Output attributes.
+        output: BTreeSet<Variable>,
+    },
+    /// `RJ_A`: the join phase of a repartition join; gathers its inputs by
+    /// the values of `A` and joins them on each node.
+    ReduceJoin {
+        /// Join attributes.
+        attributes: BTreeSet<Variable>,
+        /// Input operators.
+        inputs: Vec<PhysId>,
+        /// Output attributes.
+        output: BTreeSet<Variable>,
+    },
+    /// `π_A`: projection onto `A`.
+    Project {
+        /// Projected variables in output order.
+        variables: Vec<Variable>,
+        /// Input operator.
+        input: PhysId,
+    },
+}
+
+impl PhysicalOp {
+    /// The operator's input ids.
+    pub fn inputs(&self) -> Vec<PhysId> {
+        match self {
+            PhysicalOp::MapScan { .. } => Vec::new(),
+            PhysicalOp::Filter { input, .. }
+            | PhysicalOp::MapShuffler { input, .. }
+            | PhysicalOp::Project { input, .. } => vec![*input],
+            PhysicalOp::MapJoin { inputs, .. } | PhysicalOp::ReduceJoin { inputs, .. } => {
+                inputs.clone()
+            }
+        }
+    }
+
+    /// The operator's output attributes.
+    pub fn output(&self) -> BTreeSet<Variable> {
+        match self {
+            PhysicalOp::MapScan { output, .. }
+            | PhysicalOp::Filter { output, .. }
+            | PhysicalOp::MapJoin { output, .. }
+            | PhysicalOp::MapShuffler { output, .. }
+            | PhysicalOp::ReduceJoin { output, .. } => output.clone(),
+            PhysicalOp::Project { variables, .. } => variables.iter().cloned().collect(),
+        }
+    }
+
+    /// Short operator name for rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::MapScan { .. } => "MapScan",
+            PhysicalOp::Filter { .. } => "Filter",
+            PhysicalOp::MapJoin { .. } => "MapJoin",
+            PhysicalOp::MapShuffler { .. } => "MapShuffler",
+            PhysicalOp::ReduceJoin { .. } => "ReduceJoin",
+            PhysicalOp::Project { .. } => "Project",
+        }
+    }
+
+    /// Returns `true` for operators that run in the map phase of a job.
+    pub fn is_map_side(&self) -> bool {
+        !matches!(self, PhysicalOp::ReduceJoin { .. })
+    }
+}
+
+/// A physical plan: a rooted DAG of physical operators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    ops: Vec<PhysicalOp>,
+    root: PhysId,
+}
+
+impl PhysicalPlan {
+    /// Creates a plan from an operator arena and root id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced operator id is out of bounds.
+    pub fn new(ops: Vec<PhysicalOp>, root: PhysId) -> Self {
+        assert!(root.index() < ops.len(), "root out of bounds");
+        for op in &ops {
+            for input in op.inputs() {
+                assert!(input.index() < ops.len(), "input out of bounds");
+            }
+        }
+        Self { ops, root }
+    }
+
+    /// The root operator id.
+    pub fn root(&self) -> PhysId {
+        self.root
+    }
+
+    /// The operator with the given id.
+    pub fn op(&self, id: PhysId) -> &PhysicalOp {
+        &self.ops[id.index()]
+    }
+
+    /// All operators.
+    pub fn ops(&self) -> &[PhysicalOp] {
+        &self.ops
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the plan has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Ids of all operators of a given kind, in arena order.
+    pub fn ops_where(&self, predicate: impl Fn(&PhysicalOp) -> bool) -> Vec<PhysId> {
+        (0..self.ops.len())
+            .map(PhysId)
+            .filter(|id| predicate(self.op(*id)))
+            .collect()
+    }
+
+    /// Number of reduce joins (shuffling joins) in the plan.
+    pub fn reduce_join_count(&self) -> usize {
+        self.ops_where(|op| matches!(op, PhysicalOp::ReduceJoin { .. }))
+            .len()
+    }
+
+    /// Number of map joins (co-located joins) in the plan.
+    pub fn map_join_count(&self) -> usize {
+        self.ops_where(|op| matches!(op, PhysicalOp::MapJoin { .. }))
+            .len()
+    }
+
+    /// Pretty-prints the plan as an indented operator tree.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: PhysId, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let op = self.op(id);
+        let attrs: Vec<String> = op.output().iter().map(ToString::to_string).collect();
+        match op {
+            PhysicalOp::MapScan { spec, .. } => {
+                out.push_str(&format!(
+                    "{indent}MapScan t{} [{} placement, {}] -> ({})\n",
+                    spec.pattern_index,
+                    spec.placement,
+                    spec.pattern,
+                    attrs.join(",")
+                ));
+            }
+            other => {
+                out.push_str(&format!("{indent}{} -> ({})\n", other.name(), attrs.join(",")));
+                for input in other.inputs() {
+                    self.render_into(input, depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_sparql::PatternTerm;
+
+    fn vars(names: &[&str]) -> BTreeSet<Variable> {
+        names.iter().map(|n| Variable::new(*n)).collect()
+    }
+
+    fn scan(idx: usize, placement: TriplePosition, out: &[&str]) -> PhysicalOp {
+        PhysicalOp::MapScan {
+            spec: ScanSpec {
+                pattern_index: idx,
+                pattern: TriplePattern::new(
+                    PatternTerm::variable("s"),
+                    PatternTerm::iri("p"),
+                    PatternTerm::variable("o"),
+                ),
+                placement,
+                property: Some(TermId(1)),
+                type_object: None,
+            },
+            output: vars(out),
+        }
+    }
+
+    fn sample_plan() -> PhysicalPlan {
+        let ops = vec![
+            scan(0, TriplePosition::Subject, &["s", "o"]),
+            scan(1, TriplePosition::Subject, &["s", "q"]),
+            PhysicalOp::MapJoin {
+                attributes: vars(&["s"]),
+                inputs: vec![PhysId(0), PhysId(1)],
+                output: vars(&["s", "o", "q"]),
+            },
+            scan(2, TriplePosition::Object, &["o", "r"]),
+            PhysicalOp::ReduceJoin {
+                attributes: vars(&["o"]),
+                inputs: vec![PhysId(2), PhysId(3)],
+                output: vars(&["s", "o", "q", "r"]),
+            },
+            PhysicalOp::Project {
+                variables: vec![Variable::new("s"), Variable::new("r")],
+                input: PhysId(4),
+            },
+        ];
+        PhysicalPlan::new(ops, PhysId(5))
+    }
+
+    #[test]
+    fn op_kind_counts() {
+        let plan = sample_plan();
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.map_join_count(), 1);
+        assert_eq!(plan.reduce_join_count(), 1);
+        assert_eq!(
+            plan.ops_where(|op| matches!(op, PhysicalOp::MapScan { .. })).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn map_side_classification() {
+        let plan = sample_plan();
+        assert!(plan.op(PhysId(0)).is_map_side());
+        assert!(plan.op(PhysId(2)).is_map_side());
+        assert!(!plan.op(PhysId(4)).is_map_side());
+    }
+
+    #[test]
+    fn output_attributes_follow_operator_semantics() {
+        let plan = sample_plan();
+        assert_eq!(plan.op(plan.root()).output(), vars(&["s", "r"]));
+        assert_eq!(plan.op(PhysId(2)).output(), vars(&["s", "o", "q"]));
+    }
+
+    #[test]
+    fn render_mentions_scans_and_joins() {
+        let text = sample_plan().render();
+        assert!(text.contains("MapScan t0"));
+        assert!(text.contains("MapJoin"));
+        assert!(text.contains("ReduceJoin"));
+        assert!(text.contains("Project"));
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of bounds")]
+    fn invalid_root_panics() {
+        let _ = PhysicalPlan::new(vec![], PhysId(0));
+    }
+}

@@ -1,0 +1,182 @@
+//! A naive, single-node reference evaluator for BGP queries.
+//!
+//! Used as a correctness oracle: the distributed executor must return exactly
+//! the same (distinct) answer set as this straightforward pattern-at-a-time
+//! evaluation over the in-memory graph.
+
+use crate::relation::Relation;
+use cliquesquare_rdf::{Graph, TermId, TriplePosition};
+use cliquesquare_sparql::{BgpQuery, PatternTerm, TriplePattern, Variable};
+
+/// Resolves a constant pattern term against the graph dictionary; a constant
+/// that does not occur in the data can never match.
+fn constant_id(graph: &Graph, term: &PatternTerm) -> Option<Option<TermId>> {
+    match term {
+        PatternTerm::Variable(_) => Some(None),
+        PatternTerm::Constant(t) => graph.lookup(t).map(Some),
+    }
+}
+
+/// Evaluates one triple pattern under an existing set of bindings, extending
+/// each binding row with the pattern's variables.
+fn extend(graph: &Graph, bindings: Relation, pattern: &TriplePattern) -> Relation {
+    // Output schema: existing variables plus the pattern's new ones.
+    let mut schema: Vec<Variable> = bindings.schema().to_vec();
+    for v in pattern.variables() {
+        if !schema.contains(&v) {
+            schema.push(v.clone());
+        }
+    }
+    let mut output = Relation::empty(schema.clone());
+
+    let Some(subject_const) = constant_id(graph, &pattern.subject) else {
+        return output;
+    };
+    let Some(property_const) = constant_id(graph, &pattern.property) else {
+        return output;
+    };
+    let Some(object_const) = constant_id(graph, &pattern.object) else {
+        return output;
+    };
+
+    let positions = [
+        (&pattern.subject, TriplePosition::Subject),
+        (&pattern.property, TriplePosition::Property),
+        (&pattern.object, TriplePosition::Object),
+    ];
+
+    for row in bindings.rows() {
+        // Constants fixed by the pattern or by already-bound variables.
+        let mut fixed = [subject_const, property_const, object_const];
+        for (index, (term, _)) in positions.iter().enumerate() {
+            if let PatternTerm::Variable(v) = term {
+                if let Some(col) = bindings.column(v) {
+                    fixed[index] = Some(row[col]);
+                }
+            }
+        }
+        for triple in graph.match_pattern(fixed[0], fixed[1], fixed[2]) {
+            // Bind the pattern's variables, checking repeated occurrences.
+            let mut extended: Vec<Option<TermId>> = schema
+                .iter()
+                .map(|v| bindings.column(v).map(|c| row[c]))
+                .collect();
+            let mut consistent = true;
+            for (term, position) in positions {
+                if let PatternTerm::Variable(v) = term {
+                    let value = triple.get(position);
+                    let slot = schema.iter().position(|s| s == v).expect("in schema");
+                    match extended[slot] {
+                        None => extended[slot] = Some(value),
+                        Some(existing) if existing != value => {
+                            consistent = false;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            if consistent {
+                output.push(extended.into_iter().map(|v| v.expect("bound")).collect());
+            }
+        }
+    }
+    output
+}
+
+/// Evaluates a BGP query over the graph and returns the **distinct** set of
+/// bindings of its distinguished variables.
+pub fn reference_eval(graph: &Graph, query: &BgpQuery) -> Relation {
+    let mut bindings = Relation::new(Vec::new(), vec![Vec::new()]);
+    for pattern in query.patterns() {
+        bindings = extend(graph, bindings, pattern);
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    let projected = if query.distinguished().is_empty() {
+        bindings
+    } else {
+        bindings.project(query.distinguished())
+    };
+    projected.distinct()
+}
+
+/// Convenience: the number of distinct answers of a query (`|Q|` in
+/// Figure 22).
+pub fn reference_count(graph: &Graph, query: &BgpQuery) -> usize {
+    reference_eval(graph, query).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_rdf::Term;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+    use cliquesquare_sparql::parser::parse_query;
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert_terms(Term::iri("alice"), Term::iri("worksFor"), Term::iri("d1"));
+        g.insert_terms(Term::iri("bob"), Term::iri("worksFor"), Term::iri("d2"));
+        g.insert_terms(Term::iri("carol"), Term::iri("memberOf"), Term::iri("d1"));
+        g.insert_terms(Term::iri("dave"), Term::iri("memberOf"), Term::iri("d1"));
+        g.insert_terms(Term::iri("erin"), Term::iri("memberOf"), Term::iri("d2"));
+        g
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let g = tiny_graph();
+        let q = parse_query("SELECT ?p ?s WHERE { ?p <worksFor> ?d . ?s <memberOf> ?d }").unwrap();
+        let result = reference_eval(&g, &q);
+        // alice-carol, alice-dave (d1) and bob-erin (d2).
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn constants_filter_matches() {
+        let g = tiny_graph();
+        let q = parse_query("SELECT ?s WHERE { ?s <memberOf> <d1> }").unwrap();
+        assert_eq!(reference_eval(&g, &q).len(), 2);
+        let q2 = parse_query("SELECT ?s WHERE { ?s <memberOf> <d9> }").unwrap();
+        assert_eq!(reference_eval(&g, &q2).len(), 0);
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty() {
+        let g = tiny_graph();
+        let q = parse_query("SELECT ?s WHERE { ?s <unknownProperty> ?o }").unwrap();
+        assert!(reference_eval(&g, &q).is_empty());
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        let g = tiny_graph();
+        // Two members of d1 ⇒ two bindings, but projected on ?p alone they collapse.
+        let q = parse_query("SELECT ?p WHERE { ?p <worksFor> ?d . ?s <memberOf> ?d }").unwrap();
+        assert_eq!(reference_eval(&g, &q).len(), 2);
+    }
+
+    #[test]
+    fn lubm_counts_are_stable() {
+        let g = LubmGenerator::new(LubmScale::tiny()).generate();
+        let q = parse_query(
+            "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?y }",
+        )
+        .unwrap();
+        let first = reference_count(&g, &q);
+        let second = reference_count(&g, &q);
+        assert_eq!(first, second);
+        assert!(first > 0);
+    }
+
+    #[test]
+    fn repeated_variables_require_equal_bindings() {
+        let mut g = tiny_graph();
+        g.insert_terms(Term::iri("loop"), Term::iri("worksFor"), Term::iri("loop"));
+        let q = parse_query("SELECT ?x WHERE { ?x <worksFor> ?x }").unwrap();
+        let result = reference_eval(&g, &q);
+        assert_eq!(result.len(), 1);
+    }
+}

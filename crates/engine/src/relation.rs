@@ -1,0 +1,350 @@
+//! In-memory relations (variable bindings) and n-ary hash joins.
+
+use cliquesquare_rdf::TermId;
+use cliquesquare_sparql::Variable;
+use std::collections::HashMap;
+
+/// A relation over query variables: a schema plus dictionary-encoded rows.
+///
+/// This is the tuple format flowing between simulated physical operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Vec<Variable>,
+    rows: Vec<Vec<TermId>>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Vec<Variable>) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from a schema and rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the schema's.
+    pub fn new(schema: Vec<Variable>, rows: Vec<Vec<TermId>>) -> Self {
+        for row in &rows {
+            assert_eq!(row.len(), schema.len(), "row arity mismatch");
+        }
+        Self { schema, rows }
+    }
+
+    /// The relation's schema (variable order of each row).
+    pub fn schema(&self) -> &[Variable] {
+        &self.schema
+    }
+
+    /// The relation's rows.
+    pub fn rows(&self) -> &[Vec<TermId>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the schema's.
+    pub fn push(&mut self, row: Vec<TermId>) {
+        assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Index of `variable` in the schema.
+    pub fn column(&self, variable: &Variable) -> Option<usize> {
+        self.schema.iter().position(|v| v == variable)
+    }
+
+    /// Concatenates another relation with the *same schema* into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas differ.
+    pub fn union_in_place(&mut self, other: Relation) {
+        assert_eq!(self.schema, other.schema, "schema mismatch in union");
+        self.rows.extend(other.rows);
+    }
+
+    /// Projects the relation onto `variables` (dropping duplicates of rows is
+    /// *not* performed: BGP semantics keep multiplicities).
+    pub fn project(&self, variables: &[Variable]) -> Relation {
+        let columns: Vec<usize> = variables
+            .iter()
+            .filter_map(|v| self.column(v))
+            .collect();
+        let kept: Vec<Variable> = variables
+            .iter()
+            .filter(|v| self.column(v).is_some())
+            .cloned()
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| columns.iter().map(|&c| row[c]).collect())
+            .collect();
+        Relation { schema: kept, rows }
+    }
+
+    /// Sorts rows lexicographically (used to compare results in tests).
+    pub fn sorted(mut self) -> Relation {
+        self.rows.sort_unstable();
+        self
+    }
+
+    /// Deduplicates rows (after sorting). BGP evaluation is set semantics in
+    /// the paper's formalization, so final results are compared deduplicated.
+    pub fn distinct(mut self) -> Relation {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+        self
+    }
+
+    /// The key of a row restricted to the given columns.
+    fn key(row: &[TermId], columns: &[usize]) -> Vec<TermId> {
+        columns.iter().map(|&c| row[c]).collect()
+    }
+
+    /// N-ary hash join of `inputs` on the shared `attributes`.
+    ///
+    /// The output schema is the union of the input schemas in input order
+    /// (join attributes appear once). This mirrors the logical `J_A` operator:
+    /// every input must contain every join attribute.
+    pub fn join(inputs: &[&Relation], attributes: &[Variable]) -> Relation {
+        assert!(!inputs.is_empty(), "join needs at least one input");
+        // Output schema: union of schemas, first occurrence wins.
+        let mut schema: Vec<Variable> = Vec::new();
+        for rel in inputs {
+            for v in rel.schema() {
+                if !schema.contains(v) {
+                    schema.push(v.clone());
+                }
+            }
+        }
+        if inputs.len() == 1 {
+            // Single input: the join is the identity.
+            return Relation::new(schema, inputs[0].rows.clone());
+        }
+
+        // Group every input by its key on the join attributes.
+        let mut grouped: Vec<HashMap<Vec<TermId>, Vec<&Vec<TermId>>>> =
+            Vec::with_capacity(inputs.len());
+        let mut key_columns: Vec<Vec<usize>> = Vec::with_capacity(inputs.len());
+        for rel in inputs {
+            let columns: Vec<usize> = attributes
+                .iter()
+                .map(|a| {
+                    rel.column(a)
+                        .unwrap_or_else(|| panic!("join attribute {a} missing from input"))
+                })
+                .collect();
+            let mut map: HashMap<Vec<TermId>, Vec<&Vec<TermId>>> = HashMap::new();
+            for row in &rel.rows {
+                map.entry(Self::key(row, &columns)).or_default().push(row);
+            }
+            key_columns.push(columns);
+            grouped.push(map);
+        }
+
+        // Iterate over the keys of the smallest input and probe the others.
+        let (smallest, _) = grouped
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.len())
+            .expect("at least one input");
+        let mut output = Relation::empty(schema.clone());
+        let out_columns: Vec<Vec<usize>> = inputs
+            .iter()
+            .map(|rel| {
+                rel.schema()
+                    .iter()
+                    .map(|v| schema.iter().position(|s| s == v).expect("schema union"))
+                    .collect()
+            })
+            .collect();
+
+        'keys: for key in grouped[smallest].keys() {
+            let mut per_input: Vec<&Vec<&Vec<TermId>>> = Vec::with_capacity(inputs.len());
+            for map in &grouped {
+                match map.get(key) {
+                    Some(rows) => per_input.push(rows),
+                    None => continue 'keys,
+                }
+            }
+            // Cross product of the matching rows of every input, merging each
+            // combination into one output row and rejecting combinations that
+            // disagree on shared non-join attributes.
+            let template = vec![None; schema.len()];
+            combine(&per_input, &out_columns, 0, template, &mut output);
+        }
+        output
+    }
+}
+
+/// Recursively merges one matching row from each input into output rows.
+fn combine(
+    per_input: &[&Vec<&Vec<TermId>>],
+    out_columns: &[Vec<usize>],
+    depth: usize,
+    partial: Vec<Option<TermId>>,
+    output: &mut Relation,
+) {
+    if depth == per_input.len() {
+        let row: Vec<TermId> = partial
+            .into_iter()
+            .map(|cell| cell.expect("every output column filled by some input"))
+            .collect();
+        output.push(row);
+        return;
+    }
+    'rows: for source in per_input[depth] {
+        let mut next = partial.clone();
+        for (src_col, &dst_col) in out_columns[depth].iter().enumerate() {
+            let value = source[src_col];
+            match next[dst_col] {
+                None => next[dst_col] = Some(value),
+                Some(existing) if existing != value => continue 'rows,
+                Some(_) => {}
+            }
+        }
+        combine(per_input, out_columns, depth + 1, next, output);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    fn t(id: u32) -> TermId {
+        TermId(id)
+    }
+
+    fn rel(schema: &[&str], rows: &[&[u32]]) -> Relation {
+        Relation::new(
+            schema.iter().map(|s| v(s)).collect(),
+            rows.iter().map(|r| r.iter().map(|&x| t(x)).collect()).collect(),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[3, 4]]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.column(&v("b")), Some(1));
+        assert_eq!(r.column(&v("z")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = rel(&["a", "b"], &[&[1]]);
+    }
+
+    #[test]
+    fn binary_join_on_one_attribute() {
+        let left = rel(&["a", "x"], &[&[1, 10], &[2, 20], &[3, 10]]);
+        let right = rel(&["x", "b"], &[&[10, 100], &[20, 200], &[30, 300]]);
+        let joined = Relation::join(&[&left, &right], &[v("x")]).sorted();
+        assert_eq!(joined.schema(), &[v("a"), v("x"), v("b")]);
+        assert_eq!(
+            joined.rows(),
+            rel(&["a", "x", "b"], &[&[1, 10, 100], &[2, 20, 200], &[3, 10, 100]])
+                .sorted()
+                .rows()
+        );
+    }
+
+    #[test]
+    fn three_way_star_join() {
+        let r1 = rel(&["x", "a"], &[&[1, 11], &[2, 12]]);
+        let r2 = rel(&["x", "b"], &[&[1, 21], &[1, 22]]);
+        let r3 = rel(&["x", "c"], &[&[1, 31], &[3, 33]]);
+        let joined = Relation::join(&[&r1, &r2, &r3], &[v("x")]).sorted();
+        // Only x = 1 survives; r2 contributes two rows.
+        assert_eq!(joined.len(), 2);
+        for row in joined.rows() {
+            assert_eq!(row[0], t(1));
+        }
+    }
+
+    #[test]
+    fn join_on_multiple_attributes() {
+        let left = rel(&["x", "y", "a"], &[&[1, 2, 10], &[1, 3, 11]]);
+        let right = rel(&["x", "y", "b"], &[&[1, 2, 20], &[1, 9, 21]]);
+        let joined = Relation::join(&[&left, &right], &[v("x"), v("y")]);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.rows()[0], vec![t(1), t(2), t(10), t(20)]);
+    }
+
+    #[test]
+    fn join_checks_shared_non_join_attributes() {
+        // Both inputs carry variable `z` but the join is only on `x`; rows
+        // that disagree on `z` must not combine.
+        let left = rel(&["x", "z"], &[&[1, 5], &[1, 6]]);
+        let right = rel(&["x", "z", "b"], &[&[1, 5, 50], &[1, 7, 70]]);
+        let joined = Relation::join(&[&left, &right], &[v("x")]);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.rows()[0], vec![t(1), t(5), t(50)]);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_join() {
+        let left = rel(&["x", "a"], &[]);
+        let right = rel(&["x", "b"], &[&[1, 2]]);
+        let joined = Relation::join(&[&left, &right], &[v("x")]);
+        assert!(joined.is_empty());
+    }
+
+    #[test]
+    fn single_input_join_is_identity() {
+        let r = rel(&["x", "a"], &[&[1, 2], &[3, 4]]);
+        let joined = Relation::join(&[&r], &[v("x")]);
+        assert_eq!(joined.rows(), r.rows());
+    }
+
+    #[test]
+    fn project_and_distinct() {
+        let r = rel(&["a", "b", "c"], &[&[1, 2, 3], &[1, 2, 4], &[5, 6, 7]]);
+        let projected = r.project(&[v("a"), v("b")]);
+        assert_eq!(projected.schema(), &[v("a"), v("b")]);
+        assert_eq!(projected.len(), 3);
+        assert_eq!(projected.distinct().len(), 2);
+        // Projecting onto an absent variable silently drops it.
+        let narrowed = r.project(&[v("a"), v("z")]);
+        assert_eq!(narrowed.schema(), &[v("a")]);
+    }
+
+    #[test]
+    fn union_in_place_appends_rows() {
+        let mut a = rel(&["x"], &[&[1]]);
+        let b = rel(&["x"], &[&[2], &[3]]);
+        a.union_in_place(b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn union_with_different_schema_panics() {
+        let mut a = rel(&["x"], &[&[1]]);
+        let b = rel(&["y"], &[&[2]]);
+        a.union_in_place(b);
+    }
+}

@@ -1,0 +1,358 @@
+//! Logical → physical plan translation (Section 5.2).
+//!
+//! * Every *edge* out of a logical Match operator becomes its own MapScan
+//!   (plus a Filter for residual subject/object constants), reading the
+//!   placement replica of the variable its consumer joins on, so that
+//!   first-level joins are co-located.
+//! * A logical Join whose inputs are all Match operators becomes a MapJoin;
+//!   any other Join becomes a ReduceJoin, with a MapShuffler inserted on top
+//!   of inputs that are themselves ReduceJoins (a reduce join cannot consume
+//!   another reduce join's output directly).
+//! * Select maps to Filter and Project maps to the physical projection.
+
+use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
+use cliquesquare_core::{LogicalOp, LogicalPlan, OpId};
+use cliquesquare_rdf::term::vocab;
+use cliquesquare_rdf::{Graph, Term, TermId, TriplePosition};
+use cliquesquare_sparql::{TriplePattern, Variable};
+use std::collections::BTreeSet;
+
+/// Sentinel id used for constants that do not occur in the dictionary: no
+/// stored triple can carry it, so scans and filters using it match nothing.
+pub const UNKNOWN_CONSTANT: TermId = TermId(u32::MAX);
+
+/// Resolves a constant pattern term to its dictionary id (or the
+/// [`UNKNOWN_CONSTANT`] sentinel when the value is absent from the data).
+fn resolve(graph: &Graph, term: &Term) -> TermId {
+    graph.lookup(term).unwrap_or(UNKNOWN_CONSTANT)
+}
+
+/// Picks the placement replica for a scan feeding a join on `attributes`:
+/// the position (subject / property / object) of the placement variable
+/// inside the pattern. The placement variable is the smallest join attribute,
+/// so every input of the same join picks the same variable and the join is
+/// co-located.
+fn placement_for(pattern: &TriplePattern, attributes: &BTreeSet<Variable>) -> TriplePosition {
+    let placement_var = attributes.iter().next();
+    if let Some(var) = placement_var {
+        for (term, position) in [
+            (&pattern.subject, TriplePosition::Subject),
+            (&pattern.property, TriplePosition::Property),
+            (&pattern.object, TriplePosition::Object),
+        ] {
+            if term.as_variable() == Some(var) {
+                return position;
+            }
+        }
+    }
+    TriplePosition::Subject
+}
+
+/// Builds the MapScan (and Filter, if needed) for one outgoing edge of a
+/// logical Match operator. Returns the id of the top operator of the chain.
+fn build_scan(
+    ops: &mut Vec<PhysicalOp>,
+    graph: &Graph,
+    pattern_index: usize,
+    pattern: &TriplePattern,
+    output: &BTreeSet<Variable>,
+    consumer_attributes: &BTreeSet<Variable>,
+) -> PhysId {
+    let rdf_type = graph.lookup(&Term::iri(vocab::RDF_TYPE));
+    let property = pattern.property.as_constant().map(|t| resolve(graph, t));
+    let is_type_scan = property.is_some() && property == rdf_type;
+    let type_object = if is_type_scan {
+        pattern.object.as_constant().map(|t| resolve(graph, t))
+    } else {
+        None
+    };
+
+    let spec = ScanSpec {
+        pattern_index,
+        pattern: pattern.clone(),
+        placement: placement_for(pattern, consumer_attributes),
+        property,
+        type_object,
+    };
+    ops.push(PhysicalOp::MapScan {
+        spec,
+        output: output.clone(),
+    });
+    let scan_id = PhysId(ops.len() - 1);
+
+    // Residual constants: the property constant was consumed by the file
+    // name, an rdf:type object constant by the type file; anything else
+    // becomes an explicit Filter.
+    let mut conditions = Vec::new();
+    if let Some(constant) = pattern.subject.as_constant() {
+        conditions.push(FilterCondition {
+            position: TriplePosition::Subject,
+            constant: resolve(graph, constant),
+        });
+    }
+    if !is_type_scan {
+        if let Some(constant) = pattern.object.as_constant() {
+            conditions.push(FilterCondition {
+                position: TriplePosition::Object,
+                constant: resolve(graph, constant),
+            });
+        }
+    }
+    if conditions.is_empty() {
+        scan_id
+    } else {
+        ops.push(PhysicalOp::Filter {
+            conditions,
+            input: scan_id,
+            output: output.clone(),
+        });
+        PhysId(ops.len() - 1)
+    }
+}
+
+/// Translates a logical plan into a physical MapReduce plan.
+pub fn translate(plan: &LogicalPlan, graph: &Graph) -> PhysicalPlan {
+    let mut ops: Vec<PhysicalOp> = Vec::new();
+    // Physical id of each translated non-Match logical operator.
+    let mut translated: Vec<Option<PhysId>> = vec![None; plan.len()];
+
+    // Resolves a logical input of `consumer_attributes`-joining operator,
+    // creating a dedicated scan chain for Match inputs.
+    fn resolve_input(
+        plan: &LogicalPlan,
+        graph: &Graph,
+        ops: &mut Vec<PhysicalOp>,
+        translated: &[Option<PhysId>],
+        input: OpId,
+        consumer_attributes: &BTreeSet<Variable>,
+    ) -> PhysId {
+        match plan.op(input) {
+            LogicalOp::Match {
+                pattern_index,
+                pattern,
+                output,
+            } => build_scan(ops, graph, *pattern_index, pattern, output, consumer_attributes),
+            _ => translated[input.index()].expect("inputs are translated before consumers"),
+        }
+    }
+
+    // The logical arena is bottom-up: inputs always precede consumers.
+    for (index, op) in plan.ops().iter().enumerate() {
+        let id = OpId(index);
+        match op {
+            LogicalOp::Match { .. } => {
+                // Scans are created lazily, one per outgoing edge.
+            }
+            LogicalOp::Join {
+                attributes,
+                inputs,
+                output,
+            } => {
+                let all_matches = inputs.iter().all(|i| plan.op(*i).is_match());
+                let mut physical_inputs = Vec::with_capacity(inputs.len());
+                for &input in inputs {
+                    let mut phys = resolve_input(plan, graph, &mut ops, &translated, input, attributes);
+                    if !all_matches && matches!(ops[phys.index()], PhysicalOp::ReduceJoin { .. }) {
+                        // A reduce join cannot directly consume another
+                        // reduce join's output: repartition it first.
+                        ops.push(PhysicalOp::MapShuffler {
+                            attributes: attributes.clone(),
+                            input: phys,
+                            output: ops[phys.index()].output(),
+                        });
+                        phys = PhysId(ops.len() - 1);
+                    }
+                    physical_inputs.push(phys);
+                }
+                let join = if all_matches {
+                    PhysicalOp::MapJoin {
+                        attributes: attributes.clone(),
+                        inputs: physical_inputs,
+                        output: output.clone(),
+                    }
+                } else {
+                    PhysicalOp::ReduceJoin {
+                        attributes: attributes.clone(),
+                        inputs: physical_inputs,
+                        output: output.clone(),
+                    }
+                };
+                ops.push(join);
+                translated[id.index()] = Some(PhysId(ops.len() - 1));
+            }
+            LogicalOp::Select {
+                condition: _,
+                input,
+                output,
+            } => {
+                let phys = resolve_input(plan, graph, &mut ops, &translated, *input, output);
+                // Logical selections carry no machine-checkable condition in
+                // the BGP fragment (joins enforce all equalities), so they
+                // translate to a no-op filter.
+                ops.push(PhysicalOp::Filter {
+                    conditions: Vec::new(),
+                    input: phys,
+                    output: output.clone(),
+                });
+                translated[id.index()] = Some(PhysId(ops.len() - 1));
+            }
+            LogicalOp::Project { variables, input } => {
+                let attrs: BTreeSet<Variable> = variables.iter().cloned().collect();
+                let phys = resolve_input(plan, graph, &mut ops, &translated, *input, &attrs);
+                ops.push(PhysicalOp::Project {
+                    variables: variables.clone(),
+                    input: phys,
+                });
+                translated[id.index()] = Some(PhysId(ops.len() - 1));
+            }
+        }
+    }
+
+    let root = translated[plan.root().index()].expect("root translated");
+    PhysicalPlan::new(ops, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_core::{Optimizer, Variant};
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+    use cliquesquare_sparql::parser::parse_query;
+
+    fn lubm_graph() -> Graph {
+        LubmGenerator::new(LubmScale::tiny()).generate()
+    }
+
+    fn best_plan(query: &str, variant: Variant) -> LogicalPlan {
+        let q = parse_query(query).unwrap();
+        let result = Optimizer::with_variant(variant).optimize(&q);
+        result
+            .flattest_plans()
+            .first()
+            .map(|p| (*p).clone())
+            .expect("plan found")
+    }
+
+    #[test]
+    fn first_level_join_becomes_map_join() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        assert_eq!(physical.map_join_count(), 1);
+        assert_eq!(physical.reduce_join_count(), 0);
+        // Both scans read the object placement (the join variable d is in
+        // object position of both patterns).
+        let scans = physical.ops_where(|op| matches!(op, PhysicalOp::MapScan { .. }));
+        assert_eq!(scans.len(), 2);
+        for id in scans {
+            if let PhysicalOp::MapScan { spec, .. } = physical.op(id) {
+                assert_eq!(spec.placement, TriplePosition::Object);
+                assert!(spec.property.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn type_patterns_use_type_split_files() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        let mut saw_type_scan = false;
+        for id in physical.ops_where(|op| matches!(op, PhysicalOp::MapScan { .. })) {
+            if let PhysicalOp::MapScan { spec, .. } = physical.op(id) {
+                if spec.type_object.is_some() {
+                    saw_type_scan = true;
+                    assert_ne!(spec.type_object, Some(UNKNOWN_CONSTANT));
+                }
+            }
+        }
+        assert!(saw_type_scan, "rdf:type pattern should narrow to a class file");
+    }
+
+    #[test]
+    fn second_level_joins_become_reduce_joins() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }",
+            Variant::Msc,
+        );
+        assert_eq!(logical.height(), 2);
+        let physical = translate(&logical, &graph);
+        assert!(physical.reduce_join_count() >= 1);
+        assert!(physical.map_join_count() >= 1);
+    }
+
+    #[test]
+    fn reduce_join_over_reduce_join_gets_a_shuffler() {
+        let graph = lubm_graph();
+        // A long chain forces at least two stacked reduce joins under MXC
+        // (binary-ish exact covers give taller plans).
+        let logical = best_plan(
+            "SELECT ?a WHERE { ?a ub:p1 ?b . ?b ub:p2 ?c . ?c ub:p3 ?d . ?d ub:p4 ?e . ?e ub:p5 ?f . ?f ub:p6 ?g }",
+            Variant::Mxc,
+        );
+        let physical = translate(&logical, &graph);
+        if logical.height() >= 3 {
+            let shufflers =
+                physical.ops_where(|op| matches!(op, PhysicalOp::MapShuffler { .. }));
+            assert!(!shufflers.is_empty());
+        }
+    }
+
+    #[test]
+    fn constants_missing_from_data_map_to_the_sentinel() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?x WHERE { ?x ub:nonexistentProperty <http://nowhere.example> . ?x ub:worksFor ?d }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        let mut saw_sentinel = false;
+        for op in physical.ops() {
+            if let PhysicalOp::MapScan { spec, .. } = op {
+                if spec.property == Some(UNKNOWN_CONSTANT) {
+                    saw_sentinel = true;
+                }
+            }
+        }
+        assert!(saw_sentinel);
+    }
+
+    #[test]
+    fn shared_match_gets_one_scan_per_consumer() {
+        let graph = lubm_graph();
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x ub:p1 ?y . ?y ub:p2 ?z . ?y ub:p3 ?w }",
+        )
+        .unwrap();
+        // SC may build DAG plans where one pattern feeds two joins.
+        let result = Optimizer::with_variant(Variant::Sc).optimize(&q);
+        for logical in &result.plans {
+            let physical = translate(logical, &graph);
+            let scans = physical.ops_where(|op| matches!(op, PhysicalOp::MapScan { .. }));
+            // At least one scan per pattern; shared patterns may scan twice.
+            assert!(scans.len() >= q.len());
+            assert!(physical.ops().len() >= logical.len());
+        }
+    }
+
+    #[test]
+    fn project_is_preserved_at_the_root() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?p WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        assert!(matches!(
+            physical.op(physical.root()),
+            PhysicalOp::Project { .. }
+        ));
+    }
+}

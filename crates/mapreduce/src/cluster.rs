@@ -1,0 +1,108 @@
+//! The simulated compute cluster.
+
+use crate::metrics::CostParameters;
+use crate::partition::PartitionedStore;
+use cliquesquare_rdf::Graph;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Static configuration of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute nodes (the paper's testbed has 7).
+    pub nodes: usize,
+    /// Cost parameters used to turn work counters into simulated time.
+    pub cost: CostParameters,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 7,
+            cost: CostParameters::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A configuration with the given node count and default costs.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+}
+
+/// A loaded cluster: the partitioned store plus the source graph (whose
+/// dictionary is needed to resolve query constants into term ids).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    graph: Arc<Graph>,
+    store: Arc<PartitionedStore>,
+}
+
+impl Cluster {
+    /// Partitions `graph` across the configured nodes and returns the
+    /// ready-to-query cluster.
+    pub fn load(graph: Graph, config: ClusterConfig) -> Self {
+        let store = PartitionedStore::build(&graph, config.nodes);
+        Self {
+            config,
+            graph: Arc::new(graph),
+            store: Arc::new(store),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of compute nodes.
+    pub fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// The source graph (dictionary, statistics, reference evaluation).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The partitioned triple store.
+    pub fn store(&self) -> &PartitionedStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+
+    #[test]
+    fn default_config_matches_paper_testbed() {
+        let config = ClusterConfig::default();
+        assert_eq!(config.nodes, 7);
+    }
+
+    #[test]
+    fn load_partitions_the_graph() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let triples = graph.len();
+        let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
+        assert_eq!(cluster.nodes(), 4);
+        assert_eq!(cluster.graph().len(), triples);
+        assert_eq!(cluster.store().stats().stored_triples, triples * 3);
+    }
+
+    #[test]
+    fn cluster_is_cheap_to_clone() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let cluster = Cluster::load(graph, ClusterConfig::default());
+        let clone = cluster.clone();
+        assert!(Arc::ptr_eq(&cluster.graph, &clone.graph));
+        assert!(Arc::ptr_eq(&cluster.store, &clone.store));
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic MapReduce cluster simulator for CliqueSquare.
+//!
+//! The paper evaluates its plans on a 7-node Hadoop cluster. This crate
+//! replaces that infrastructure with a deterministic simulator that preserves
+//! the behaviours the evaluation depends on:
+//!
+//! * **Replicated, co-located partitioning** ([`partition`]): every triple is
+//!   stored three times — placed by its subject, property and object value —
+//!   and locally grouped per placement attribute and per property value
+//!   (with `rdf:type` further split by object), exactly as in Section 5.1.
+//!   This makes all first-level joins of a plan evaluable without
+//!   communication (PWOC / co-located joins).
+//! * **A cluster of compute nodes** ([`cluster`]) across which partitions are
+//!   spread by hashing.
+//! * **A MapReduce job model** ([`job`]) with map and reduce tasks, per-job
+//!   startup overhead, intermediate result materialization and shuffling.
+//! * **Cost accounting** ([`metrics`]): scan, CPU, I/O and network costs in
+//!   the style of Section 5.4, turned into a simulated response time.
+//!
+//! The simulator never moves real bytes across machines: "shuffling" a tuple
+//! charges network cost and re-buckets it, which is sufficient to reproduce
+//! the relative performance of flat versus deep plans.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod job;
+pub mod metrics;
+pub mod partition;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use job::{JobExecution, JobKind, JobLog, TaskExecution};
+pub use metrics::{CostParameters, ExecutionMetrics};
+pub use partition::{FileKey, PartitionedStore, PlacementStats};

@@ -1,0 +1,349 @@
+//! The CliqueSquare RDF partitioner (Section 5.1).
+//!
+//! The partitioner exploits the 3× replication of distributed file systems:
+//! every triple is stored three times, placed on a compute node according to
+//! its **subject**, **property** and **object** value respectively, so that
+//! triples sharing a value in any position are co-located. Within a node,
+//! triples are grouped into a *subject*, *property* and *object* partition
+//! (according to the attribute that placed them), and each partition is
+//! further split into one file per property value. Because most RDF datasets
+//! have a very large `rdf:type` property, its file is additionally split by
+//! object value.
+//!
+//! The net effect is that every first-level join of a plan (s-s, s-o, p-o, …)
+//! can be evaluated locally on each node (PWOC / co-located joins), and a
+//! Match operator for a triple pattern with a constant property only reads
+//! the files named after that property.
+
+use cliquesquare_rdf::{Graph, Term, TermId, Triple, TriplePosition};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies one HDFS-style file within a compute node's local storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileKey {
+    /// The placement attribute of the replica this file belongs to.
+    pub placement: TriplePosition,
+    /// The property value the file groups.
+    pub property: TermId,
+    /// For `rdf:type` files only: the object (class) value splitting the file.
+    pub type_object: Option<TermId>,
+}
+
+impl FileKey {
+    /// A file for a regular property.
+    pub fn property(placement: TriplePosition, property: TermId) -> Self {
+        Self {
+            placement,
+            property,
+            type_object: None,
+        }
+    }
+
+    /// A file for an `rdf:type` property split by class.
+    pub fn typed(placement: TriplePosition, property: TermId, class: TermId) -> Self {
+        Self {
+            placement,
+            property,
+            type_object: Some(class),
+        }
+    }
+}
+
+/// Summary statistics of a partitioned store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementStats {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Triples in the source graph.
+    pub source_triples: usize,
+    /// Stored triples across all replicas (3× the source).
+    pub stored_triples: usize,
+    /// Total number of files across all nodes and placements.
+    pub files: usize,
+    /// Largest number of stored triples on any single node.
+    pub max_node_load: usize,
+    /// Smallest number of stored triples on any single node.
+    pub min_node_load: usize,
+}
+
+impl PlacementStats {
+    /// Load imbalance: max node load divided by the ideal (average) load.
+    pub fn skew(&self) -> f64 {
+        if self.stored_triples == 0 || self.nodes == 0 {
+            return 1.0;
+        }
+        let ideal = self.stored_triples as f64 / self.nodes as f64;
+        self.max_node_load as f64 / ideal
+    }
+}
+
+/// The replicated, property-grouped triple store of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct PartitionedStore {
+    nodes: usize,
+    rdf_type: Option<TermId>,
+    source_triples: usize,
+    /// `files[node]` maps a file key to the triples stored in that file.
+    files: Vec<HashMap<FileKey, Vec<Triple>>>,
+}
+
+/// Deterministic placement hash (Fibonacci hashing on the term id), so that
+/// simulation results are reproducible across runs and platforms.
+fn placement_hash(id: TermId) -> u64 {
+    (u64::from(id.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl PartitionedStore {
+    /// Partitions `graph` across `nodes` compute nodes.
+    pub fn build(graph: &Graph, nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        let rdf_type = graph.lookup(&Term::iri(cliquesquare_rdf::term::vocab::RDF_TYPE));
+        let mut files: Vec<HashMap<FileKey, Vec<Triple>>> = vec![HashMap::new(); nodes];
+        for &triple in graph.triples() {
+            for placement in TriplePosition::ALL {
+                let placed_on =
+                    (placement_hash(triple.get(placement)) % nodes as u64) as usize;
+                let key = if Some(triple.property) == rdf_type {
+                    FileKey::typed(placement, triple.property, triple.object)
+                } else {
+                    FileKey::property(placement, triple.property)
+                };
+                files[placed_on].entry(key).or_default().push(triple);
+            }
+        }
+        Self {
+            nodes,
+            rdf_type,
+            source_triples: graph.len(),
+            files,
+        }
+    }
+
+    /// Number of compute nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The dictionary id of `rdf:type` in the source graph, if present.
+    pub fn rdf_type(&self) -> Option<TermId> {
+        self.rdf_type
+    }
+
+    /// Returns the triples of one file on one node (empty if absent).
+    pub fn file(&self, node: usize, key: &FileKey) -> &[Triple] {
+        self.files
+            .get(node)
+            .and_then(|m| m.get(key))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Scans the files matching a triple-pattern access path.
+    ///
+    /// * `placement` selects which replica to read (chosen from the join
+    ///   variable position of the pattern, so the scan is co-located with
+    ///   the first-level join).
+    /// * `property = Some(p)` reads only the files named after `p`
+    ///   (all files of the placement partition otherwise).
+    /// * `type_object = Some(c)` additionally narrows an `rdf:type` scan to
+    ///   the file of class `c`.
+    ///
+    /// Returns one vector of triples per compute node, preserving locality
+    /// information for the co-located first-level joins.
+    pub fn scan(
+        &self,
+        placement: TriplePosition,
+        property: Option<TermId>,
+        type_object: Option<TermId>,
+    ) -> Vec<Vec<Triple>> {
+        self.files
+            .iter()
+            .map(|node_files| {
+                let mut out = Vec::new();
+                for (key, triples) in node_files {
+                    if key.placement != placement {
+                        continue;
+                    }
+                    if let Some(p) = property {
+                        if key.property != p {
+                            continue;
+                        }
+                    }
+                    if let Some(class) = type_object {
+                        if key.type_object != Some(class) {
+                            continue;
+                        }
+                    }
+                    out.extend_from_slice(triples);
+                }
+                out.sort_unstable();
+                out
+            })
+            .collect()
+    }
+
+    /// Total number of tuples that [`scan`](Self::scan) would read.
+    pub fn scan_cardinality(
+        &self,
+        placement: TriplePosition,
+        property: Option<TermId>,
+        type_object: Option<TermId>,
+    ) -> usize {
+        self.scan(placement, property, type_object)
+            .iter()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Computes summary statistics of the placement.
+    pub fn stats(&self) -> PlacementStats {
+        let loads: Vec<usize> = self
+            .files
+            .iter()
+            .map(|m| m.values().map(Vec::len).sum())
+            .collect();
+        PlacementStats {
+            nodes: self.nodes,
+            source_triples: self.source_triples,
+            stored_triples: loads.iter().sum(),
+            files: self.files.iter().map(HashMap::len).sum(),
+            max_node_load: loads.iter().copied().max().unwrap_or(0),
+            min_node_load: loads.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_rdf::term::vocab;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+
+    fn store(nodes: usize) -> (Graph, PartitionedStore) {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let store = PartitionedStore::build(&graph, nodes);
+        (graph, store)
+    }
+
+    #[test]
+    fn every_triple_is_stored_three_times() {
+        let (graph, store) = store(4);
+        let stats = store.stats();
+        assert_eq!(stats.source_triples, graph.len());
+        assert_eq!(stats.stored_triples, graph.len() * 3);
+        assert_eq!(stats.nodes, 4);
+        assert!(stats.files > 0);
+        assert!(stats.skew() >= 1.0);
+    }
+
+    #[test]
+    fn property_scan_matches_graph_cardinality() {
+        let (graph, store) = store(4);
+        let works_for = graph.lookup(&Term::iri(vocab::ub("worksFor"))).unwrap();
+        let expected = graph
+            .triples_with(TriplePosition::Property, works_for)
+            .len();
+        for placement in TriplePosition::ALL {
+            let scanned = store.scan_cardinality(placement, Some(works_for), None);
+            assert_eq!(scanned, expected, "placement {placement}");
+        }
+    }
+
+    #[test]
+    fn rdf_type_files_are_split_by_class() {
+        let (graph, store) = store(3);
+        let rdf_type = store.rdf_type().unwrap();
+        let grad = graph
+            .lookup(&Term::iri(vocab::ub("GraduateStudent")))
+            .unwrap();
+        let narrowed = store.scan_cardinality(TriplePosition::Subject, Some(rdf_type), Some(grad));
+        let all_types = store.scan_cardinality(TriplePosition::Subject, Some(rdf_type), None);
+        assert!(narrowed > 0);
+        assert!(narrowed < all_types);
+        let expected = graph
+            .match_pattern(None, Some(rdf_type), Some(grad))
+            .len();
+        assert_eq!(narrowed, expected);
+    }
+
+    #[test]
+    fn subject_placement_colocates_subject_joins() {
+        // All triples sharing a subject land on the same node in the
+        // subject-placement replica: a subject-subject join is PWOC.
+        let (graph, store) = store(5);
+        let mut subject_to_node: HashMap<TermId, usize> = HashMap::new();
+        for node in 0..store.nodes() {
+            for (key, triples) in &store.files[node] {
+                if key.placement != TriplePosition::Subject {
+                    continue;
+                }
+                for t in triples {
+                    let prev = subject_to_node.insert(t.subject, node);
+                    if let Some(prev_node) = prev {
+                        assert_eq!(prev_node, node, "subject split across nodes");
+                    }
+                }
+            }
+        }
+        assert!(!subject_to_node.is_empty());
+        assert_eq!(
+            subject_to_node.len(),
+            graph.stats().distinct_subjects
+        );
+    }
+
+    #[test]
+    fn object_placement_colocates_object_joins() {
+        let (_, store) = store(5);
+        let mut object_to_node: HashMap<TermId, usize> = HashMap::new();
+        for node in 0..store.nodes() {
+            for (key, triples) in &store.files[node] {
+                if key.placement != TriplePosition::Object {
+                    continue;
+                }
+                for t in triples {
+                    let prev = object_to_node.insert(t.object, node);
+                    if let Some(prev_node) = prev {
+                        assert_eq!(prev_node, node, "object split across nodes");
+                    }
+                }
+            }
+        }
+        assert!(!object_to_node.is_empty());
+    }
+
+    #[test]
+    fn full_scan_reads_everything_once_per_placement() {
+        let (graph, store) = store(2);
+        for placement in TriplePosition::ALL {
+            assert_eq!(store.scan_cardinality(placement, None, None), graph.len());
+        }
+    }
+
+    #[test]
+    fn unknown_property_scan_is_empty() {
+        let (_, store) = store(2);
+        assert_eq!(
+            store.scan_cardinality(TriplePosition::Subject, Some(TermId(999_999)), None),
+            0
+        );
+    }
+
+    #[test]
+    fn single_node_store_is_supported() {
+        let (graph, store) = store(1);
+        assert_eq!(store.nodes(), 1);
+        assert_eq!(store.stats().stored_triples, graph.len() * 3);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let a = PartitionedStore::build(&graph, 4);
+        let b = PartitionedStore::build(&graph, 4);
+        for placement in TriplePosition::ALL {
+            assert_eq!(a.scan(placement, None, None), b.scan(placement, None, None));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the simulated cluster's cost accounting.
+
+use cliquesquare_mapreduce::{CostParameters, ExecutionMetrics};
+use proptest::prelude::*;
+
+fn metrics_strategy() -> impl Strategy<Value = ExecutionMetrics> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..20,
+        0u64..40,
+        0u64..40,
+    )
+        .prop_map(
+            |(read, written, shuffled, comparisons, join, jobs, map, reduce)| ExecutionMetrics {
+                tuples_read: read,
+                tuples_written: written,
+                tuples_shuffled: shuffled,
+                comparisons,
+                join_output_tuples: join,
+                jobs,
+                map_tasks: map,
+                reduce_tasks: reduce,
+            },
+        )
+}
+
+proptest! {
+    /// Merging metrics is commutative and adds every counter.
+    #[test]
+    fn merge_is_commutative_and_additive(a in metrics_strategy(), b in metrics_strategy()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.tuples_read, a.tuples_read + b.tuples_read);
+        prop_assert_eq!(ab.jobs, a.jobs + b.jobs);
+    }
+
+    /// Simulated time never increases when more nodes are added, and never
+    /// drops below the sequential job/task overhead.
+    #[test]
+    fn more_nodes_never_slow_things_down(m in metrics_strategy(), nodes in 1usize..64) {
+        let params = CostParameters::default();
+        let with_nodes = m.simulated_seconds(&params, nodes);
+        let with_more = m.simulated_seconds(&params, nodes * 2);
+        prop_assert!(with_more <= with_nodes + 1e-9);
+        let overhead = m.jobs as f64 * params.job_startup
+            + (m.map_tasks + m.reduce_tasks) as f64 * params.task_startup;
+        prop_assert!(with_nodes + 1e-9 >= overhead);
+    }
+
+    /// Total work scales linearly with the cost parameters.
+    #[test]
+    fn total_work_is_linear_in_parameters(m in metrics_strategy(), factor in 1u32..10) {
+        let base = CostParameters {
+            read: 1.0,
+            write: 1.0,
+            shuffle: 1.0,
+            check: 1.0,
+            join: 1.0,
+            job_startup: 0.0,
+            task_startup: 0.0,
+        };
+        let scaled = CostParameters {
+            read: factor as f64,
+            write: factor as f64,
+            shuffle: factor as f64,
+            check: factor as f64,
+            join: factor as f64,
+            ..base
+        };
+        let a = m.total_work_seconds(&base);
+        let b = m.total_work_seconds(&scaled);
+        prop_assert!((b - a * factor as f64).abs() < 1e-6 * b.max(1.0));
+    }
+}

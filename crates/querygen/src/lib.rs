@@ -1,0 +1,11 @@
+//! Benchmark workloads: the LUBM queries of the paper's Appendix A and the
+//! synthetic query generator used in its Section 6.2 optimizer study.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lubm_queries;
+pub mod synthetic;
+
+pub use lubm_queries::{lubm_queries, lubm_query, selective_queries, non_selective_queries};
+pub use synthetic::{SyntheticShape, SyntheticWorkload, WorkloadConfig};

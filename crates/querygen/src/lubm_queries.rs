@@ -1,0 +1,265 @@
+//! The 14 LUBM-based evaluation queries of Appendix A.
+//!
+//! Queries marked *(original)* in the paper come from the LUBM benchmark
+//! (with generic classes specialized so they have non-empty answers without
+//! reasoning); the others were added by the authors to cover a range of
+//! sizes and selectivities. Constants are kept exactly as in the paper
+//! (`<http://www.University0.edu>`, `"University3"`), which our LUBM-like
+//! generator produces.
+
+use cliquesquare_sparql::parser::parse_query;
+use cliquesquare_sparql::BgpQuery;
+
+fn q(name: &str, text: &str) -> BgpQuery {
+    let mut query = parse_query(text).unwrap_or_else(|e| panic!("query {name} is invalid: {e}"));
+    query.set_name(name);
+    query
+}
+
+/// Q1: professors and the members of the department they work for (2 patterns).
+pub fn q1() -> BgpQuery {
+    q(
+        "Q1",
+        "SELECT ?P ?S WHERE { ?P ub:worksFor ?D . ?S ub:memberOf ?D . }",
+    )
+}
+
+/// Q2 *(original)*: assistant professors with a doctoral degree from University0.
+pub fn q2() -> BgpQuery {
+    q(
+        "Q2",
+        "SELECT ?X WHERE { ?X rdf:type ub:AssistantProfessor . \
+         ?X ub:doctoralDegreeFrom <http://www.University0.edu> }",
+    )
+}
+
+/// Q3: Q1 restricted to departments of University0 (3 patterns).
+pub fn q3() -> BgpQuery {
+    q(
+        "Q3",
+        "SELECT ?P ?S WHERE { ?P ub:worksFor ?D . ?S ub:memberOf ?D . \
+         ?D ub:subOrganizationOf <http://www.University0.edu> }",
+    )
+}
+
+/// Q4 *(original)*: lecturers of departments of University0 (4 patterns).
+pub fn q4() -> BgpQuery {
+    q(
+        "Q4",
+        "SELECT ?X ?Y WHERE { ?X rdf:type ub:Lecturer . ?Y rdf:type ub:Department . \
+         ?X ub:worksFor ?Y . ?Y ub:subOrganizationOf <http://www.University0.edu> }",
+    )
+}
+
+/// Q5: undergraduate students taking a course taught by a full professor.
+pub fn q5() -> BgpQuery {
+    q(
+        "Q5",
+        "SELECT ?X ?Y ?Z WHERE { ?X rdf:type ub:UndergraduateStudent . \
+         ?Y rdf:type ub:FullProfessor . ?Z rdf:type ub:Course . \
+         ?X ub:takesCourse ?Z . ?Y ub:teacherOf ?Z }",
+    )
+}
+
+/// Q6: undergraduate students whose advisor is a full professor teaching a course.
+pub fn q6() -> BgpQuery {
+    q(
+        "Q6",
+        "SELECT ?X ?Y ?Z WHERE { ?X rdf:type ub:UndergraduateStudent . \
+         ?Y rdf:type ub:FullProfessor . ?Z rdf:type ub:Course . \
+         ?X ub:advisor ?Y . ?Y ub:teacherOf ?Z }",
+    )
+}
+
+/// Q7: graduate students, their department and its university.
+pub fn q7() -> BgpQuery {
+    q(
+        "Q7",
+        "SELECT ?X ?Y ?Z WHERE { ?X a ub:GraduateStudent . ?Z ub:subOrganizationOf ?Y . \
+         ?X ub:memberOf ?Z . ?Z a ub:Department . ?Y a ub:University . }",
+    )
+}
+
+/// Q8: graduate students with an undergraduate degree from a university that
+/// hosts a department.
+pub fn q8() -> BgpQuery {
+    q(
+        "Q8",
+        "SELECT ?X ?Y ?Z WHERE { ?X a ub:GraduateStudent . ?X ub:undergraduateDegreeFrom ?Y . \
+         ?Z ub:subOrganizationOf ?Y . ?Z a ub:Department . ?Y a ub:University . }",
+    )
+}
+
+/// Q9 *(original)*: Q8 with the student additionally a member of the department.
+pub fn q9() -> BgpQuery {
+    q(
+        "Q9",
+        "SELECT ?X ?Y ?Z WHERE { ?X a ub:GraduateStudent . ?X ub:undergraduateDegreeFrom ?Y . \
+         ?Z ub:subOrganizationOf ?Y . ?X ub:memberOf ?Z . ?Z a ub:Department . ?Y a ub:University . }",
+    )
+}
+
+/// Q10 *(original)*: students advised by the professor teaching a course they take.
+pub fn q10() -> BgpQuery {
+    q(
+        "Q10",
+        "SELECT ?X ?Y ?Z WHERE { ?X rdf:type ub:UndergraduateStudent . \
+         ?Y rdf:type ub:FullProfessor . ?Z rdf:type ub:Course . \
+         ?X ub:advisor ?Y . ?X ub:takesCourse ?Z . ?Y ub:teacherOf ?Z }",
+    )
+}
+
+/// Q11: students of University3 with their advisor's e-mail (8 patterns).
+pub fn q11() -> BgpQuery {
+    q(
+        "Q11",
+        "SELECT ?X ?Y ?E WHERE { ?X rdf:type ub:UndergraduateStudent . ?X ub:takesCourse ?Y . \
+         ?X ub:memberOf ?Z . ?X ub:advisor ?W . ?W rdf:type ub:FullProfessor . \
+         ?W ub:emailAddress ?E . ?Z ub:subOrganizationOf ?U . ?U ub:name \"University3\" }",
+    )
+}
+
+/// Q12: full professors teaching graduate courses and advising graduate
+/// students (9 patterns).
+pub fn q12() -> BgpQuery {
+    q(
+        "Q12",
+        "SELECT ?X ?Y ?Z WHERE { ?X rdf:type ub:FullProfessor . ?X ub:teacherOf ?Y . \
+         ?Y rdf:type ub:GraduateCourse . ?X ub:worksFor ?Z . ?W ub:advisor ?X . \
+         ?W rdf:type ub:GraduateStudent . ?W ub:emailAddress ?E . ?Z rdf:type ub:Department . \
+         ?Z ub:subOrganizationOf ?U }",
+    )
+}
+
+/// Q13: Q12 restricted to departments of University0 (9 patterns).
+pub fn q13() -> BgpQuery {
+    q(
+        "Q13",
+        "SELECT ?X ?Y ?Z WHERE { ?X rdf:type ub:FullProfessor . ?X ub:teacherOf ?Y . \
+         ?Y rdf:type ub:GraduateCourse . ?X ub:worksFor ?Z . ?W ub:advisor ?X . \
+         ?W rdf:type ub:GraduateStudent . ?W ub:emailAddress ?E . ?Z rdf:type ub:Department . \
+         ?Z ub:subOrganizationOf <http://www.University0.edu> }",
+    )
+}
+
+/// Q14: Q12 restricted to University3 by name (10 patterns).
+pub fn q14() -> BgpQuery {
+    q(
+        "Q14",
+        "SELECT ?X ?Y ?Z WHERE { ?X rdf:type ub:FullProfessor . ?X ub:teacherOf ?Y . \
+         ?Y rdf:type ub:GraduateCourse . ?X ub:worksFor ?Z . ?W ub:advisor ?X . \
+         ?W rdf:type ub:GraduateStudent . ?W ub:emailAddress ?E . ?Z rdf:type ub:Department . \
+         ?Z ub:subOrganizationOf ?U . ?U ub:name \"University3\" }",
+    )
+}
+
+/// All 14 queries in order.
+pub fn lubm_queries() -> Vec<BgpQuery> {
+    vec![
+        q1(),
+        q2(),
+        q3(),
+        q4(),
+        q5(),
+        q6(),
+        q7(),
+        q8(),
+        q9(),
+        q10(),
+        q11(),
+        q12(),
+        q13(),
+        q14(),
+    ]
+}
+
+/// Looks a query up by name (`"Q1"` … `"Q14"`).
+pub fn lubm_query(name: &str) -> Option<BgpQuery> {
+    lubm_queries().into_iter().find(|q| q.name() == name)
+}
+
+/// The queries the paper classifies as *selective* in its Figure 21 system
+/// comparison (< 0.5 M answers on LUBM10k).
+pub fn selective_queries() -> Vec<BgpQuery> {
+    ["Q2", "Q3", "Q4", "Q9", "Q10", "Q11", "Q13", "Q14"]
+        .iter()
+        .filter_map(|name| lubm_query(name))
+        .collect()
+}
+
+/// The queries the paper classifies as *non-selective* (> 7.5 M answers on
+/// LUBM10k).
+pub fn non_selective_queries() -> Vec<BgpQuery> {
+    ["Q1", "Q5", "Q6", "Q7", "Q8", "Q12"]
+        .iter()
+        .filter_map(|name| lubm_query(name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_sparql::analysis;
+
+    /// The `#tps` and `#jv` columns of Figure 22.
+    const FIGURE_22: [(&str, usize, usize); 14] = [
+        ("Q1", 2, 1),
+        ("Q2", 2, 1),
+        ("Q3", 3, 1),
+        ("Q4", 4, 2),
+        ("Q5", 5, 3),
+        ("Q6", 5, 3),
+        ("Q7", 5, 3),
+        ("Q8", 5, 3),
+        ("Q9", 6, 3),
+        ("Q10", 6, 3),
+        ("Q11", 8, 4),
+        ("Q12", 9, 4),
+        ("Q13", 9, 4),
+        ("Q14", 10, 5),
+    ];
+
+    #[test]
+    fn query_set_matches_figure_22_characteristics() {
+        let queries = lubm_queries();
+        assert_eq!(queries.len(), 14);
+        for (name, tps, jv) in FIGURE_22 {
+            let query = lubm_query(name).unwrap_or_else(|| panic!("{name} missing"));
+            let stats = analysis::stats(&query);
+            assert_eq!(stats.triple_patterns, tps, "{name}: wrong #tps");
+            assert_eq!(stats.join_variables, jv, "{name}: wrong #jv");
+        }
+    }
+
+    #[test]
+    fn all_queries_are_connected() {
+        for query in lubm_queries() {
+            assert!(query.is_connected(), "{} contains a cartesian product", query.name());
+        }
+    }
+
+    #[test]
+    fn selectivity_classes_partition_the_workload() {
+        let selective = selective_queries();
+        let non_selective = non_selective_queries();
+        assert_eq!(selective.len() + non_selective.len(), 14);
+        for q in &selective {
+            assert!(!non_selective.iter().any(|o| o.name() == q.name()));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(lubm_query("Q7").is_some());
+        assert!(lubm_query("Q15").is_none());
+        assert_eq!(lubm_query("Q14").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn distinguished_variables_match_the_paper() {
+        assert_eq!(q1().distinguished().len(), 2);
+        assert_eq!(q2().distinguished().len(), 1);
+        assert_eq!(q11().distinguished().len(), 3);
+        assert_eq!(q14().distinguished().len(), 3);
+    }
+}

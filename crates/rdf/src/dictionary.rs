@@ -1,0 +1,122 @@
+//! Bidirectional dictionary encoding of RDF terms.
+
+use crate::term::{Term, TermId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional dictionary mapping [`Term`]s to dense [`TermId`]s.
+///
+/// Dictionary encoding is the standard technique used by RDF stores (and by
+/// the CliqueSquare prototype) to replace long IRI/literal strings with
+/// compact integers before join processing. Identifiers are assigned in
+/// insertion order starting from zero.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of distinct terms stored in the dictionary.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the dictionary contains no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Encodes `term`, inserting it if it was not present, and returns its id.
+    pub fn encode(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
+        self.ids.insert(term.clone(), id);
+        self.terms.push(term);
+        id
+    }
+
+    /// Looks up the id of `term` without inserting it.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Decodes an id back into its term. Returns `None` for unknown ids.
+    pub fn decode(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Iterates over all `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode(Term::iri("a"));
+        let b = d.encode(Term::iri("b"));
+        let a2 = d.encode(Term::iri("a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dictionary::new();
+        let terms = [
+            Term::iri("http://x/1"),
+            Term::literal("hello"),
+            Term::iri("http://x/2"),
+        ];
+        let ids: Vec<_> = terms.iter().cloned().map(|t| d.encode(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(d.decode(*id), Some(t));
+            assert_eq!(d.lookup(t), Some(*id));
+        }
+        assert_eq!(d.decode(TermId(99)), None);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut d = Dictionary::new();
+        for i in 0..100u32 {
+            let id = d.encode(Term::iri(format!("t{i}")));
+            assert_eq!(id, TermId(i));
+        }
+        let collected: Vec<_> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iri_and_literal_with_same_text_are_distinct() {
+        let mut d = Dictionary::new();
+        let i = d.encode(Term::iri("v"));
+        let l = d.encode(Term::literal("v"));
+        assert_ne!(i, l);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.lookup(&Term::iri("x")), None);
+    }
+}

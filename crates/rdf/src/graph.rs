@@ -1,0 +1,267 @@
+//! Indexed in-memory RDF graph store.
+
+use crate::dictionary::Dictionary;
+use crate::term::{Term, TermId};
+use crate::triple::{Triple, TriplePosition};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An indexed, dictionary-encoded, in-memory RDF graph.
+///
+/// The graph keeps the full triple list plus three positional indexes
+/// (by subject, by property, by object). This is the "local store" view of
+/// the data; the distributed placement of triples across compute nodes is
+/// handled by the partitioner in `cliquesquare-mapreduce`.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    dictionary: Dictionary,
+    triples: Vec<Triple>,
+    by_subject: HashMap<TermId, Vec<usize>>,
+    by_property: HashMap<TermId, Vec<usize>>,
+    by_object: HashMap<TermId, Vec<usize>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of triples in the graph.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Returns `true` if the graph contains no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Returns a reference to the graph's dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Returns a mutable reference to the graph's dictionary.
+    pub fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dictionary
+    }
+
+    /// Returns the full triple list.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Encodes a term through the graph's dictionary.
+    pub fn encode(&mut self, term: Term) -> TermId {
+        self.dictionary.encode(term)
+    }
+
+    /// Looks up a term's id without inserting it.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.dictionary.lookup(term)
+    }
+
+    /// Decodes a term id.
+    pub fn decode(&self, id: TermId) -> Option<&Term> {
+        self.dictionary.decode(id)
+    }
+
+    /// Inserts an already-encoded triple.
+    pub fn insert(&mut self, triple: Triple) {
+        let idx = self.triples.len();
+        self.by_subject.entry(triple.subject).or_default().push(idx);
+        self.by_property
+            .entry(triple.property)
+            .or_default()
+            .push(idx);
+        self.by_object.entry(triple.object).or_default().push(idx);
+        self.triples.push(triple);
+    }
+
+    /// Encodes the three terms and inserts the resulting triple.
+    pub fn insert_terms(&mut self, subject: Term, property: Term, object: Term) -> Triple {
+        let triple = Triple::new(
+            self.dictionary.encode(subject),
+            self.dictionary.encode(property),
+            self.dictionary.encode(object),
+        );
+        self.insert(triple);
+        triple
+    }
+
+    /// Returns the triples whose component at `position` equals `value`.
+    pub fn triples_with(&self, position: TriplePosition, value: TermId) -> Vec<Triple> {
+        let index = match position {
+            TriplePosition::Subject => &self.by_subject,
+            TriplePosition::Property => &self.by_property,
+            TriplePosition::Object => &self.by_object,
+        };
+        index
+            .get(&value)
+            .map(|ids| ids.iter().map(|&i| self.triples[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the triples matching an optional pattern on each position.
+    ///
+    /// `None` matches anything; `Some(id)` requires equality. This is the
+    /// basic access path used by the simulated Match operators.
+    pub fn match_pattern(
+        &self,
+        subject: Option<TermId>,
+        property: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Vec<Triple> {
+        // Use the most selective available index.
+        let candidates: Box<dyn Iterator<Item = &Triple>> = if let Some(p) = property {
+            Box::new(
+                self.by_property
+                    .get(&p)
+                    .into_iter()
+                    .flatten()
+                    .map(|&i| &self.triples[i]),
+            )
+        } else if let Some(s) = subject {
+            Box::new(
+                self.by_subject
+                    .get(&s)
+                    .into_iter()
+                    .flatten()
+                    .map(|&i| &self.triples[i]),
+            )
+        } else if let Some(o) = object {
+            Box::new(
+                self.by_object
+                    .get(&o)
+                    .into_iter()
+                    .flatten()
+                    .map(|&i| &self.triples[i]),
+            )
+        } else {
+            Box::new(self.triples.iter())
+        };
+        candidates
+            .filter(|t| subject.is_none_or(|s| t.subject == s))
+            .filter(|t| property.is_none_or(|p| t.property == p))
+            .filter(|t| object.is_none_or(|o| t.object == o))
+            .copied()
+            .collect()
+    }
+
+    /// Returns the number of distinct property values in the graph.
+    pub fn distinct_properties(&self) -> usize {
+        self.by_property.len()
+    }
+
+    /// Computes summary statistics for the graph.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            triples: self.triples.len(),
+            distinct_terms: self.dictionary.len(),
+            distinct_subjects: self.by_subject.len(),
+            distinct_properties: self.by_property.len(),
+            distinct_objects: self.by_object.len(),
+        }
+    }
+
+    /// Returns, for each property id, the number of triples carrying it.
+    ///
+    /// Property cardinalities drive the cost model's cardinality estimates.
+    pub fn property_cardinalities(&self) -> HashMap<TermId, usize> {
+        self.by_property
+            .iter()
+            .map(|(&p, v)| (p, v.len()))
+            .collect()
+    }
+}
+
+/// Summary statistics about a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Total number of triples.
+    pub triples: usize,
+    /// Number of distinct dictionary terms.
+    pub distinct_terms: usize,
+    /// Number of distinct subjects.
+    pub distinct_subjects: usize,
+    /// Number of distinct properties.
+    pub distinct_properties: usize,
+    /// Number of distinct objects.
+    pub distinct_objects: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert_terms(Term::iri("a"), Term::iri("p1"), Term::iri("b"));
+        g.insert_terms(Term::iri("a"), Term::iri("p2"), Term::iri("c"));
+        g.insert_terms(Term::iri("d"), Term::iri("p1"), Term::iri("a"));
+        g.insert_terms(Term::iri("d"), Term::iri("p2"), Term::literal("x"));
+        g
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let g = sample_graph();
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        assert_eq!(g.stats().triples, 4);
+    }
+
+    #[test]
+    fn positional_lookup() {
+        let g = sample_graph();
+        let a = g.lookup(&Term::iri("a")).unwrap();
+        let p1 = g.lookup(&Term::iri("p1")).unwrap();
+        assert_eq!(g.triples_with(TriplePosition::Subject, a).len(), 2);
+        assert_eq!(g.triples_with(TriplePosition::Property, p1).len(), 2);
+        assert_eq!(g.triples_with(TriplePosition::Object, a).len(), 1);
+    }
+
+    #[test]
+    fn match_pattern_combinations() {
+        let g = sample_graph();
+        let a = g.lookup(&Term::iri("a")).unwrap();
+        let p2 = g.lookup(&Term::iri("p2")).unwrap();
+        assert_eq!(g.match_pattern(None, None, None).len(), 4);
+        assert_eq!(g.match_pattern(Some(a), None, None).len(), 2);
+        assert_eq!(g.match_pattern(Some(a), Some(p2), None).len(), 1);
+        assert_eq!(g.match_pattern(Some(a), Some(p2), Some(a)).len(), 0);
+    }
+
+    #[test]
+    fn match_pattern_unknown_ids_yield_nothing() {
+        let g = sample_graph();
+        assert!(g.match_pattern(Some(TermId(999)), None, None).is_empty());
+        assert!(g
+            .triples_with(TriplePosition::Property, TermId(999))
+            .is_empty());
+    }
+
+    #[test]
+    fn stats_and_cardinalities() {
+        let g = sample_graph();
+        let stats = g.stats();
+        assert_eq!(stats.distinct_subjects, 2);
+        assert_eq!(stats.distinct_properties, 2);
+        assert_eq!(stats.distinct_objects, 4);
+        let cards = g.property_cardinalities();
+        assert_eq!(cards.values().sum::<usize>(), 4);
+        assert!(cards.values().all(|&c| c == 2));
+        assert_eq!(g.distinct_properties(), 2);
+    }
+
+    #[test]
+    fn dictionary_shared_between_inserts() {
+        let mut g = Graph::new();
+        let t1 = g.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let t2 = g.insert_terms(Term::iri("b"), Term::iri("p"), Term::iri("a"));
+        assert_eq!(t1.subject, t2.object);
+        assert_eq!(t1.property, t2.property);
+        assert_eq!(g.dictionary().len(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! RDF data model and in-memory storage substrate for the CliqueSquare
+//! reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Term`] / [`TermId`] — RDF terms (IRIs and literals) and their
+//!   dictionary-encoded identifiers,
+//! * [`Dictionary`] — a bidirectional string dictionary used to encode terms
+//!   into compact integer identifiers,
+//! * [`Triple`] — a dictionary-encoded RDF triple,
+//! * [`Graph`] — an indexed, in-memory triple store with per-position and
+//!   per-property access paths,
+//! * [`ntriples`] — a minimal N-Triples style reader/writer,
+//! * [`lubm`] — a deterministic LUBM-like synthetic data generator standing
+//!   in for the LUBM10k dataset used in the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use cliquesquare_rdf::{Graph, Term};
+//!
+//! let mut graph = Graph::new();
+//! graph.insert_terms(
+//!     Term::iri("http://example.org/alice"),
+//!     Term::iri("http://example.org/knows"),
+//!     Term::iri("http://example.org/bob"),
+//! );
+//! assert_eq!(graph.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dictionary;
+pub mod graph;
+pub mod lubm;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+
+pub use dictionary::Dictionary;
+pub use graph::{Graph, GraphStats};
+pub use lubm::{LubmGenerator, LubmScale};
+pub use term::{Term, TermId};
+pub use triple::{Triple, TriplePosition};

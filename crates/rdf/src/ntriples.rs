@@ -1,0 +1,178 @@
+//! Minimal N-Triples style reader and writer.
+//!
+//! The format supported is a pragmatic subset of N-Triples sufficient for the
+//! benchmark workloads: one triple per line, `<iri>` for IRIs, `"text"` for
+//! literals, terminated by an optional ` .`, `#`-prefixed comment lines and
+//! blank lines are ignored.
+
+use crate::graph::Graph;
+use crate::term::Term;
+use std::fmt;
+
+/// An error raised while parsing an N-Triples line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a single term token (`<iri>` or `"literal"`).
+fn parse_term(token: &str, line: usize) -> Result<Term, ParseError> {
+    if let Some(inner) = token.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+        Ok(Term::iri(inner))
+    } else if let Some(inner) = token.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        Ok(Term::literal(inner))
+    } else {
+        Err(ParseError {
+            line,
+            message: format!("cannot parse term token {token:?}"),
+        })
+    }
+}
+
+/// Splits an N-Triples line into its three term tokens.
+fn tokenize(line: &str, line_no: usize) -> Result<Option<[String; 3]>, ParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let trimmed = trimmed.strip_suffix('.').unwrap_or(trimmed).trim_end();
+
+    let mut tokens = Vec::with_capacity(3);
+    let mut rest = trimmed;
+    while !rest.is_empty() {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        let (token, remaining) = if rest.starts_with('<') {
+            match rest.find('>') {
+                Some(pos) => (&rest[..=pos], &rest[pos + 1..]),
+                None => {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "unterminated IRI".to_string(),
+                    })
+                }
+            }
+        } else if let Some(tail) = rest.strip_prefix('"') {
+            match tail.find('"') {
+                Some(pos) => (&rest[..pos + 2], &rest[pos + 2..]),
+                None => {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "unterminated literal".to_string(),
+                    })
+                }
+            }
+        } else {
+            let pos = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            (&rest[..pos], &rest[pos..])
+        };
+        tokens.push(token.to_string());
+        rest = remaining;
+    }
+
+    if tokens.len() != 3 {
+        return Err(ParseError {
+            line: line_no,
+            message: format!("expected 3 terms, found {}", tokens.len()),
+        });
+    }
+    Ok(Some([tokens.remove(0), tokens.remove(0), tokens.remove(0)]))
+}
+
+/// Parses N-Triples text into a list of term triples.
+pub fn parse(text: &str) -> Result<Vec<(Term, Term, Term)>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if let Some([s, p, o]) = tokenize(line, line_no)? {
+            out.push((
+                parse_term(&s, line_no)?,
+                parse_term(&p, line_no)?,
+                parse_term(&o, line_no)?,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses N-Triples text directly into a [`Graph`].
+pub fn parse_into_graph(text: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    for (s, p, o) in parse(text)? {
+        graph.insert_terms(s, p, o);
+    }
+    Ok(graph)
+}
+
+/// Serializes a graph back to N-Triples text (one line per triple).
+pub fn serialize(graph: &Graph) -> String {
+    let mut out = String::new();
+    for triple in graph.triples() {
+        let s = graph.decode(triple.subject).expect("dangling subject id");
+        let p = graph.decode(triple.property).expect("dangling property id");
+        let o = graph.decode(triple.object).expect("dangling object id");
+        out.push_str(&format!("{s} {p} {o} .\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_triples() {
+        let text = "<a> <p> <b> .\n<a> <q> \"C1\" .\n";
+        let triples = parse(text).unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].0, Term::iri("a"));
+        assert_eq!(triples[1].2, Term::literal("C1"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n<a> <p> <b>\n   \n# trailing\n";
+        assert_eq!(parse(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("<a> <p>").is_err());
+        assert!(parse("<a> <p> <b> <c>").is_err());
+        assert!(parse("<a <p> <b>").is_err());
+        assert!(parse("<a> <p> \"unterminated").is_err());
+        let err = parse("plain tokens here").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn literal_with_spaces() {
+        let triples = parse("<a> <name> \"University 3\" .").unwrap();
+        assert_eq!(triples[0].2, Term::literal("University 3"));
+    }
+
+    #[test]
+    fn round_trip_through_graph() {
+        let text = "<s1> <p1> <o1> .\n<s1> <p2> \"lit\" .\n<s2> <p1> <s1> .\n";
+        let graph = parse_into_graph(text).unwrap();
+        assert_eq!(graph.len(), 3);
+        let serialized = serialize(&graph);
+        let reparsed = parse_into_graph(&serialized).unwrap();
+        assert_eq!(reparsed.len(), graph.len());
+        assert_eq!(serialize(&reparsed), serialized);
+    }
+}

@@ -1,0 +1,146 @@
+//! RDF terms and their dictionary-encoded identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dictionary-encoded identifier for an RDF term.
+///
+/// Identifiers are dense, starting at zero, and are only meaningful relative
+/// to the [`Dictionary`](crate::Dictionary) that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An RDF term: either an IRI (URI reference) or a literal constant.
+///
+/// Blank nodes are treated as IRIs with a `_:` prefix, matching the paper's
+/// remark that all results carry over to blank nodes unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// An IRI such as `http://example.org/person/1`.
+    Iri(String),
+    /// A literal constant such as `"University3"`.
+    Literal(String),
+}
+
+impl Term {
+    /// Creates an IRI term.
+    pub fn iri(value: impl Into<String>) -> Self {
+        Term::Iri(value.into())
+    }
+
+    /// Creates a literal term.
+    pub fn literal(value: impl Into<String>) -> Self {
+        Term::Literal(value.into())
+    }
+
+    /// Returns `true` if the term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Returns `true` if the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// Returns the lexical value of the term (IRI text or literal text).
+    pub fn value(&self) -> &str {
+        match self {
+            Term::Iri(v) | Term::Literal(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(v) => write!(f, "<{v}>"),
+            Term::Literal(v) => write!(f, "\"{v}\""),
+        }
+    }
+}
+
+/// Well-known IRIs used throughout the LUBM workload and the partitioner.
+pub mod vocab {
+    /// The `rdf:type` property IRI, split by object value in the partitioner.
+    pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// Namespace prefix of the LUBM university benchmark ontology.
+    pub const UB: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+    /// Expands a `ub:` prefixed name into a full IRI.
+    pub fn ub(local: &str) -> String {
+        format!("{UB}{local}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_and_literal_constructors() {
+        let i = Term::iri("http://x.org/a");
+        let l = Term::literal("C1");
+        assert!(i.is_iri());
+        assert!(!i.is_literal());
+        assert!(l.is_literal());
+        assert!(!l.is_iri());
+        assert_eq!(i.value(), "http://x.org/a");
+        assert_eq!(l.value(), "C1");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::iri("a").to_string(), "<a>");
+        assert_eq!(Term::literal("b").to_string(), "\"b\"");
+        assert_eq!(TermId(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn term_ordering_is_total() {
+        let mut terms = vec![
+            Term::literal("z"),
+            Term::iri("a"),
+            Term::iri("b"),
+            Term::literal("a"),
+        ];
+        terms.sort();
+        assert_eq!(
+            terms,
+            vec![
+                Term::iri("a"),
+                Term::iri("b"),
+                Term::literal("a"),
+                Term::literal("z"),
+            ]
+        );
+    }
+
+    #[test]
+    fn vocab_expansion() {
+        assert_eq!(
+            vocab::ub("worksFor"),
+            "http://swat.cse.lehigh.edu/onto/univ-bench.owl#worksFor"
+        );
+        assert!(vocab::RDF_TYPE.ends_with("#type"));
+    }
+
+    #[test]
+    fn term_id_index() {
+        assert_eq!(TermId(42).index(), 42);
+    }
+}

@@ -1,0 +1,124 @@
+//! Dictionary-encoded RDF triples.
+
+use crate::term::TermId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dictionary-encoded RDF triple `(subject, property, object)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// The subject term id.
+    pub subject: TermId,
+    /// The property (predicate) term id.
+    pub property: TermId,
+    /// The object term id.
+    pub object: TermId,
+}
+
+impl Triple {
+    /// Creates a triple from its three component ids.
+    pub fn new(subject: TermId, property: TermId, object: TermId) -> Self {
+        Self {
+            subject,
+            property,
+            object,
+        }
+    }
+
+    /// Returns the component of the triple at `position`.
+    #[inline]
+    pub fn get(&self, position: TriplePosition) -> TermId {
+        match position {
+            TriplePosition::Subject => self.subject,
+            TriplePosition::Property => self.property,
+            TriplePosition::Object => self.object,
+        }
+    }
+
+    /// Returns the triple's components as a `[subject, property, object]` array.
+    pub fn as_array(&self) -> [TermId; 3] {
+        [self.subject, self.property, self.object]
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.subject, self.property, self.object)
+    }
+}
+
+/// One of the three positions of a triple.
+///
+/// The partitioner of Section 5.1 replicates every triple three times, once
+/// per position, so that any first-level join (s-s, s-o, p-o, …) can be
+/// evaluated without communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TriplePosition {
+    /// The subject position.
+    Subject,
+    /// The property (predicate) position.
+    Property,
+    /// The object position.
+    Object,
+}
+
+impl TriplePosition {
+    /// All three positions, in `s, p, o` order.
+    pub const ALL: [TriplePosition; 3] = [
+        TriplePosition::Subject,
+        TriplePosition::Property,
+        TriplePosition::Object,
+    ];
+
+    /// A short lowercase name (`"s"`, `"p"`, `"o"`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            TriplePosition::Subject => "s",
+            TriplePosition::Property => "p",
+            TriplePosition::Object => "o",
+        }
+    }
+}
+
+impl fmt::Display for TriplePosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    #[test]
+    fn get_by_position() {
+        let tr = t(1, 2, 3);
+        assert_eq!(tr.get(TriplePosition::Subject), TermId(1));
+        assert_eq!(tr.get(TriplePosition::Property), TermId(2));
+        assert_eq!(tr.get(TriplePosition::Object), TermId(3));
+        assert_eq!(tr.as_array(), [TermId(1), TermId(2), TermId(3)]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_spo() {
+        let mut v = vec![t(2, 0, 0), t(1, 5, 5), t(1, 2, 9), t(1, 2, 3)];
+        v.sort();
+        assert_eq!(v, vec![t(1, 2, 3), t(1, 2, 9), t(1, 5, 5), t(2, 0, 0)]);
+    }
+
+    #[test]
+    fn position_names() {
+        let names: Vec<_> = TriplePosition::ALL.iter().map(|p| p.short_name()).collect();
+        assert_eq!(names, vec!["s", "p", "o"]);
+        assert_eq!(TriplePosition::Object.to_string(), "o");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(t(1, 2, 3).to_string(), "(#1 #2 #3)");
+    }
+}

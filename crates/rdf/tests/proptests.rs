@@ -1,0 +1,86 @@
+//! Property-based tests for the RDF substrate: dictionary encoding,
+//! N-Triples round-tripping and graph index consistency.
+
+use cliquesquare_rdf::{ntriples, Dictionary, Graph, Term, TriplePosition};
+use proptest::prelude::*;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://example.org/{s}"))),
+        "[A-Za-z0-9 ]{0,12}".prop_map(Term::literal),
+    ]
+}
+
+proptest! {
+    /// Encoding then decoding any sequence of terms returns the same terms,
+    /// and equal terms always receive equal identifiers.
+    #[test]
+    fn dictionary_round_trips(terms in proptest::collection::vec(term_strategy(), 1..60)) {
+        let mut dictionary = Dictionary::new();
+        let ids: Vec<_> = terms.iter().cloned().map(|t| dictionary.encode(t)).collect();
+        for (term, id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(dictionary.decode(*id), Some(term));
+            prop_assert_eq!(dictionary.lookup(term), Some(*id));
+        }
+        for (i, a) in terms.iter().enumerate() {
+            for (j, b) in terms.iter().enumerate() {
+                prop_assert_eq!(a == b, ids[i] == ids[j]);
+            }
+        }
+        prop_assert!(dictionary.len() <= terms.len());
+    }
+
+    /// Serializing a graph to N-Triples and parsing it back preserves every
+    /// triple (in order).
+    #[test]
+    fn ntriples_round_trips(
+        triples in proptest::collection::vec(
+            (term_strategy(), "[a-z]{1,6}", term_strategy()),
+            1..40,
+        )
+    ) {
+        let mut graph = Graph::new();
+        for (s, p, o) in &triples {
+            // Subjects and properties must be IRIs in RDF; literals generated
+            // by the strategy are coerced.
+            let subject = Term::iri(format!("http://example.org/s/{}", s.value().replace(' ', "_")));
+            let property = Term::iri(format!("http://example.org/p/{p}"));
+            graph.insert_terms(subject, property, o.clone());
+        }
+        let text = ntriples::serialize(&graph);
+        let reparsed = ntriples::parse_into_graph(&text).expect("serialized output parses");
+        prop_assert_eq!(reparsed.len(), graph.len());
+        prop_assert_eq!(ntriples::serialize(&reparsed), text);
+    }
+
+    /// Every positional index returns exactly the triples carrying the value
+    /// at that position.
+    #[test]
+    fn graph_indexes_are_consistent(
+        raw in proptest::collection::vec((0u32..20, 0u32..5, 0u32..20), 1..80)
+    ) {
+        let mut graph = Graph::new();
+        for (s, p, o) in &raw {
+            graph.insert_terms(
+                Term::iri(format!("s{s}")),
+                Term::iri(format!("p{p}")),
+                Term::iri(format!("o{o}")),
+            );
+        }
+        for position in TriplePosition::ALL {
+            for (id, _) in graph.dictionary().iter() {
+                let indexed = graph.triples_with(position, id);
+                let scanned: Vec<_> = graph
+                    .triples()
+                    .iter()
+                    .filter(|t| t.get(position) == id)
+                    .copied()
+                    .collect();
+                prop_assert_eq!(indexed.len(), scanned.len());
+            }
+        }
+        let stats = graph.stats();
+        prop_assert_eq!(stats.triples, raw.len());
+        prop_assert!(stats.distinct_terms >= stats.distinct_properties);
+    }
+}

@@ -1,0 +1,177 @@
+//! Query shape classification and summary statistics.
+//!
+//! Section 6.2 of the paper evaluates the optimizer variants on synthetic
+//! queries whose shape is *chain*, *star*, or *random* (with *thin* and
+//! *dense* sub-variants). This module provides the inverse facility: given a
+//! query, classify its shape and compute the statistics reported in
+//! Figure 22 (#tps, #jv).
+
+use crate::pattern::Variable;
+use crate::query::BgpQuery;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The structural shape of a BGP query's join graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryShape {
+    /// A single triple pattern (no joins).
+    Single,
+    /// Every join variable connects exactly two patterns and the patterns
+    /// form a path.
+    Chain,
+    /// A single join variable shared by all patterns.
+    Star,
+    /// Connected, but neither a chain nor a star.
+    Mixed,
+    /// The variable graph is disconnected (contains a cartesian product).
+    Disconnected,
+}
+
+impl fmt::Display for QueryShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryShape::Single => "single",
+            QueryShape::Chain => "chain",
+            QueryShape::Star => "star",
+            QueryShape::Mixed => "mixed",
+            QueryShape::Disconnected => "disconnected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Summary statistics of a query (the first two columns of Figure 22).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Query name.
+    pub name: String,
+    /// Number of triple patterns (`#tps`).
+    pub triple_patterns: usize,
+    /// Number of join variables (`#jv`).
+    pub join_variables: usize,
+    /// Number of constant positions across all patterns.
+    pub constants: usize,
+    /// The classified shape of the query.
+    pub shape: QueryShape,
+}
+
+/// Classifies the shape of a query's variable graph.
+pub fn classify(query: &BgpQuery) -> QueryShape {
+    let n = query.len();
+    if n <= 1 {
+        return QueryShape::Single;
+    }
+    if !query.is_connected() {
+        return QueryShape::Disconnected;
+    }
+    let occurrences: BTreeMap<Variable, Vec<usize>> = query.join_variable_occurrences();
+    if occurrences.len() == 1 {
+        let patterns_covered = occurrences.values().next().map(Vec::len).unwrap_or(0);
+        if patterns_covered == n {
+            return QueryShape::Star;
+        }
+    }
+    // A chain: every join variable links exactly two patterns, and pattern
+    // degrees (number of join variables per pattern) are at most 2 with
+    // exactly two endpoint patterns of degree 1.
+    let all_binary = occurrences.values().all(|occ| occ.len() == 2);
+    if all_binary {
+        let mut degree = vec![0usize; n];
+        for occ in occurrences.values() {
+            for &i in occ {
+                degree[i] += 1;
+            }
+        }
+        let endpoints = degree.iter().filter(|&&d| d == 1).count();
+        let middles = degree.iter().filter(|&&d| d == 2).count();
+        if endpoints == 2 && endpoints + middles == n {
+            return QueryShape::Chain;
+        }
+    }
+    QueryShape::Mixed
+}
+
+/// Computes the summary statistics of a query.
+pub fn stats(query: &BgpQuery) -> QueryStats {
+    QueryStats {
+        name: query.name().to_string(),
+        triple_patterns: query.len(),
+        join_variables: query.join_variables().len(),
+        constants: query.patterns().iter().map(|p| p.constant_count()).sum(),
+        shape: classify(query),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn single_pattern_is_single() {
+        let q = parse_query("SELECT ?x WHERE { ?x ub:worksFor ?y }").unwrap();
+        assert_eq!(classify(&q), QueryShape::Single);
+    }
+
+    #[test]
+    fn chain_classification() {
+        let q = parse_query(
+            "SELECT ?a WHERE { ?a ub:p1 ?b . ?b ub:p2 ?c . ?c ub:p3 ?d . ?d ub:p4 ?e }",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryShape::Chain);
+    }
+
+    #[test]
+    fn star_classification() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x ub:p1 ?a . ?x ub:p2 ?b . ?x ub:p3 ?c . ?x ub:p4 ?d }",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryShape::Star);
+    }
+
+    #[test]
+    fn two_pattern_query_is_both_chain_and_star_resolved_as_star() {
+        // With exactly one join variable covering both patterns, the query is
+        // classified as a star (the star check runs first).
+        let q = parse_query("SELECT ?a WHERE { ?a ub:p1 ?b . ?b ub:p2 ?c }").unwrap();
+        assert_eq!(classify(&q), QueryShape::Star);
+    }
+
+    #[test]
+    fn mixed_classification() {
+        let q = parse_query(
+            "SELECT ?a WHERE { ?a ub:p1 ?b . ?a ub:p2 ?c . ?c ub:p3 ?d . ?d ub:p4 ?b }",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryShape::Mixed);
+    }
+
+    #[test]
+    fn disconnected_classification() {
+        let q = parse_query("SELECT ?a WHERE { ?a ub:p1 ?b . ?x ub:p2 ?y }").unwrap();
+        assert_eq!(classify(&q), QueryShape::Disconnected);
+    }
+
+    #[test]
+    fn stats_counts_match_figure_22_style() {
+        let q = parse_query(
+            "SELECT ?X ?Y WHERE { ?X rdf:type ub:Lecturer . ?Y rdf:type ub:Department . \
+             ?X ub:worksFor ?Y . ?Y ub:subOrganizationOf <http://www.University0.edu> }",
+        )
+        .unwrap();
+        let s = stats(&q);
+        assert_eq!(s.triple_patterns, 4);
+        assert_eq!(s.join_variables, 2);
+        // Each rdf:type pattern has 2 constants, worksFor has 1, subOrg has 2.
+        assert_eq!(s.constants, 7);
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(QueryShape::Chain.to_string(), "chain");
+        assert_eq!(QueryShape::Disconnected.to_string(), "disconnected");
+    }
+}

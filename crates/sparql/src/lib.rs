@@ -1,0 +1,35 @@
+//! Basic Graph Pattern (conjunctive SPARQL) query model for CliqueSquare.
+//!
+//! The paper works on the BGP dialect of SPARQL: `SELECT ?v1 … ?vm WHERE
+//! { t1 … tn }` where each `ti` is a triple pattern over IRIs, literals and
+//! variables. This crate provides:
+//!
+//! * [`Variable`], [`PatternTerm`], [`TriplePattern`] — the pattern algebra,
+//! * [`BgpQuery`] — a conjunctive query with distinguished variables,
+//! * [`parser`] — a pragmatic text parser for the SPARQL subset used by the
+//!   LUBM workload (`PREFIX`, `SELECT`, `WHERE`, `a` as `rdf:type`),
+//! * [`analysis`] — query-shape classification and summary statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use cliquesquare_sparql::parser::parse_query;
+//!
+//! let q = parse_query(
+//!     "SELECT ?p ?s WHERE { ?p <ub:worksFor> ?d . ?s <ub:memberOf> ?d . }",
+//! ).unwrap();
+//! assert_eq!(q.patterns().len(), 2);
+//! assert_eq!(q.join_variables().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod parser;
+pub mod pattern;
+pub mod query;
+
+pub use analysis::{QueryShape, QueryStats};
+pub use pattern::{PatternTerm, TriplePattern, Variable};
+pub use query::BgpQuery;

@@ -1,0 +1,77 @@
+//! Property-based tests for the BGP query model and parser.
+
+use cliquesquare_sparql::parser::parse_query;
+use cliquesquare_sparql::{BgpQuery, PatternTerm, TriplePattern, Variable};
+use proptest::prelude::*;
+
+fn pattern_term_strategy() -> impl Strategy<Value = PatternTerm> {
+    prop_oneof![
+        3 => "[a-z]{1,4}".prop_map(PatternTerm::variable),
+        1 => "[a-z]{1,6}".prop_map(|s| PatternTerm::iri(format!("http://ex.org/{s}"))),
+        1 => "[A-Za-z0-9]{1,8}".prop_map(PatternTerm::literal),
+    ]
+}
+
+fn pattern_strategy() -> impl Strategy<Value = TriplePattern> {
+    (
+        pattern_term_strategy(),
+        "[a-z]{1,6}".prop_map(|s| PatternTerm::iri(format!("http://ex.org/p/{s}"))),
+        pattern_term_strategy(),
+    )
+        .prop_map(|(s, p, o)| TriplePattern::new(s, p, o))
+}
+
+fn query_strategy() -> impl Strategy<Value = BgpQuery> {
+    proptest::collection::vec(pattern_strategy(), 1..8).prop_map(|patterns| {
+        let vars: Vec<Variable> = patterns
+            .iter()
+            .flat_map(TriplePattern::variables)
+            .take(3)
+            .collect();
+        BgpQuery::new(vars, patterns)
+    })
+}
+
+proptest! {
+    /// Printing a query and parsing it back yields the same patterns and the
+    /// same distinguished variables (when the query has any variables).
+    #[test]
+    fn display_parse_round_trip(query in query_strategy()) {
+        prop_assume!(!query.variables().is_empty());
+        prop_assume!(!query.distinguished().is_empty());
+        let text = query.to_string();
+        let reparsed = parse_query(&text).expect("rendered query parses");
+        prop_assert_eq!(reparsed.patterns(), query.patterns());
+        prop_assert_eq!(reparsed.distinguished(), query.distinguished());
+    }
+
+    /// Join variables are exactly the variables occurring in at least two
+    /// patterns, and they are a subset of all variables.
+    #[test]
+    fn join_variables_are_shared_variables(query in query_strategy()) {
+        let all = query.variables();
+        let join = query.join_variables();
+        for v in &join {
+            prop_assert!(all.contains(v));
+            let occurrences = query.patterns().iter().filter(|p| p.mentions(v)).count();
+            prop_assert!(occurrences >= 2);
+        }
+        for v in &all {
+            let occurrences = query.patterns().iter().filter(|p| p.mentions(v)).count();
+            prop_assert_eq!(occurrences >= 2, join.contains(v));
+        }
+    }
+
+    /// Connected components partition the patterns, each component is
+    /// connected, and a query is connected iff it has at most one component.
+    #[test]
+    fn connected_components_partition_the_query(query in query_strategy()) {
+        let components = query.connected_components();
+        let total: usize = components.iter().map(BgpQuery::len).sum();
+        prop_assert_eq!(total, query.len());
+        for component in &components {
+            prop_assert!(component.is_connected());
+        }
+        prop_assert_eq!(query.is_connected(), components.len() <= 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Plan explorer: reproduces the paper's running example (Figures 1–5, 15)
+//! on the 11-pattern query Q1, showing the variable graph, the MSC clique
+//! decomposition, the flat logical plan, its physical translation and the
+//! grouping into MapReduce jobs.
+//!
+//! ```bash
+//! cargo run --release -p cliquesquare-bench --example plan_explorer
+//! ```
+
+use cliquesquare_core::clique::reduce;
+use cliquesquare_core::decomposition::{decompositions, DecompositionLimits};
+use cliquesquare_core::{paper_examples, Optimizer, Variant, VariableGraph};
+use cliquesquare_engine::jobs::schedule;
+use cliquesquare_engine::translate;
+use cliquesquare_rdf::{LubmGenerator, LubmScale};
+
+fn main() {
+    let query = paper_examples::figure1_q1();
+    println!("== Query Q1 (Figure 1) ==\n{query}\n");
+
+    // The variable graph: one node per triple pattern, edges labelled by
+    // shared variables.
+    let graph = VariableGraph::from_query(&query);
+    println!("== Variable graph G1 ==\n{graph}");
+    println!(
+        "join variables: {:?}\n",
+        graph
+            .join_variables()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // One step of CliqueSquare-MSC: a minimum simple cover and its reduction
+    // (Figure 5, graph G3).
+    let decomposition = decompositions(&graph, Variant::Msc, &DecompositionLimits::default())
+        .into_iter()
+        .next()
+        .expect("Q1 has a minimum-cover decomposition");
+    println!("== First MSC clique decomposition ==\n{decomposition}\n");
+    let reduced = reduce(&graph, &decomposition);
+    println!("== Reduced variable graph (cf. Figure 5) ==\n{reduced}");
+
+    // The full optimization: flattest MSC plan (Figure 4).
+    let result = Optimizer::with_variant(Variant::Msc).optimize(&query);
+    let plan = result.flattest_plans()[0].clone();
+    println!(
+        "== Flattest MSC logical plan (height {}, {} joins, max fan-in {}) ==\n{}",
+        plan.height(),
+        plan.join_count(),
+        plan.max_join_fanin(),
+        plan.render()
+    );
+
+    // Physical translation and job grouping (Figure 15) over a small dataset
+    // so that property constants resolve through the dictionary.
+    let data = LubmGenerator::new(LubmScale::tiny()).generate();
+    let physical = translate(&plan, &data);
+    println!("== Physical plan ==\n{}", physical.render());
+    let jobs = schedule(&physical);
+    println!(
+        "MapReduce jobs: {} ({} map joins, {} reduce joins)",
+        jobs.descriptor(),
+        physical.map_join_count(),
+        physical.reduce_join_count()
+    );
+}

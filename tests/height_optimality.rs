@@ -1,0 +1,118 @@
+//! Integration tests for the height-optimality guarantees of Theorem 4.3 /
+//! Figure 9, checked over the paper's counterexample queries, the LUBM
+//! workload and a synthetic sample.
+
+use cliquesquare_core::paper_examples;
+use cliquesquare_core::planspace::{ho_failures, optimal_height};
+use cliquesquare_core::{Optimizer, OptimizerConfig, Variant};
+use cliquesquare_querygen::lubm_queries;
+use cliquesquare_querygen::{SyntheticWorkload, WorkloadConfig};
+
+fn sample_queries() -> Vec<cliquesquare_sparql::BgpQuery> {
+    let mut queries = paper_examples::all();
+    queries.extend(SyntheticWorkload::generate(WorkloadConfig {
+        queries_per_shape: 5,
+        min_patterns: 2,
+        max_patterns: 7,
+        seed: 3,
+    }));
+    queries.extend(lubm_queries::lubm_queries());
+    queries
+}
+
+#[test]
+fn ho_partial_variants_always_reach_the_optimal_height() {
+    let queries = sample_queries();
+    let config = OptimizerConfig::recommended();
+    for variant in [Variant::Msc, Variant::MscPlus] {
+        let failures = ho_failures(&queries, variant, config);
+        assert!(
+            failures.is_empty(),
+            "{variant} missed the optimal height on {failures:?}"
+        );
+    }
+}
+
+#[test]
+fn exact_cover_variants_are_ho_lossy_on_figure14() {
+    let q = paper_examples::figure14_query();
+    let optimal = optimal_height(&q).unwrap();
+    assert_eq!(optimal, 2);
+    for variant in [Variant::Mxc, Variant::Xc] {
+        let result = Optimizer::with_variant(variant).optimize(&q);
+        assert!(!result.plans.is_empty());
+        assert!(result.min_height().unwrap() > optimal, "{variant}");
+    }
+    for variant in [Variant::MxcPlus, Variant::XcPlus] {
+        let result = Optimizer::with_variant(variant).optimize(&q);
+        assert!(result.plans.is_empty(), "{variant} should fail entirely");
+    }
+}
+
+#[test]
+fn lubm_optimal_heights_are_low() {
+    // The headline property: even the 8-10 pattern LUBM queries admit plans
+    // of height at most 3 thanks to n-ary star joins.
+    for query in lubm_queries::lubm_queries() {
+        let height = optimal_height(&query).unwrap();
+        let expected_max = match query.len() {
+            0..=2 => 1,
+            3..=6 => 2,
+            _ => 3,
+        };
+        assert!(
+            height <= expected_max,
+            "{}: optimal height {} exceeds {}",
+            query.name(),
+            height,
+            expected_max
+        );
+    }
+}
+
+#[test]
+fn binary_plans_are_taller_than_flat_plans_on_large_queries() {
+    use cliquesquare_baselines::BinaryPlanner;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+
+    let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+    let planner = BinaryPlanner::new(&graph);
+    for name in ["Q12", "Q13", "Q14"] {
+        let query = lubm_queries::lubm_query(name).unwrap();
+        let flat = optimal_height(&query).unwrap();
+        let bushy = planner.best_bushy(&query).unwrap().height();
+        let linear = planner.best_linear(&query).unwrap().height();
+        // A binary tree over 9-10 relations has height at least ⌈log2 n⌉ = 4,
+        // strictly above the flat n-ary optimum of 3.
+        assert!(flat < bushy, "{name}: flat {flat} !< bushy {bushy}");
+        assert!(bushy <= linear, "{name}: bushy {bushy} > linear {linear}");
+        assert_eq!(linear, query.len() - 1);
+    }
+}
+
+#[test]
+fn every_msc_plan_is_at_most_one_level_from_optimal_on_the_sample() {
+    // MSC is only HO-partial, but in practice its non-optimal plans stay
+    // close to the optimum; this guards against regressions that would make
+    // the variant produce wildly deep plans.
+    let config = OptimizerConfig::recommended();
+    for query in sample_queries() {
+        let Some(optimal) = optimal_height(&query) else {
+            continue;
+        };
+        let result = Optimizer::new(OptimizerConfig {
+            variant: Variant::Msc,
+            ..config
+        })
+        .optimize(&query);
+        for plan in &result.plans {
+            assert!(
+                plan.height() <= optimal + 2,
+                "{}: MSC plan of height {} vs optimal {}",
+                query.name(),
+                plan.height(),
+                optimal
+            );
+        }
+    }
+}

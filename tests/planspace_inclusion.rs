@@ -1,0 +1,137 @@
+//! Integration tests for the plan-space inclusion lattice of Theorem 4.1 /
+//! Figure 7 and the correctness statement of Theorem 4.2, verified
+//! empirically on tractable queries.
+
+use cliquesquare_core::paper_examples;
+use cliquesquare_core::planspace::{figure7_inclusions, plan_signatures};
+use cliquesquare_core::{Optimizer, OptimizerConfig, Variant};
+use cliquesquare_querygen::{SyntheticShape, SyntheticWorkload, WorkloadConfig};
+use std::collections::BTreeSet;
+
+fn tractable_queries() -> Vec<cliquesquare_sparql::BgpQuery> {
+    let mut queries = vec![
+        paper_examples::figure10_query(),
+        paper_examples::figure11_qx(),
+        paper_examples::figure14_query(),
+    ];
+    // Keep the synthetic sample small (≤ 4 patterns): the inclusion checks
+    // need the *unrestricted* SC plan space, which blows up combinatorially
+    // on larger dense queries and would be truncated by the enumeration caps.
+    queries.extend(SyntheticWorkload::generate(WorkloadConfig {
+        queries_per_shape: 3,
+        min_patterns: 2,
+        max_patterns: 4,
+        seed: 17,
+    }));
+    queries
+}
+
+#[test]
+fn figure7_inclusions_hold_on_every_tractable_query() {
+    let config = OptimizerConfig::recommended();
+    for (smaller, larger) in figure7_inclusions() {
+        for query in tractable_queries() {
+            let small = plan_signatures(&query, smaller, config);
+            let large = plan_signatures(&query, larger, config);
+            assert!(
+                small.is_subset(&large),
+                "P_{smaller} should be included in P_{larger} on {}",
+                query.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sc_has_the_largest_plan_space() {
+    let config = OptimizerConfig::recommended();
+    for query in tractable_queries() {
+        let sc = plan_signatures(&query, Variant::Sc, config);
+        for variant in Variant::ALL {
+            let other = plan_signatures(&query, variant, config);
+            assert!(
+                other.is_subset(&sc),
+                "P_{variant} should be included in P_SC on {}",
+                query.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn incomparable_variants_have_incomparable_spaces_somewhere() {
+    // MSC+ and MXC are incomparable in Figure 7: each builds a plan the
+    // other cannot, on at least one query of the sample.
+    let config = OptimizerConfig::recommended();
+    let mut msc_plus_exclusive = false;
+    let mut mxc_exclusive = false;
+    for query in tractable_queries() {
+        let a = plan_signatures(&query, Variant::MscPlus, config);
+        let b = plan_signatures(&query, Variant::Mxc, config);
+        if a.difference(&b).next().is_some() {
+            msc_plus_exclusive = true;
+        }
+        if b.difference(&a).next().is_some() {
+            mxc_exclusive = true;
+        }
+    }
+    assert!(msc_plus_exclusive, "MSC+ never produced a plan outside MXC's space");
+    assert!(mxc_exclusive, "MXC never produced a plan outside MSC+'s space");
+}
+
+#[test]
+fn every_variant_produces_only_plans_that_cover_the_query() {
+    // Soundness (one half of Theorem 4.2) for every variant: each generated
+    // plan matches every triple pattern exactly once per Match operator and
+    // joins them into a single connected result.
+    let config = OptimizerConfig::recommended();
+    for query in tractable_queries() {
+        for variant in Variant::ALL {
+            let result = Optimizer::new(OptimizerConfig { variant, ..config }).optimize(&query);
+            for plan in &result.plans {
+                let matched: BTreeSet<usize> = plan
+                    .match_ops()
+                    .into_iter()
+                    .map(|id| match plan.op(id) {
+                        cliquesquare_core::LogicalOp::Match { pattern_index, .. } => *pattern_index,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                assert_eq!(
+                    matched,
+                    (0..query.len()).collect::<BTreeSet<_>>(),
+                    "{variant} built a plan not covering {}",
+                    query.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn star_queries_collapse_to_a_single_flat_join() {
+    // A pure star has a single maximal clique covering every node: the
+    // minimum-cover and maximal-clique variants all degenerate to exactly one
+    // plan (the 6-way star join), and even the exhaustive variants cannot do
+    // flatter than height 1.
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(2);
+    let star = SyntheticWorkload::query(SyntheticShape::Star, 6, &mut rng);
+    for variant in [
+        Variant::MxcPlus,
+        Variant::MscPlus,
+        Variant::Mxc,
+        Variant::Msc,
+        Variant::XcPlus,
+        Variant::ScPlus,
+    ] {
+        let result = Optimizer::with_variant(variant).optimize(&star);
+        assert_eq!(result.plans.len(), 1, "{variant}");
+        assert_eq!(result.plans[0].height(), 1);
+        assert_eq!(result.plans[0].max_join_fanin(), 6);
+    }
+    for variant in [Variant::Xc, Variant::Sc] {
+        let result = Optimizer::with_variant(variant).optimize(&star);
+        assert!(!result.plans.is_empty(), "{variant}");
+        assert_eq!(result.min_height(), Some(1), "{variant}");
+    }
+}

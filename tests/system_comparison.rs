@@ -1,0 +1,126 @@
+//! Integration tests for the Figure 21 system comparison: CSQ vs SHAPE-2f vs
+//! H2RDF+ must agree on every answer, and their relative performance must
+//! follow the shape the paper reports.
+
+use cliquesquare_baselines::{H2RdfSystem, ShapeSystem};
+use cliquesquare_engine::csq::{Csq, CsqConfig};
+use cliquesquare_engine::reference::reference_count;
+use cliquesquare_mapreduce::{Cluster, ClusterConfig};
+use cliquesquare_querygen::lubm_queries::{self, lubm_query, non_selective_queries};
+use cliquesquare_rdf::{LubmGenerator, LubmScale};
+
+fn cluster() -> Cluster {
+    let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+    Cluster::load(graph, ClusterConfig::with_nodes(7))
+}
+
+#[test]
+fn all_three_systems_agree_with_the_reference_on_every_query() {
+    let cluster = cluster();
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let shape = ShapeSystem::new(&cluster);
+    let h2rdf = H2RdfSystem::new(&cluster);
+    for query in lubm_queries::lubm_queries() {
+        let expected = reference_count(cluster.graph(), &query);
+        assert_eq!(csq.run(&query).result_count, expected, "CSQ on {}", query.name());
+        assert_eq!(shape.run(&query).result_count, expected, "SHAPE on {}", query.name());
+        assert_eq!(h2rdf.run(&query).result_count, expected, "H2RDF+ on {}", query.name());
+    }
+}
+
+#[test]
+fn csq_needs_far_fewer_jobs_than_h2rdf_on_large_queries() {
+    let cluster = cluster();
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let h2rdf = H2RdfSystem::new(&cluster);
+    for name in ["Q9", "Q11", "Q12", "Q13", "Q14"] {
+        let query = lubm_query(name).unwrap();
+        let csq_jobs = csq.run(&query).jobs;
+        let h2rdf_jobs = h2rdf.run(&query).jobs;
+        assert!(
+            csq_jobs * 2 <= h2rdf_jobs,
+            "{name}: CSQ used {csq_jobs} jobs, H2RDF+ {h2rdf_jobs}"
+        );
+    }
+}
+
+#[test]
+fn csq_outperforms_h2rdf_on_non_selective_queries() {
+    let cluster = cluster();
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let h2rdf = H2RdfSystem::new(&cluster);
+    let mut csq_total = 0.0;
+    let mut h2rdf_total = 0.0;
+    for query in non_selective_queries() {
+        csq_total += csq.run(&query).simulated_seconds;
+        h2rdf_total += h2rdf.run(&query).simulated_seconds;
+    }
+    assert!(
+        csq_total * 1.5 < h2rdf_total,
+        "expected CSQ ({csq_total:.1}s) to clearly beat H2RDF+ ({h2rdf_total:.1}s) on non-selective queries"
+    );
+}
+
+#[test]
+fn shape_wins_on_its_pwoc_queries() {
+    // Q2, Q4, Q9, Q10 are PWOC for SHAPE-2f: it answers them without any
+    // MapReduce job and therefore at least as fast as CSQ.
+    let cluster = cluster();
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let shape = ShapeSystem::new(&cluster);
+    for name in ["Q2", "Q4", "Q9", "Q10"] {
+        let query = lubm_query(name).unwrap();
+        let shape_report = shape.run(&query);
+        let csq_report = csq.run(&query);
+        assert_eq!(shape_report.jobs, 0, "{name} should be PWOC for SHAPE");
+        assert!(
+            shape_report.simulated_seconds <= csq_report.simulated_seconds,
+            "{name}: SHAPE ({:.2}s) should not lose to CSQ ({:.2}s) on its PWOC query",
+            shape_report.simulated_seconds,
+            csq_report.simulated_seconds
+        );
+    }
+}
+
+#[test]
+fn complex_queries_are_not_pwoc_for_shape_and_need_jobs() {
+    // On the 8-10 pattern queries SHAPE's 2-hop guarantee no longer covers
+    // the whole query: fragments must be recombined with MapReduce jobs,
+    // which is where CliqueSquare's flat plans pay off in the paper.
+    let cluster = cluster();
+    let shape = ShapeSystem::new(&cluster);
+    for name in ["Q12", "Q13", "Q14"] {
+        let query = lubm_query(name).unwrap();
+        assert!(!ShapeSystem::is_pwoc(&query), "{name} should not be PWOC");
+        let report = shape.run(&query);
+        assert!(report.jobs >= 1, "{name} should need at least one MapReduce job");
+    }
+}
+
+#[test]
+fn whole_workload_ordering_matches_the_paper() {
+    // Paper: CSQ evaluates the complete workload fastest, SHAPE second,
+    // H2RDF+ far behind.
+    let cluster = cluster();
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let shape = ShapeSystem::new(&cluster);
+    let h2rdf = H2RdfSystem::new(&cluster);
+    let mut totals = [0.0f64; 3];
+    for query in lubm_queries::lubm_queries() {
+        totals[0] += csq.run(&query).simulated_seconds;
+        totals[1] += shape.run(&query).simulated_seconds;
+        totals[2] += h2rdf.run(&query).simulated_seconds;
+    }
+    assert!(
+        totals[0] < totals[2],
+        "CSQ ({:.1}s) should beat H2RDF+ ({:.1}s) on the whole workload",
+        totals[0],
+        totals[2]
+    );
+    assert!(
+        totals[1] < totals[2],
+        "SHAPE ({:.1}s) should beat H2RDF+ ({:.1}s) on the whole workload",
+        totals[1],
+        totals[2]
+    );
+}
