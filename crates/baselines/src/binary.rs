@@ -236,7 +236,7 @@ fn build_ops(
 mod tests {
     use super::*;
     use cliquesquare_engine::reference::reference_count;
-    use cliquesquare_engine::{Executor};
+    use cliquesquare_engine::Executor;
     use cliquesquare_mapreduce::{Cluster, ClusterConfig};
     use cliquesquare_rdf::{LubmGenerator, LubmScale};
     use cliquesquare_sparql::parser::parse_query;
@@ -253,7 +253,10 @@ mod tests {
             "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u . ?x ub:memberOf ?d }",
         )
         .unwrap();
-        for plan in [planner.best_bushy(&q).unwrap(), planner.best_linear(&q).unwrap()] {
+        for plan in [
+            planner.best_bushy(&q).unwrap(),
+            planner.best_linear(&q).unwrap(),
+        ] {
             assert_eq!(plan.join_count(), q.len() - 1);
             assert_eq!(plan.max_join_fanin(), 2);
         }
@@ -304,7 +307,10 @@ mod tests {
         .unwrap();
         let expected = reference_count(cluster.graph(), &q);
         let executor = Executor::new(&cluster);
-        for plan in [planner.best_bushy(&q).unwrap(), planner.best_linear(&q).unwrap()] {
+        for plan in [
+            planner.best_bushy(&q).unwrap(),
+            planner.best_linear(&q).unwrap(),
+        ] {
             let output = executor.execute_logical(&plan);
             assert_eq!(output.distinct_count(), expected);
         }

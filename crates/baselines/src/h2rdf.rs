@@ -173,7 +173,8 @@ mod tests {
             let q = lubm_query(name).unwrap();
             let order = system.join_order(&q);
             assert_eq!(order.len(), q.len());
-            let mut bound: BTreeSet<Variable> = q.patterns()[order[0]].variables().into_iter().collect();
+            let mut bound: BTreeSet<Variable> =
+                q.patterns()[order[0]].variables().into_iter().collect();
             for &i in &order[1..] {
                 let vars = q.patterns()[i].variables();
                 assert!(

@@ -51,8 +51,10 @@ impl<'a> ShapeSystem<'a> {
                 .filter(|&i| patterns[i].subject == anchor)
                 .collect();
             // Second hop: subject stars of the objects of the first hop.
-            let objects: Vec<PatternTerm> =
-                fragment.iter().map(|&i| patterns[i].object.clone()).collect();
+            let objects: Vec<PatternTerm> = fragment
+                .iter()
+                .map(|&i| patterns[i].object.clone())
+                .collect();
             for object in objects {
                 if !object.is_variable() {
                     continue;
@@ -92,7 +94,10 @@ impl<'a> ShapeSystem<'a> {
         // one index lookup per pattern).
         let mut fragment_results: Vec<Relation> = Vec::with_capacity(fragments.len());
         for fragment in &fragments {
-            let patterns: Vec<_> = fragment.iter().map(|&i| query.patterns()[i].clone()).collect();
+            let patterns: Vec<_> = fragment
+                .iter()
+                .map(|&i| query.patterns()[i].clone())
+                .collect();
             let variables: Vec<Variable> = patterns
                 .iter()
                 .flat_map(|p| p.variables())
@@ -178,12 +183,18 @@ mod tests {
         // The paper reports Q2, Q4, Q9 and Q10 as PWOC for SHAPE-2f.
         for name in ["Q2", "Q4", "Q9", "Q10"] {
             let q = lubm_query(name).unwrap();
-            assert!(ShapeSystem::is_pwoc(&q), "{name} should be PWOC for SHAPE-2f");
+            assert!(
+                ShapeSystem::is_pwoc(&q),
+                "{name} should be PWOC for SHAPE-2f"
+            );
         }
         // ... and Q1, Q3 are not.
         for name in ["Q1", "Q3"] {
             let q = lubm_query(name).unwrap();
-            assert!(!ShapeSystem::is_pwoc(&q), "{name} should not be PWOC for SHAPE-2f");
+            assert!(
+                !ShapeSystem::is_pwoc(&q),
+                "{name} should not be PWOC for SHAPE-2f"
+            );
         }
     }
 
@@ -194,7 +205,11 @@ mod tests {
             let mut seen = BTreeSet::new();
             for fragment in &fragments {
                 for &i in fragment {
-                    assert!(seen.insert(i), "pattern {i} of {} in two fragments", query.name());
+                    assert!(
+                        seen.insert(i),
+                        "pattern {i} of {} in two fragments",
+                        query.name()
+                    );
                 }
             }
             assert_eq!(seen.len(), query.len());

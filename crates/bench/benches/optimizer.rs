@@ -16,10 +16,22 @@ fn bench_variants_on_shapes(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize_shape");
     let mut rng = StdRng::seed_from_u64(5);
     let queries = vec![
-        ("chain8", SyntheticWorkload::query(SyntheticShape::Chain, 8, &mut rng)),
-        ("star8", SyntheticWorkload::query(SyntheticShape::Star, 8, &mut rng)),
-        ("dense8", SyntheticWorkload::query(SyntheticShape::RandomDense, 8, &mut rng)),
-        ("thin8", SyntheticWorkload::query(SyntheticShape::RandomThin, 8, &mut rng)),
+        (
+            "chain8",
+            SyntheticWorkload::query(SyntheticShape::Chain, 8, &mut rng),
+        ),
+        (
+            "star8",
+            SyntheticWorkload::query(SyntheticShape::Star, 8, &mut rng),
+        ),
+        (
+            "dense8",
+            SyntheticWorkload::query(SyntheticShape::RandomDense, 8, &mut rng),
+        ),
+        (
+            "thin8",
+            SyntheticWorkload::query(SyntheticShape::RandomThin, 8, &mut rng),
+        ),
     ];
     // The practical variants identified by the paper.
     for variant in [Variant::MscPlus, Variant::Mxc, Variant::Msc] {

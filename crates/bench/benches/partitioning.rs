@@ -35,7 +35,11 @@ fn bench_scans(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_scan");
     group.bench_function("property_scan", |b| {
         b.iter(|| {
-            black_box(store.scan_cardinality(TriplePosition::Subject, Some(black_box(works_for)), None))
+            black_box(store.scan_cardinality(
+                TriplePosition::Subject,
+                Some(black_box(works_for)),
+                None,
+            ))
         })
     });
     group.bench_function("full_scan", |b| {
@@ -83,10 +87,18 @@ fn bench_colocated_vs_shuffled(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pwoc_ablation");
     group.bench_function("colocated_map_join", |b| {
-        b.iter(|| black_box(executor.execute(black_box(&colocated))).results.len())
+        b.iter(|| {
+            black_box(executor.execute(black_box(&colocated)))
+                .results
+                .len()
+        })
     });
     group.bench_function("forced_reduce_join", |b| {
-        b.iter(|| black_box(executor.execute(black_box(&shuffled))).results.len())
+        b.iter(|| {
+            black_box(executor.execute(black_box(&shuffled)))
+                .results
+                .len()
+        })
     });
     group.finish();
 }

@@ -39,8 +39,18 @@ fn main() {
         };
         let bushy = run_binary(planner.best_bushy(&query)).expect("bushy plan");
         let linear = run_binary(planner.best_linear(&query)).expect("linear plan");
-        assert_eq!(report.result_count, bushy.2, "{}: answer mismatch", query.name());
-        assert_eq!(report.result_count, linear.2, "{}: answer mismatch", query.name());
+        assert_eq!(
+            report.result_count,
+            bushy.2,
+            "{}: answer mismatch",
+            query.name()
+        );
+        assert_eq!(
+            report.result_count,
+            linear.2,
+            "{}: answer mismatch",
+            query.name()
+        );
 
         rows.push(vec![
             format!(

@@ -49,7 +49,12 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Option", "Paper classification", "#queries w/o HO plan", "which"],
+            &[
+                "Option",
+                "Paper classification",
+                "#queries w/o HO plan",
+                "which"
+            ],
             &rows
         )
     );

@@ -48,7 +48,11 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Inclusion (Figure 7)", "Empirically", "Strict on some query"],
+            &[
+                "Inclusion (Figure 7)",
+                "Empirically",
+                "Strict on some query"
+            ],
             &rows
         )
     );

@@ -31,6 +31,9 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["Query", "#tps", "#jv", "shape", "|Q| (this dataset)"], &rows)
+        table(
+            &["Query", "#tps", "#jv", "shape", "|Q| (this dataset)"],
+            &rows
+        )
     );
 }

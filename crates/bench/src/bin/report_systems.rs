@@ -11,15 +11,31 @@ use cliquesquare_engine::csq::{Csq, CsqConfig};
 use cliquesquare_querygen::lubm_queries::{non_selective_queries, selective_queries};
 use cliquesquare_sparql::BgpQuery;
 
-fn run_group(title: &str, queries: &[BgpQuery], csq: &Csq, shape: &ShapeSystem, h2rdf: &H2RdfSystem) {
+fn run_group(
+    title: &str,
+    queries: &[BgpQuery],
+    csq: &Csq,
+    shape: &ShapeSystem,
+    h2rdf: &H2RdfSystem,
+) {
     let mut rows = Vec::new();
     let mut totals = [0.0f64; 3];
     for query in queries {
         let csq_report = csq.run(query);
         let shape_report: SystemRunReport = shape.run(query);
         let h2rdf_report: SystemRunReport = h2rdf.run(query);
-        assert_eq!(csq_report.result_count, shape_report.result_count, "{}", query.name());
-        assert_eq!(csq_report.result_count, h2rdf_report.result_count, "{}", query.name());
+        assert_eq!(
+            csq_report.result_count,
+            shape_report.result_count,
+            "{}",
+            query.name()
+        );
+        assert_eq!(
+            csq_report.result_count,
+            h2rdf_report.result_count,
+            "{}",
+            query.name()
+        );
         totals[0] += csq_report.simulated_seconds;
         totals[1] += shape_report.simulated_seconds;
         totals[2] += h2rdf_report.simulated_seconds;
@@ -49,7 +65,13 @@ fn run_group(title: &str, queries: &[BgpQuery], csq: &Csq, shape: &ShapeSystem, 
     println!(
         "{}",
         table(
-            &["Query(#tps|jobs)", "CSQ (s)", "SHAPE-2f (s)", "H2RDF+ (s)", "|Q|"],
+            &[
+                "Query(#tps|jobs)",
+                "CSQ (s)",
+                "SHAPE-2f (s)",
+                "H2RDF+ (s)",
+                "|Q|"
+            ],
             &rows
         )
     );
@@ -66,7 +88,13 @@ fn main() {
     let shape = ShapeSystem::new(&cluster);
     let h2rdf = H2RdfSystem::new(&cluster);
 
-    run_group("Selective queries", &selective_queries(), &csq, &shape, &h2rdf);
+    run_group(
+        "Selective queries",
+        &selective_queries(),
+        &csq,
+        &shape,
+        &h2rdf,
+    );
     run_group(
         "Non-selective queries",
         &non_selective_queries(),

@@ -40,7 +40,9 @@ fn main() {
     println!("== Section 6.2: CliqueSquare variant comparison ==");
     println!(
         "workload: {} synthetic queries per shape, {}-{} triple patterns\n",
-        workload_config.queries_per_shape, workload_config.min_patterns, workload_config.max_patterns
+        workload_config.queries_per_shape,
+        workload_config.min_patterns,
+        workload_config.max_patterns
     );
 
     // shape -> variant -> measurements
@@ -68,7 +70,10 @@ fn main() {
     for (vi, variant) in Variant::ALL.iter().enumerate() {
         let mut row = vec![variant.name().to_string()];
         for (si, _) in shapes.iter().enumerate() {
-            let plans: Vec<f64> = measurements[si][vi].iter().map(|m| m.plans as f64).collect();
+            let plans: Vec<f64> = measurements[si][vi]
+                .iter()
+                .map(|m| m.plans as f64)
+                .collect();
             row.push(fmt_f64(avg(&plans)));
         }
         rows.push(row);

@@ -100,8 +100,7 @@ impl Decomposition {
     /// variables: the sorted list of node sets. Two decompositions with the
     /// same signature induce the same joins and therefore the same plans.
     pub fn signature(&self) -> Vec<BTreeSet<usize>> {
-        let mut sets: Vec<BTreeSet<usize>> =
-            self.cliques.iter().map(|c| c.nodes.clone()).collect();
+        let mut sets: Vec<BTreeSet<usize>> = self.cliques.iter().map(|c| c.nodes.clone()).collect();
         sets.sort();
         sets.dedup();
         sets
@@ -250,10 +249,7 @@ mod tests {
         let g = VariableGraph::from_query(&q);
         // The same node set generated from two different variables collapses
         // into one reduced node.
-        let d = Decomposition::new(vec![
-            clique("x", &[0, 1, 2]),
-            clique("y", &[0, 1, 2]),
-        ]);
+        let d = Decomposition::new(vec![clique("x", &[0, 1, 2]), clique("y", &[0, 1, 2])]);
         let reduced = reduce(&g, &d);
         assert_eq!(reduced.len(), 1);
     }

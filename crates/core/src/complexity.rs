@@ -138,8 +138,14 @@ mod tests {
     #[test]
     fn figure8_values_for_small_n() {
         // For n = 4: ⌈n/2⌉ = 2.
-        assert_eq!(worst_case_decompositions(Variant::MxcPlus, 4), binomial(5, 2));
-        assert_eq!(worst_case_decompositions(Variant::MscPlus, 4), binomial(9, 2));
+        assert_eq!(
+            worst_case_decompositions(Variant::MxcPlus, 4),
+            binomial(5, 2)
+        );
+        assert_eq!(
+            worst_case_decompositions(Variant::MscPlus, 4),
+            binomial(9, 2)
+        );
         assert_eq!(worst_case_decompositions(Variant::Mxc, 4), stirling2(4, 2));
         assert_eq!(worst_case_decompositions(Variant::Msc, 4), binomial(15, 2));
         assert_eq!(

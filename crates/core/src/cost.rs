@@ -129,7 +129,10 @@ mod tests {
         };
         let best_h = height_focused.choose_best(&plans).unwrap();
         let best_j = join_focused.choose_best(&plans).unwrap();
-        assert_eq!(best_h.height(), plans.iter().map(LogicalPlan::height).min().unwrap());
+        assert_eq!(
+            best_h.height(),
+            plans.iter().map(LogicalPlan::height).min().unwrap()
+        );
         assert_eq!(
             best_j.join_count(),
             plans.iter().map(LogicalPlan::join_count).min().unwrap()

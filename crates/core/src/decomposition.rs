@@ -99,9 +99,7 @@ impl Variant {
     /// Parses a variant from the paper's name (case-insensitive).
     pub fn parse(name: &str) -> Option<Variant> {
         let normalized = name.trim().to_ascii_uppercase();
-        Variant::ALL
-            .into_iter()
-            .find(|v| v.name() == normalized)
+        Variant::ALL.into_iter().find(|v| v.name() == normalized)
     }
 }
 
@@ -216,7 +214,12 @@ pub fn decompositions(
     }
     // Try large cliques first: small covers are then found early, which both
     // speeds up the search and keeps it correct under the enumeration cap.
-    candidates.sort_by(|a, b| b.nodes.len().cmp(&a.nodes.len()).then(a.nodes.cmp(&b.nodes)));
+    candidates.sort_by(|a, b| {
+        b.nodes
+            .len()
+            .cmp(&a.nodes.len())
+            .then(a.nodes.cmp(&b.nodes))
+    });
 
     // node -> candidate indices containing it
     let mut containing: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -323,7 +326,9 @@ fn enumerate_covers(
         return; // cannot add more cliques and still satisfy |D| < |N|
     }
     // Lowest uncovered node.
-    let next = (0..n).find(|i| !covered.contains(i)).expect("some node uncovered");
+    let next = (0..n)
+        .find(|i| !covered.contains(i))
+        .expect("some node uncovered");
     for &ci in &containing[next] {
         let cand = &candidates[ci];
         if exact && cand.nodes.iter().any(|node| covered.contains(node)) {
@@ -400,12 +405,10 @@ mod tests {
         // {{t1,t2},{t3}} is the partial-clique cover used in the SC+ proof.
         let g = graph(&paper_examples::figure10_query());
         let decs = decompositions(&g, Variant::Sc, &DecompositionLimits::default());
-        let target: Vec<BTreeSet<usize>> =
-            vec![BTreeSet::from([0, 1]), BTreeSet::from([2])];
+        let target: Vec<BTreeSet<usize>> = vec![BTreeSet::from([0, 1]), BTreeSet::from([2])];
         assert!(decs.iter().any(|d| d.signature() == target));
         // SC also contains the MSC+ cover.
-        let overlap: Vec<BTreeSet<usize>> =
-            vec![BTreeSet::from([0, 1]), BTreeSet::from([1, 2])];
+        let overlap: Vec<BTreeSet<usize>> = vec![BTreeSet::from([0, 1]), BTreeSet::from([1, 2])];
         assert!(decs.iter().any(|d| d.signature() == overlap));
     }
 
@@ -415,7 +418,11 @@ mod tests {
             let g = graph(&query);
             for variant in Variant::ALL {
                 for d in decompositions(&g, variant, &DecompositionLimits::default()) {
-                    assert!(d.is_valid_for(&g), "{variant} produced invalid {d} for {}", query.name());
+                    assert!(
+                        d.is_valid_for(&g),
+                        "{variant} produced invalid {d} for {}",
+                        query.name()
+                    );
                     if variant.exact_cover() {
                         assert!(d.is_exact(), "{variant} produced non-exact {d}");
                     }
@@ -474,15 +481,21 @@ mod tests {
                 (Variant::ScPlus, Variant::Sc),
                 (Variant::XcPlus, Variant::Xc),
             ] {
-                let plus_sigs: BTreeSet<_> = decompositions(&g, plus, &DecompositionLimits::default())
-                    .iter()
-                    .map(Decomposition::signature)
-                    .collect();
-                let full_sigs: BTreeSet<_> = decompositions(&g, full, &DecompositionLimits::default())
-                    .iter()
-                    .map(Decomposition::signature)
-                    .collect();
-                assert!(plus_sigs.is_subset(&full_sigs), "{plus} ⊄ {full} on {}", query.name());
+                let plus_sigs: BTreeSet<_> =
+                    decompositions(&g, plus, &DecompositionLimits::default())
+                        .iter()
+                        .map(Decomposition::signature)
+                        .collect();
+                let full_sigs: BTreeSet<_> =
+                    decompositions(&g, full, &DecompositionLimits::default())
+                        .iter()
+                        .map(Decomposition::signature)
+                        .collect();
+                assert!(
+                    plus_sigs.is_subset(&full_sigs),
+                    "{plus} ⊄ {full} on {}",
+                    query.name()
+                );
             }
         }
     }
@@ -494,7 +507,12 @@ mod tests {
         )
         .unwrap();
         let g = graph(&q);
-        for variant in [Variant::Msc, Variant::MscPlus, Variant::Mxc, Variant::MxcPlus] {
+        for variant in [
+            Variant::Msc,
+            Variant::MscPlus,
+            Variant::Mxc,
+            Variant::MxcPlus,
+        ] {
             let decs = decompositions(&g, variant, &DecompositionLimits::default());
             assert_eq!(decs.len(), 1, "{variant}");
             assert_eq!(decs[0].len(), 1);

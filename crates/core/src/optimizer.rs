@@ -291,7 +291,8 @@ mod tests {
 
     #[test]
     fn two_pattern_query_yields_single_join_plan() {
-        let q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
+        let q =
+            parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
         for variant in Variant::ALL {
             let result = optimize(variant, &q);
             assert_eq!(result.plans.len(), 1, "{variant}");
@@ -353,7 +354,10 @@ mod tests {
         assert_eq!(best_simple, 2);
         for variant in [Variant::Mxc, Variant::Xc] {
             let result = optimize(variant, &q);
-            assert!(!result.plans.is_empty(), "{variant} should still find plans");
+            assert!(
+                !result.plans.is_empty(),
+                "{variant} should still find plans"
+            );
             assert!(
                 result.min_height().unwrap() > best_simple,
                 "{variant} found a flat plan it should not be able to build"

@@ -105,10 +105,7 @@ mod tests {
         let g = VariableGraph::from_query(&q);
         let cliques = g.maximal_cliques();
         assert_eq!(cliques.len(), 6);
-        assert_eq!(
-            cliques[&Variable::new("d")],
-            BTreeSet::from([2, 3, 4, 5])
-        );
+        assert_eq!(cliques[&Variable::new("d")], BTreeSet::from([2, 3, 4, 5]));
     }
 
     #[test]

@@ -233,14 +233,11 @@ impl LogicalPlan {
             LogicalOp::Join {
                 attributes, inputs, ..
             } => {
-                let mut child_sigs: Vec<String> = inputs
-                    .iter()
-                    .map(|c| self.signature_of(*c, memo))
-                    .collect();
+                let mut child_sigs: Vec<String> =
+                    inputs.iter().map(|c| self.signature_of(*c, memo)).collect();
                 child_sigs.sort();
                 child_sigs.dedup();
-                let attrs: Vec<String> =
-                    attributes.iter().map(|v| v.name().to_string()).collect();
+                let attrs: Vec<String> = attributes.iter().map(|v| v.name().to_string()).collect();
                 format!("J[{}]({})", attrs.join(","), child_sigs.join("|"))
             }
             LogicalOp::Select { input, .. } | LogicalOp::Project { input, .. } => {
@@ -368,7 +365,10 @@ mod tests {
         assert_eq!(plan.match_ops().len(), 3);
         assert_eq!(plan.max_join_fanin(), 2);
         assert!(plan.is_tree());
-        assert_eq!(plan.output_variables(), vec![Variable::new("a"), Variable::new("b")]);
+        assert_eq!(
+            plan.output_variables(),
+            vec![Variable::new("a"), Variable::new("b")]
+        );
     }
 
     #[test]

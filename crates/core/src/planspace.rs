@@ -72,7 +72,11 @@ impl QueryMeasurement {
 }
 
 /// Measures one variant on one query.
-pub fn measure_query(query: &BgpQuery, variant: Variant, config: OptimizerConfig) -> QueryMeasurement {
+pub fn measure_query(
+    query: &BgpQuery,
+    variant: Variant,
+    config: OptimizerConfig,
+) -> QueryMeasurement {
     let config = OptimizerConfig { variant, ..config };
     let result: OptimizeResult = Optimizer::new(config).optimize(query);
     let optimal = optimal_height(query);
@@ -145,11 +149,17 @@ pub fn evaluate_variants(
             .collect();
         let n = per_query.len().max(1) as f64;
         let avg_plans = per_query.iter().map(|m| m.plans as f64).sum::<f64>() / n;
-        let avg_optimality_ratio =
-            per_query.iter().map(QueryMeasurement::optimality_ratio).sum::<f64>() / n;
+        let avg_optimality_ratio = per_query
+            .iter()
+            .map(QueryMeasurement::optimality_ratio)
+            .sum::<f64>()
+            / n;
         let avg_time_ms = per_query.iter().map(|m| m.time_ms).sum::<f64>() / n;
-        let avg_uniqueness_ratio =
-            per_query.iter().map(QueryMeasurement::uniqueness_ratio).sum::<f64>() / n;
+        let avg_uniqueness_ratio = per_query
+            .iter()
+            .map(QueryMeasurement::uniqueness_ratio)
+            .sum::<f64>()
+            / n;
         let failed_queries = per_query.iter().filter(|m| m.plans == 0).count();
         rows.push(VariantReport {
             variant,
@@ -205,7 +215,11 @@ pub fn ho_failures(queries: &[BgpQuery], variant: Variant, config: OptimizerConf
 
 /// Returns the set of plan signatures produced by `variant` for `query`
 /// (used to verify the plan-space inclusions of Figure 7).
-pub fn plan_signatures(query: &BgpQuery, variant: Variant, config: OptimizerConfig) -> BTreeSet<String> {
+pub fn plan_signatures(
+    query: &BgpQuery,
+    variant: Variant,
+    config: OptimizerConfig,
+) -> BTreeSet<String> {
     let config = OptimizerConfig { variant, ..config };
     Optimizer::new(config)
         .optimize(query)
@@ -269,10 +283,17 @@ mod tests {
         // On Figure 14 and the large Figure 1 query MSC mixes optimal and
         // non-optimal plans but, being HO-partial, always includes at least
         // one height-optimal plan.
-        for query in [paper_examples::figure14_query(), paper_examples::figure1_q1()] {
+        for query in [
+            paper_examples::figure14_query(),
+            paper_examples::figure1_q1(),
+        ] {
             let m = measure_query(&query, Variant::Msc, config());
             assert!(m.plans > 0);
-            assert!(m.height_optimal_plans >= 1, "no HO plan on {}", query.name());
+            assert!(
+                m.height_optimal_plans >= 1,
+                "no HO plan on {}",
+                query.name()
+            );
             assert_eq!(m.min_height, m.optimal_height);
         }
     }

@@ -190,7 +190,12 @@ impl fmt::Display for VariableGraph {
         for (i, node) in self.nodes.iter().enumerate() {
             let patterns: Vec<String> = node.patterns.iter().map(|p| format!("t{p}")).collect();
             let vars: Vec<String> = node.variables.iter().map(|v| v.to_string()).collect();
-            writeln!(f, "N{i}: [{}] vars {{{}}}", patterns.join(", "), vars.join(", "))?;
+            writeln!(
+                f,
+                "N{i}: [{}] vars {{{}}}",
+                patterns.join(", "),
+                vars.join(", ")
+            )?;
         }
         Ok(())
     }
@@ -244,7 +249,11 @@ mod tests {
         // b appears in a single pattern: no edge, no maximal clique.
         assert!(g.maximal_clique(&Variable::new("b")).is_none());
         // The join variables of Q1 are a, d, f, g, i, j.
-        let jv: Vec<String> = g.join_variables().iter().map(|v| v.name().to_string()).collect();
+        let jv: Vec<String> = g
+            .join_variables()
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
         assert_eq!(jv, vec!["a", "d", "f", "g", "i", "j"]);
     }
 

@@ -17,7 +17,9 @@ fn connected_query_strategy() -> impl Strategy<Value = BgpQuery> {
         let mut patterns = Vec::with_capacity(n);
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let pool = (n / 2).max(2) + 2;

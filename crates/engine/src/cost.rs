@@ -83,8 +83,7 @@ impl<'a> MapReduceCostModel<'a> {
                     input_card
                 }
                 PhysicalOp::MapJoin { inputs, .. } | PhysicalOp::ReduceJoin { inputs, .. } => {
-                    let input_cards: Vec<f64> =
-                        inputs.iter().map(|i| cards[i.index()]).collect();
+                    let input_cards: Vec<f64> = inputs.iter().map(|i| cards[i.index()]).collect();
                     let output = join_cardinality(&input_cards);
                     if matches!(op, PhysicalOp::ReduceJoin { .. }) {
                         let shuffled: f64 = input_cards.iter().sum();
@@ -178,11 +177,7 @@ mod tests {
         let flat = Optimizer::with_variant(Variant::Msc).optimize(&q);
         let deep = Optimizer::with_variant(Variant::Mxc).optimize(&q);
         let flat_cost = model.estimate_logical(flat.flattest_plans()[0]);
-        let deep_plan = deep
-            .plans
-            .iter()
-            .max_by_key(|p| p.height())
-            .unwrap();
+        let deep_plan = deep.plans.iter().max_by_key(|p| p.height()).unwrap();
         let deep_cost = model.estimate_logical(deep_plan);
         assert!(flat_cost.jobs <= deep_cost.jobs);
         assert!(flat_cost.total_seconds <= deep_cost.total_seconds);
@@ -208,10 +203,9 @@ mod tests {
     fn selective_scans_are_estimated_cheaper() {
         let cluster = cluster();
         let model = MapReduceCostModel::new(&cluster);
-        let narrow = parse_query(
-            "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?d }",
-        )
-        .unwrap();
+        let narrow =
+            parse_query("SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?d }")
+                .unwrap();
         let wide = parse_query("SELECT ?x WHERE { ?x rdf:type ?t . ?x ub:memberOf ?d }").unwrap();
         let narrow_plan = Optimizer::with_variant(Variant::Msc).optimize(&narrow);
         let wide_plan = Optimizer::with_variant(Variant::Msc).optimize(&wide);
@@ -224,7 +218,8 @@ mod tests {
     fn estimate_reports_job_count() {
         let cluster = cluster();
         let model = MapReduceCostModel::new(&cluster);
-        let q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
+        let q =
+            parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
         let plans = Optimizer::with_variant(Variant::Msc).optimize(&q).plans;
         let estimate = model.estimate_logical(&plans[0]);
         assert_eq!(estimate.jobs, 1);

@@ -136,7 +136,8 @@ mod tests {
     #[test]
     fn end_to_end_join_query() {
         let csq = csq();
-        let q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
+        let q =
+            parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
         let report = csq.run(&q);
         assert!(report.candidate_plans >= 1);
         assert_eq!(report.plan_height, 1);

@@ -268,8 +268,10 @@ impl ExecState<'_> {
         if !all_local {
             // Defensive path: a map join over non-co-located inputs degrades
             // to a cluster-wide join (well-formed translations never hit it).
-            let relations: Vec<Relation> =
-                evaluated.into_iter().map(Intermediate::into_global).collect();
+            let relations: Vec<Relation> = evaluated
+                .into_iter()
+                .map(Intermediate::into_global)
+                .collect();
             let refs: Vec<&Relation> = relations.iter().collect();
             let joined = Relation::join(&refs, &attrs);
             let metrics = self.job_metrics(id);
@@ -287,7 +289,8 @@ impl ExecState<'_> {
         let mut parts = Vec::with_capacity(nodes);
         let mut produced: u64 = 0;
         for node in 0..nodes {
-            let node_inputs: Vec<&Relation> = locals.iter().map(|per_node| &per_node[node]).collect();
+            let node_inputs: Vec<&Relation> =
+                locals.iter().map(|per_node| &per_node[node]).collect();
             let joined = Relation::join(&node_inputs, &attrs);
             produced += joined.len() as u64;
             parts.push(joined);

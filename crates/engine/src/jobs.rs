@@ -77,7 +77,13 @@ pub fn schedule(plan: &PhysicalPlan) -> JobSchedule {
     // level; a map-side operator runs in the job of its nearest reduce-join
     // ancestor; operators above every reduce join run in the last job.
     let mut op_jobs = vec![job_count; n];
-    fn assign(plan: &PhysicalPlan, levels: &[usize], op_jobs: &mut [usize], id: PhysId, context: usize) {
+    fn assign(
+        plan: &PhysicalPlan,
+        levels: &[usize],
+        op_jobs: &mut [usize],
+        id: PhysId,
+        context: usize,
+    ) {
         let op = plan.op(id);
         let job = if matches!(op, PhysicalOp::ReduceJoin { .. }) {
             levels[id.index()]
@@ -150,7 +156,10 @@ mod tests {
             Variant::Msc,
         );
         let sched = schedule(&plan);
-        assert!(sched.job_count >= 2, "8-pattern chain needs at least 2 jobs");
+        assert!(
+            sched.job_count >= 2,
+            "8-pattern chain needs at least 2 jobs"
+        );
         assert!(sched.kinds.iter().all(|k| *k == JobKind::MapReduce));
         assert_eq!(sched.descriptor(), sched.job_count.to_string());
     }

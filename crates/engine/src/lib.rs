@@ -48,6 +48,6 @@ pub mod translate;
 pub use cost::{CostEstimate, MapReduceCostModel};
 pub use csq::{Csq, CsqConfig, CsqReport};
 pub use executor::{ExecutionOutput, Executor};
-pub use physical::{PhysicalOp, PhysicalPlan, PhysId, ScanSpec};
+pub use physical::{PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
 pub use relation::Relation;
 pub use translate::translate;

@@ -235,7 +235,11 @@ impl PhysicalPlan {
                 ));
             }
             other => {
-                out.push_str(&format!("{indent}{} -> ({})\n", other.name(), attrs.join(",")));
+                out.push_str(&format!(
+                    "{indent}{} -> ({})\n",
+                    other.name(),
+                    attrs.join(",")
+                ));
                 for input in other.inputs() {
                     self.render_into(input, depth + 1, out);
                 }
@@ -306,7 +310,8 @@ mod tests {
         assert_eq!(plan.map_join_count(), 1);
         assert_eq!(plan.reduce_join_count(), 1);
         assert_eq!(
-            plan.ops_where(|op| matches!(op, PhysicalOp::MapScan { .. })).len(),
+            plan.ops_where(|op| matches!(op, PhysicalOp::MapScan { .. }))
+                .len(),
             3
         );
     }

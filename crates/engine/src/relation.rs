@@ -82,10 +82,7 @@ impl Relation {
     /// Projects the relation onto `variables` (dropping duplicates of rows is
     /// *not* performed: BGP semantics keep multiplicities).
     pub fn project(&self, variables: &[Variable]) -> Relation {
-        let columns: Vec<usize> = variables
-            .iter()
-            .filter_map(|v| self.column(v))
-            .collect();
+        let columns: Vec<usize> = variables.iter().filter_map(|v| self.column(v)).collect();
         let kept: Vec<Variable> = variables
             .iter()
             .filter(|v| self.column(v).is_some())
@@ -239,7 +236,9 @@ mod tests {
     fn rel(schema: &[&str], rows: &[&[u32]]) -> Relation {
         Relation::new(
             schema.iter().map(|s| v(s)).collect(),
-            rows.iter().map(|r| r.iter().map(|&x| t(x)).collect()).collect(),
+            rows.iter()
+                .map(|r| r.iter().map(|&x| t(x)).collect())
+                .collect(),
         )
     }
 
@@ -266,9 +265,12 @@ mod tests {
         assert_eq!(joined.schema(), &[v("a"), v("x"), v("b")]);
         assert_eq!(
             joined.rows(),
-            rel(&["a", "x", "b"], &[&[1, 10, 100], &[2, 20, 200], &[3, 10, 100]])
-                .sorted()
-                .rows()
+            rel(
+                &["a", "x", "b"],
+                &[&[1, 10, 100], &[2, 20, 200], &[3, 10, 100]]
+            )
+            .sorted()
+            .rows()
         );
     }
 

@@ -131,7 +131,14 @@ pub fn translate(plan: &LogicalPlan, graph: &Graph) -> PhysicalPlan {
                 pattern_index,
                 pattern,
                 output,
-            } => build_scan(ops, graph, *pattern_index, pattern, output, consumer_attributes),
+            } => build_scan(
+                ops,
+                graph,
+                *pattern_index,
+                pattern,
+                output,
+                consumer_attributes,
+            ),
             _ => translated[input.index()].expect("inputs are translated before consumers"),
         }
     }
@@ -151,7 +158,8 @@ pub fn translate(plan: &LogicalPlan, graph: &Graph) -> PhysicalPlan {
                 let all_matches = inputs.iter().all(|i| plan.op(*i).is_match());
                 let mut physical_inputs = Vec::with_capacity(inputs.len());
                 for &input in inputs {
-                    let mut phys = resolve_input(plan, graph, &mut ops, &translated, input, attributes);
+                    let mut phys =
+                        resolve_input(plan, graph, &mut ops, &translated, input, attributes);
                     if !all_matches && matches!(ops[phys.index()], PhysicalOp::ReduceJoin { .. }) {
                         // A reduce join cannot directly consume another
                         // reduce join's output: repartition it first.
@@ -272,7 +280,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_type_scan, "rdf:type pattern should narrow to a class file");
+        assert!(
+            saw_type_scan,
+            "rdf:type pattern should narrow to a class file"
+        );
     }
 
     #[test]
@@ -299,8 +310,7 @@ mod tests {
         );
         let physical = translate(&logical, &graph);
         if logical.height() >= 3 {
-            let shufflers =
-                physical.ops_where(|op| matches!(op, PhysicalOp::MapShuffler { .. }));
+            let shufflers = physical.ops_where(|op| matches!(op, PhysicalOp::MapShuffler { .. }));
             assert!(!shufflers.is_empty());
         }
     }
@@ -327,10 +337,7 @@ mod tests {
     #[test]
     fn shared_match_gets_one_scan_per_consumer() {
         let graph = lubm_graph();
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x ub:p1 ?y . ?y ub:p2 ?z . ?y ub:p3 ?w }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x WHERE { ?x ub:p1 ?y . ?y ub:p2 ?z . ?y ub:p3 ?w }").unwrap();
         // SC may build DAG plans where one pattern feeds two joins.
         let result = Optimizer::with_variant(Variant::Sc).optimize(&q);
         for logical in &result.plans {

@@ -170,9 +170,7 @@ mod tests {
             jobs: 3,
             ..Default::default()
         };
-        assert!(
-            three_jobs.simulated_seconds(&params, 7) > one_job.simulated_seconds(&params, 7)
-        );
+        assert!(three_jobs.simulated_seconds(&params, 7) > one_job.simulated_seconds(&params, 7));
     }
 
     #[test]

@@ -102,8 +102,7 @@ impl PartitionedStore {
         let mut files: Vec<HashMap<FileKey, Vec<Triple>>> = vec![HashMap::new(); nodes];
         for &triple in graph.triples() {
             for placement in TriplePosition::ALL {
-                let placed_on =
-                    (placement_hash(triple.get(placement)) % nodes as u64) as usize;
+                let placed_on = (placement_hash(triple.get(placement)) % nodes as u64) as usize;
                 let key = if Some(triple.property) == rdf_type {
                     FileKey::typed(placement, triple.property, triple.object)
                 } else {
@@ -261,9 +260,7 @@ mod tests {
         let all_types = store.scan_cardinality(TriplePosition::Subject, Some(rdf_type), None);
         assert!(narrowed > 0);
         assert!(narrowed < all_types);
-        let expected = graph
-            .match_pattern(None, Some(rdf_type), Some(grad))
-            .len();
+        let expected = graph.match_pattern(None, Some(rdf_type), Some(grad)).len();
         assert_eq!(narrowed, expected);
     }
 
@@ -287,10 +284,7 @@ mod tests {
             }
         }
         assert!(!subject_to_node.is_empty());
-        assert_eq!(
-            subject_to_node.len(),
-            graph.stats().distinct_subjects
-        );
+        assert_eq!(subject_to_node.len(), graph.stats().distinct_subjects);
     }
 
     #[test]

@@ -7,5 +7,5 @@
 pub mod lubm_queries;
 pub mod synthetic;
 
-pub use lubm_queries::{lubm_queries, lubm_query, selective_queries, non_selective_queries};
+pub use lubm_queries::{lubm_queries, lubm_query, non_selective_queries, selective_queries};
 pub use synthetic::{SyntheticShape, SyntheticWorkload, WorkloadConfig};

@@ -234,7 +234,11 @@ mod tests {
     #[test]
     fn all_queries_are_connected() {
         for query in lubm_queries() {
-            assert!(query.is_connected(), "{} contains a cartesian product", query.name());
+            assert!(
+                query.is_connected(),
+                "{} contains a cartesian product",
+                query.name()
+            );
         }
     }
 

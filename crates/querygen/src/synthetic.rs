@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(*sizes.iter().min().unwrap(), 1);
         assert_eq!(*sizes.iter().max().unwrap(), 10);
         let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        assert!((avg - 5.5).abs() < 0.6, "average size {avg} far from the paper's 5.5");
+        assert!(
+            (avg - 5.5).abs() < 0.6,
+            "average size {avg} far from the paper's 5.5"
+        );
     }
 
     #[test]
@@ -258,12 +261,16 @@ mod tests {
         };
         // Thin queries have roughly one join variable per extra pattern;
         // dense ones concentrate the joins on fewer variables.
-        assert!(avg_join_vars(SyntheticShape::RandomDense) <= avg_join_vars(SyntheticShape::RandomThin) + 0.05);
+        assert!(
+            avg_join_vars(SyntheticShape::RandomDense)
+                <= avg_join_vars(SyntheticShape::RandomThin) + 0.05
+        );
     }
 
     #[test]
     fn per_shape_generation_filters_by_name() {
-        let stars = SyntheticWorkload::generate_shape(SyntheticShape::Star, WorkloadConfig::small());
+        let stars =
+            SyntheticWorkload::generate_shape(SyntheticShape::Star, WorkloadConfig::small());
         assert_eq!(stars.len(), 5);
         assert!(stars.iter().all(|q| q.name().starts_with("star")));
     }

@@ -185,8 +185,9 @@ impl LubmGenerator {
                 // Courses.
                 let mut courses = Vec::with_capacity(s.courses);
                 for c in 0..s.courses {
-                    let course =
-                        Term::iri(format!("http://www.Department{d}.University{u}.edu/Course{c}"));
+                    let course = Term::iri(format!(
+                        "http://www.Department{d}.University{u}.edu/Course{c}"
+                    ));
                     graph.insert_terms(course.clone(), rdf_type.clone(), c_course.clone());
                     graph.insert_terms(
                         course.clone(),
@@ -214,7 +215,11 @@ impl LubmGenerator {
                 let mut full_professors = Vec::new();
                 let faculty_groups: [(usize, &Term, &str); 3] = [
                     (s.full_professors, &c_full_prof, "FullProfessor"),
-                    (s.assistant_professors, &c_assistant_prof, "AssistantProfessor"),
+                    (
+                        s.assistant_professors,
+                        &c_assistant_prof,
+                        "AssistantProfessor",
+                    ),
                     (s.lecturers, &c_lecturer, "Lecturer"),
                 ];
                 for (count, class, label) in faculty_groups {
@@ -400,9 +405,7 @@ mod tests {
     #[test]
     fn university_constants_match_query_constants() {
         let g = LubmGenerator::new(LubmScale::default()).generate();
-        assert!(g
-            .lookup(&Term::iri("http://www.University0.edu"))
-            .is_some());
+        assert!(g.lookup(&Term::iri("http://www.University0.edu")).is_some());
         assert!(g.lookup(&Term::literal("University0")).is_some());
     }
 

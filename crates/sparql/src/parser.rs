@@ -167,7 +167,9 @@ pub fn parse_query(text: &str) -> Result<BgpQuery, ParseError> {
             .ok_or_else(|| err("PREFIX missing name"))?
             .trim_end_matches(':')
             .to_string();
-        let iri_tok = tokens.get(pos + 2).ok_or_else(|| err("PREFIX missing IRI"))?;
+        let iri_tok = tokens
+            .get(pos + 2)
+            .ok_or_else(|| err("PREFIX missing IRI"))?;
         let iri = iri_tok
             .strip_prefix('<')
             .and_then(|t| t.strip_suffix('>'))
@@ -253,8 +255,8 @@ mod tests {
 
     #[test]
     fn parses_simple_two_pattern_query() {
-        let q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . }")
-            .unwrap();
+        let q =
+            parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . }").unwrap();
         assert_eq!(q.len(), 2);
         assert_eq!(q.distinguished().len(), 2);
         assert_eq!(q.join_variables(), vec![Variable::new("d")]);
@@ -304,10 +306,8 @@ mod tests {
 
     #[test]
     fn custom_prefix_declarations() {
-        let q = parse_query(
-            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:knows ?y }",
-        )
-        .unwrap();
+        let q = parse_query("PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:knows ?y }")
+            .unwrap();
         assert_eq!(
             q.patterns()[0].property,
             PatternTerm::Constant(Term::iri("http://example.org/knows"))

@@ -140,7 +140,9 @@ impl BgpQuery {
                 #[allow(clippy::needless_range_loop)]
                 for j in 0..n {
                     if component[j] == usize::MAX
-                        && !self.patterns[i].shared_variables(&self.patterns[j]).is_empty()
+                        && !self.patterns[i]
+                            .shared_variables(&self.patterns[j])
+                            .is_empty()
                     {
                         component[j] = id;
                         stack.push(j);
@@ -203,7 +205,11 @@ mod tests {
     fn chain3() -> BgpQuery {
         BgpQuery::new(
             vec![Variable::new("a"), Variable::new("c")],
-            vec![tp("?a", "p1", "?b"), tp("?b", "p2", "?c"), tp("?c", "p3", "?d")],
+            vec![
+                tp("?a", "p1", "?b"),
+                tp("?b", "p2", "?c"),
+                tp("?c", "p3", "?d"),
+            ],
         )
     }
 
@@ -262,7 +268,11 @@ mod tests {
     fn star_query_has_single_join_variable() {
         let q = BgpQuery::new(
             vec![Variable::new("x")],
-            vec![tp("?x", "p1", "?a"), tp("?x", "p2", "?b"), tp("?x", "p3", "?c")],
+            vec![
+                tp("?x", "p1", "?a"),
+                tp("?x", "p2", "?b"),
+                tp("?x", "p3", "?c"),
+            ],
         );
         assert_eq!(q.join_variables(), vec![Variable::new("x")]);
         assert!(q.is_connected());

@@ -3,7 +3,7 @@
 //! baselines — a miniature of Figures 20–22.
 //!
 //! ```bash
-//! cargo run --release -p cliquesquare-bench --example lubm_workload
+//! cargo run --release --example lubm_workload
 //! ```
 
 use cliquesquare_baselines::{H2RdfSystem, ShapeSystem};
@@ -15,7 +15,14 @@ use cliquesquare_sparql::analysis;
 
 fn main() {
     // Five universities so that the "University3" constant of Q11/Q14 exists.
-    let graph = LubmGenerator::new(LubmScale::with_universities(5)).generate();
+    run(LubmScale::with_universities(5));
+}
+
+/// Runs the 14-query workload at the given dataset scale (the example-smoke
+/// tests call this with [`LubmScale::tiny`]; constants missing at that scale
+/// make the affected queries return zero answers on every system).
+pub fn run(scale: LubmScale) {
+    let graph = LubmGenerator::new(scale).generate();
     println!("dataset: {} triples, 7-node cluster\n", graph.len());
     let cluster = Cluster::load(graph, ClusterConfig::default());
     let csq = Csq::new(cluster.clone(), CsqConfig::default());

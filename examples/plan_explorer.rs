@@ -4,17 +4,24 @@
 //! grouping into MapReduce jobs.
 //!
 //! ```bash
-//! cargo run --release -p cliquesquare-bench --example plan_explorer
+//! cargo run --release --example plan_explorer
 //! ```
 
 use cliquesquare_core::clique::reduce;
 use cliquesquare_core::decomposition::{decompositions, DecompositionLimits};
-use cliquesquare_core::{paper_examples, Optimizer, Variant, VariableGraph};
+use cliquesquare_core::{paper_examples, Optimizer, VariableGraph, Variant};
 use cliquesquare_engine::jobs::schedule;
 use cliquesquare_engine::translate;
 use cliquesquare_rdf::{LubmGenerator, LubmScale};
 
 fn main() {
+    run(LubmScale::tiny());
+}
+
+/// Walks the paper's running example, resolving constants against a dataset
+/// of the given scale (the example-smoke tests call this with
+/// [`LubmScale::tiny`]).
+pub fn run(scale: LubmScale) {
     let query = paper_examples::figure1_q1();
     println!("== Query Q1 (Figure 1) ==\n{query}\n");
 
@@ -54,7 +61,7 @@ fn main() {
 
     // Physical translation and job grouping (Figure 15) over a small dataset
     // so that property constants resolve through the dictionary.
-    let data = LubmGenerator::new(LubmScale::tiny()).generate();
+    let data = LubmGenerator::new(scale).generate();
     let physical = translate(&plan, &data);
     println!("== Physical plan ==\n{}", physical.render());
     let jobs = schedule(&physical);

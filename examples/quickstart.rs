@@ -1,7 +1,7 @@
 //! Quickstart: optimize and execute a SPARQL BGP query with CliqueSquare.
 //!
 //! ```bash
-//! cargo run --release -p cliquesquare-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
 //! The example generates a small LUBM-like dataset, loads it onto a
@@ -15,9 +15,15 @@ use cliquesquare_rdf::{LubmGenerator, LubmScale};
 use cliquesquare_sparql::parser::parse_query;
 
 fn main() {
+    run(LubmScale::default());
+}
+
+/// Runs the whole tour at the given dataset scale (the example-smoke tests
+/// call this with [`LubmScale::tiny`]).
+pub fn run(scale: LubmScale) {
     // 1. Generate data and load the cluster (3 replicas: by subject,
     //    property and object, so first-level joins are co-located).
-    let graph = LubmGenerator::new(LubmScale::default()).generate();
+    let graph = LubmGenerator::new(scale).generate();
     println!("generated {} triples", graph.len());
     let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
 

@@ -4,7 +4,7 @@
 //! Section 6.2 study (Figures 16–19).
 //!
 //! ```bash
-//! cargo run --release -p cliquesquare-bench --example variant_comparison
+//! cargo run --release --example variant_comparison
 //! ```
 
 use cliquesquare_core::planspace::{evaluate_variants, paper_ho_class, HoClass};
@@ -12,13 +12,21 @@ use cliquesquare_core::{OptimizerConfig, Variant};
 use cliquesquare_querygen::{SyntheticWorkload, WorkloadConfig};
 
 fn main() {
+    run();
+}
+
+/// Runs the variant study; purely synthetic, so no dataset scale is needed.
+pub fn run() {
     let workload = SyntheticWorkload::generate(WorkloadConfig {
         queries_per_shape: 8,
         min_patterns: 2,
         max_patterns: 7,
         seed: 99,
     });
-    println!("workload: {} synthetic queries (chain / star / thin / dense)\n", workload.len());
+    println!(
+        "workload: {} synthetic queries (chain / star / thin / dense)\n",
+        workload.len()
+    );
 
     let config = OptimizerConfig::recommended().with_max_plans(20_000);
     let report = evaluate_variants(&workload, &Variant::ALL, config);

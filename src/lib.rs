@@ -1,0 +1,35 @@
+//! Umbrella crate for the CliqueSquare reproduction.
+//!
+//! Re-exports every sub-crate under one roof so downstream users can depend
+//! on a single `cliquesquare` crate; the sub-crates remain usable
+//! individually. This package also owns the repository-level integration
+//! tests (`tests/`) and the runnable examples (`examples/`).
+//!
+//! # Example
+//!
+//! ```
+//! use cliquesquare::engine::csq::{Csq, CsqConfig};
+//! use cliquesquare::mapreduce::{Cluster, ClusterConfig};
+//! use cliquesquare::rdf::{LubmGenerator, LubmScale};
+//! use cliquesquare::sparql::parser::parse_query;
+//!
+//! let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+//! let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
+//! let csq = Csq::new(cluster, CsqConfig::default());
+//! let query = parse_query(
+//!     "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . }",
+//! ).unwrap();
+//! assert!(csq.run(&query).result_count > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cliquesquare_baselines as baselines;
+pub use cliquesquare_bench as bench;
+pub use cliquesquare_core as core;
+pub use cliquesquare_engine as engine;
+pub use cliquesquare_mapreduce as mapreduce;
+pub use cliquesquare_querygen as querygen;
+pub use cliquesquare_rdf as rdf;
+pub use cliquesquare_sparql as sparql;

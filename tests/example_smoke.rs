@@ -1,0 +1,45 @@
+//! Smoke tests: every example in `examples/` runs to completion on
+//! [`LubmScale::tiny`].
+//!
+//! Each example file is compiled into this test as a `#[path]` module and
+//! driven through its `pub fn run(...)` entry point, so the exact code a
+//! user would `cargo run --example` is what gets exercised — just at the
+//! smallest dataset scale.
+
+use cliquesquare_rdf::LubmScale;
+
+#[allow(dead_code)]
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[allow(dead_code)]
+#[path = "../examples/plan_explorer.rs"]
+mod plan_explorer;
+
+#[allow(dead_code)]
+#[path = "../examples/lubm_workload.rs"]
+mod lubm_workload;
+
+#[allow(dead_code)]
+#[path = "../examples/variant_comparison.rs"]
+mod variant_comparison;
+
+#[test]
+fn quickstart_runs_to_completion_on_tiny_scale() {
+    quickstart::run(LubmScale::tiny());
+}
+
+#[test]
+fn plan_explorer_runs_to_completion_on_tiny_scale() {
+    plan_explorer::run(LubmScale::tiny());
+}
+
+#[test]
+fn lubm_workload_runs_to_completion_on_tiny_scale() {
+    lubm_workload::run(LubmScale::tiny());
+}
+
+#[test]
+fn variant_comparison_runs_to_completion() {
+    variant_comparison::run();
+}

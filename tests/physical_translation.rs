@@ -28,7 +28,10 @@ fn figure1_query_translates_to_a_three_level_physical_plan() {
     assert!(physical.map_join_count() >= 2);
     assert!(physical.reduce_join_count() >= 2);
     let sched = schedule(&physical);
-    assert_eq!(sched.job_count, 2, "a height-3 MSC plan of Q1 runs in 2 jobs");
+    assert_eq!(
+        sched.job_count, 2,
+        "a height-3 MSC plan of Q1 runs in 2 jobs"
+    );
     assert!(sched.kinds.iter().all(|k| *k == JobKind::MapReduce));
 }
 

@@ -22,9 +22,24 @@ fn all_three_systems_agree_with_the_reference_on_every_query() {
     let h2rdf = H2RdfSystem::new(&cluster);
     for query in lubm_queries::lubm_queries() {
         let expected = reference_count(cluster.graph(), &query);
-        assert_eq!(csq.run(&query).result_count, expected, "CSQ on {}", query.name());
-        assert_eq!(shape.run(&query).result_count, expected, "SHAPE on {}", query.name());
-        assert_eq!(h2rdf.run(&query).result_count, expected, "H2RDF+ on {}", query.name());
+        assert_eq!(
+            csq.run(&query).result_count,
+            expected,
+            "CSQ on {}",
+            query.name()
+        );
+        assert_eq!(
+            shape.run(&query).result_count,
+            expected,
+            "SHAPE on {}",
+            query.name()
+        );
+        assert_eq!(
+            h2rdf.run(&query).result_count,
+            expected,
+            "H2RDF+ on {}",
+            query.name()
+        );
     }
 }
 
@@ -93,7 +108,10 @@ fn complex_queries_are_not_pwoc_for_shape_and_need_jobs() {
         let query = lubm_query(name).unwrap();
         assert!(!ShapeSystem::is_pwoc(&query), "{name} should not be PWOC");
         let report = shape.run(&query);
-        assert!(report.jobs >= 1, "{name} should need at least one MapReduce job");
+        assert!(
+            report.jobs >= 1,
+            "{name} should need at least one MapReduce job"
+        );
     }
 }
 

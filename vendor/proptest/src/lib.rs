@@ -1,0 +1,117 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate re-implements
+//! the slice of proptest's API that the workspace's property suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, integer-range strategies, tuple
+//!   strategies (arities 2–10), regex-literal string strategies of the form
+//!   `"[class]{m,n}"`, [`collection::vec`], [`strategy::Union`] behind
+//!   [`prop_oneof!`], and [`arbitrary`]'s `any::<T>()`;
+//! * the [`proptest!`] macro, which expands each `fn name(arg in strategy)`
+//!   item into a `#[test]` that samples and runs `cases` inputs;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`;
+//! * [`test_runner::Config`] (re-exported in the prelude as
+//!   `ProptestConfig`) with `with_cases`, honouring the `PROPTEST_CASES`
+//!   environment variable as a hard cap so CI can bound suite runtime.
+//!
+//! Differences from real proptest: sampling is derived from a fixed seed (so
+//! failures are perfectly reproducible and CI is deterministic), and there
+//! is **no shrinking** — a failing case panics with the sampled inputs left
+//! to the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Expands a block of `fn name(arg in strategy, ...) { body }` items into
+/// `#[test]` functions that sample and check `cases` random inputs each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; matches the individual test items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let cases = config.resolved_cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut rejected = 0u32;
+                let mut ran = 0u32;
+                while ran < cases {
+                    if rejected > cases.saturating_mul(20).max(1000) {
+                        panic!(
+                            "proptest {}: too many prop_assume rejections ({rejected})",
+                            stringify!($name)
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => rejected += 1,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case (it is re-drawn) when `condition` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr $(, $($fmt:tt)*)?) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,160 @@
+//! Regex-literal string strategies: `"[a-z]{1,4}"` as a `Strategy<Value =
+//! String>`, mirroring proptest's `&str` strategy for the simple class +
+//! quantifier patterns the workspace uses.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = match atom.quantifier {
+                Quantifier::Exactly(n) => n,
+                Quantifier::Between(lo, hi) => rng.gen_range(lo..hi + 1),
+            };
+            for _ in 0..count {
+                let choice = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[choice]);
+            }
+        }
+        out
+    }
+}
+
+/// One pattern element: a set of candidate characters plus a repetition.
+struct Atom {
+    chars: Vec<char>,
+    quantifier: Quantifier,
+}
+
+enum Quantifier {
+    Exactly(usize),
+    Between(usize, usize),
+}
+
+/// Parses the supported regex subset: literal characters and `[...]`
+/// classes (ranges and singletons, no negation), each optionally followed by
+/// `{m}`, `{m,n}`, `?`, `*` or `+` (the unbounded forms cap at 8).
+fn parse_pattern(pattern: &str) -> Result<Vec<Atom>, String> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let candidate_chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated character class".into()),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("checked above");
+                            let hi = chars.next().expect("peeked above");
+                            if hi < lo {
+                                return Err(format!("inverted range {lo}-{hi}"));
+                            }
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        }
+                        Some(member) => {
+                            if let Some(p) = prev.replace(member) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                set
+            }
+            '\\' => match chars.next() {
+                Some(escaped) => vec![escaped],
+                None => return Err("dangling escape".into()),
+            },
+            '.' => (b' '..=b'~').map(char::from).collect(),
+            literal => vec![literal],
+        };
+        let quantifier = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match body.split_once(',') {
+                    Some((lo, hi)) => Quantifier::Between(
+                        lo.trim().parse().map_err(|_| format!("bad bound {lo:?}"))?,
+                        hi.trim().parse().map_err(|_| format!("bad bound {hi:?}"))?,
+                    ),
+                    None => Quantifier::Exactly(
+                        body.trim()
+                            .parse()
+                            .map_err(|_| format!("bad count {body:?}"))?,
+                    ),
+                }
+            }
+            Some('?') => {
+                chars.next();
+                Quantifier::Between(0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                Quantifier::Between(0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                Quantifier::Between(1, 8)
+            }
+            _ => Quantifier::Exactly(1),
+        };
+        if let Quantifier::Between(lo, hi) = quantifier {
+            if lo > hi {
+                return Err(format!("inverted quantifier {{{lo},{hi}}}"));
+            }
+        }
+        atoms.push(Atom {
+            chars: candidate_chars,
+            quantifier,
+        });
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_bounds_generates_matching_strings() {
+        let mut rng = TestRng::for_test("string_unit");
+        for _ in 0..300 {
+            let s = "[a-z]{1,4}".generate(&mut rng);
+            assert!((1..=4).contains(&s.len()), "bad length {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..300 {
+            let s = "[A-Za-z0-9 ]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers_compose() {
+        let mut rng = TestRng::for_test("string_unit_2");
+        for _ in 0..100 {
+            let s = "ab[0-9]{2}c?".generate(&mut rng);
+            assert!(s.starts_with("ab"), "{s:?}");
+            let digits = &s[2..4];
+            assert!(digits.chars().all(|c| c.is_ascii_digit()), "{s:?}");
+            assert!(s.len() == 4 || (s.len() == 5 && s.ends_with('c')), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Why a test case did not run to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should be re-drawn.
+    Reject,
+}
+
+/// Per-suite configuration, re-exported in the prelude as `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Requested number of successful cases per test.
+    pub cases: u32,
+}
+
+/// Default number of cases when a suite does not configure one.
+const DEFAULT_CASES: u32 = 64;
+
+/// Hard cap applied on top of any configured count, so the full property
+/// suite stays well under a minute in CI. `PROPTEST_CASES` (when smaller)
+/// lowers it further.
+const MAX_CASES: u32 = 128;
+
+impl Config {
+    /// Configuration running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// The case count actually run: the configured count, capped by
+    /// [`MAX_CASES`] and by the `PROPTEST_CASES` environment variable.
+    pub fn resolved_cases(&self) -> u32 {
+        let mut cases = self.cases.clamp(1, MAX_CASES);
+        if let Ok(env_cases) = std::env::var("PROPTEST_CASES") {
+            if let Ok(env_cases) = env_cases.trim().parse::<u32>() {
+                cases = cases.min(env_cases.max(1));
+            }
+        }
+        cases
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// The RNG handed to strategies: a seeded [`StdRng`] whose seed is derived
+/// from the test name, so every test draws a stable, independent stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives decorrelated per-test seeds.
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolved_cases_is_capped() {
+        assert_eq!(Config::with_cases(1_000_000).resolved_cases(), MAX_CASES);
+        assert_eq!(Config::with_cases(8).resolved_cases(), 8);
+        assert!(Config::default().resolved_cases() >= 1);
+    }
+
+    #[test]
+    fn per_test_streams_differ() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut a2 = TestRng::for_test("alpha");
+        assert_eq!(TestRng::for_test("alpha").next_u64(), a2.next_u64());
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so a real serialization backend can be dropped in later,
+//! but no code path serializes anything yet and the build environment cannot
+//! reach crates.io. This facade keeps the annotations compiling: the derive
+//! macros (re-exported from the stub `serde_derive`) expand to nothing, and
+//! the traits are blanket-implemented for every type so `T: Serialize`
+//! bounds hold everywhere.
+//!
+//! Replacing this with the real serde is a one-line change per manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
