@@ -81,7 +81,7 @@ impl<'a> BinaryPlanner<'a> {
             resolve(&pattern.property),
             resolve(&pattern.object),
         ) {
-            (Some(s), Some(p), Some(o)) => self.graph.match_pattern(s, p, o).len() as f64,
+            (Some(s), Some(p), Some(o)) => self.graph.match_pattern(s, p, o).count() as f64,
             _ => 0.0, // a constant absent from the data matches nothing
         }
     }

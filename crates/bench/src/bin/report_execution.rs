@@ -5,25 +5,46 @@
 //! `Qi(#tps | jobs_MSC jobs_bushy jobs_linear)` where `M` denotes a map-only
 //! job.
 //!
-//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution`
+//! The simulated columns come from the Section 5.4 cost model and are
+//! independent of the thread count. The `wall …` columns are *measured*
+//! wall-clock times of the chosen MSC plan on this machine: once on the
+//! sequential runtime and once on `--threads N` OS threads (best of several
+//! runs), together with the resulting real speedup. Both executions are
+//! asserted to produce bit-identical answers.
+//!
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution [-- --threads N] [--scale U]`
+//! (`--threads auto` uses all cores; default: `CSQ_THREADS` or sequential.
+//! `--scale U` generates U LUBM universities — larger datasets amortize the
+//! per-wave thread spawn cost, which is what the speedup column measures.)
 
 use cliquesquare_baselines::BinaryPlanner;
-use cliquesquare_bench::{fmt_f64, lubm_cluster, report_scale, table};
+use cliquesquare_bench::{
+    fmt_f64, lubm_cluster, measure_seconds, report_scale, runtime_from_args, scale_from_args, table,
+};
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_engine::csq::{Csq, CsqConfig};
-use cliquesquare_engine::Executor;
+use cliquesquare_engine::{translate, Executor};
 use cliquesquare_querygen::lubm_queries;
 
+/// Wall-clock measurement repetitions (best-of).
+const REPEATS: usize = 5;
+
 fn main() {
-    let cluster = lubm_cluster(report_scale());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let runtime = runtime_from_args(&args);
+    let cluster = lubm_cluster(scale_from_args(&args, report_scale()));
     println!(
-        "== Figure 20: MSC plans vs best binary bushy / linear plans ==\ndataset: {} triples on {} nodes\n",
+        "== Figure 20: MSC plans vs best binary bushy / linear plans ==\n\
+         dataset: {} triples on {} nodes; measured columns on {} thread(s), best of {}\n",
         cluster.graph().len(),
-        cluster.nodes()
+        cluster.nodes(),
+        runtime.threads(),
+        REPEATS
     );
     let csq = Csq::new(cluster.clone(), CsqConfig::default());
     let planner = BinaryPlanner::new(cluster.graph());
-    let executor = Executor::new(&cluster);
+    let executor = Executor::sequential(&cluster);
+    let parallel_executor = Executor::with_runtime(&cluster, runtime);
 
     let mut rows = Vec::new();
     for query in lubm_queries::lubm_queries() {
@@ -52,6 +73,30 @@ fn main() {
             query.name()
         );
 
+        // Measured wall-clock of the chosen MSC plan: sequential vs parallel
+        // runtime, identical answers enforced.
+        let physical = translate(&report.chosen_plan, cluster.graph());
+        let sequential_output = executor.execute(&physical);
+        let parallel_output = parallel_executor.execute(&physical);
+        assert_eq!(
+            sequential_output.results,
+            parallel_output.results,
+            "{}: parallel runtime changed the answer set",
+            query.name()
+        );
+        assert_eq!(
+            sequential_output.job_log.descriptor(),
+            parallel_output.job_log.descriptor(),
+            "{}: parallel runtime changed the job descriptor",
+            query.name()
+        );
+        let wall_seq = measure_seconds(REPEATS, || {
+            std::hint::black_box(executor.execute(&physical));
+        });
+        let wall_par = measure_seconds(REPEATS, || {
+            std::hint::black_box(parallel_executor.execute(&physical));
+        });
+
         rows.push(vec![
             format!(
                 "{}({}|{}{}{})",
@@ -67,6 +112,9 @@ fn main() {
             fmt_f64(linear.1),
             fmt_f64(bushy.1 / report.simulated_seconds),
             fmt_f64(linear.1 / report.simulated_seconds),
+            fmt_f64(wall_seq * 1e3),
+            fmt_f64(wall_par * 1e3),
+            fmt_f64(wall_seq / wall_par),
             report.result_count.to_string(),
         ]);
     }
@@ -81,10 +129,17 @@ fn main() {
                 "Best Linear (s)",
                 "bushy/MSC",
                 "linear/MSC",
+                "wall 1T (ms)",
+                "wall NT (ms)",
+                "speedup",
                 "|Q|",
             ],
             &rows
         )
+    );
+    println!(
+        "Columns `MSC-Best`..`linear/MSC` are simulated (cost model, thread-independent); \
+         `wall *` columns are measured on this machine."
     );
     println!("Expected shape (paper): MSC plans are fastest for every query, up to ~2x vs bushy and up to ~16x vs linear.");
 }

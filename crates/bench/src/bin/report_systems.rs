@@ -3,10 +3,15 @@
 //! on the 14 LUBM queries, split into selective and non-selective groups as
 //! in the paper.
 //!
-//! Usage: `cargo run --release -p cliquesquare-bench --bin report_systems`
+//! The `CSQ wall (ms)` column is the *measured* wall-clock execution time of
+//! the CSQ plan on this machine, using the runtime selected by `--threads N`
+//! (default: `CSQ_THREADS` or sequential); the `(s)` columns are simulated
+//! by the cost model and independent of the thread count.
+//!
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_systems [-- --threads N]`
 
 use cliquesquare_baselines::{H2RdfSystem, ShapeSystem, SystemRunReport};
-use cliquesquare_bench::{fmt_f64, lubm_cluster, report_scale, table};
+use cliquesquare_bench::{fmt_f64, lubm_cluster, report_scale, runtime_from_args, table};
 use cliquesquare_engine::csq::{Csq, CsqConfig};
 use cliquesquare_querygen::lubm_queries::{non_selective_queries, selective_queries};
 use cliquesquare_sparql::BgpQuery;
@@ -51,6 +56,7 @@ fn run_group(
             fmt_f64(csq_report.simulated_seconds),
             fmt_f64(shape_report.simulated_seconds),
             fmt_f64(h2rdf_report.simulated_seconds),
+            fmt_f64(csq_report.wall_seconds * 1e3),
             csq_report.result_count.to_string(),
         ]);
     }
@@ -59,6 +65,7 @@ fn run_group(
         fmt_f64(totals[0]),
         fmt_f64(totals[1]),
         fmt_f64(totals[2]),
+        String::new(),
         String::new(),
     ]);
     println!("{title}");
@@ -70,6 +77,7 @@ fn run_group(
                 "CSQ (s)",
                 "SHAPE-2f (s)",
                 "H2RDF+ (s)",
+                "CSQ wall (ms)",
                 "|Q|"
             ],
             &rows
@@ -78,13 +86,20 @@ fn run_group(
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let runtime = runtime_from_args(&args);
     let cluster = lubm_cluster(report_scale());
     println!(
-        "== Figure 21: CSQ vs SHAPE-2f vs H2RDF+ ==\ndataset: {} triples on {} nodes\n",
+        "== Figure 21: CSQ vs SHAPE-2f vs H2RDF+ ==\n\
+         dataset: {} triples on {} nodes; CSQ wall-clock on {} thread(s)\n",
         cluster.graph().len(),
-        cluster.nodes()
+        cluster.nodes(),
+        runtime.threads()
     );
-    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let csq = Csq::new(
+        cluster.clone(),
+        CsqConfig::default().with_threads(runtime.threads()),
+    );
     let shape = ShapeSystem::new(&cluster);
     let h2rdf = H2RdfSystem::new(&cluster);
 

@@ -6,8 +6,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use cliquesquare_mapreduce::{Cluster, ClusterConfig};
+use cliquesquare_mapreduce::{Cluster, ClusterConfig, Runtime};
 use cliquesquare_rdf::{Graph, LubmGenerator, LubmScale};
+use std::time::Instant;
 
 /// Default LUBM scale used by the execution reports: large enough that join
 /// selectivities differentiate plans (and that the `"University3"` constant
@@ -29,6 +30,53 @@ pub fn lubm_graph(scale: LubmScale) -> Graph {
 /// Loads a 7-node cluster (the paper's testbed size) with the given scale.
 pub fn lubm_cluster(scale: LubmScale) -> Cluster {
     Cluster::load(lubm_graph(scale), ClusterConfig::with_nodes(7))
+}
+
+/// Resolves the execution runtime of a report binary: an explicit
+/// `--threads N` argument wins (also accepting `auto` / `0` for the
+/// machine's available parallelism), then the `CSQ_THREADS` environment
+/// variable, then the deterministic sequential default.
+pub fn runtime_from_args(args: &[String]) -> Runtime {
+    match flag_value(args, "--threads") {
+        Some(value) => Runtime::from_option(value),
+        None => Runtime::from_env(),
+    }
+}
+
+/// Parses `--scale U` (LUBM universities) from the argument list, falling
+/// back to `default`. Lets the wall-clock speedup experiments run on a
+/// larger dataset than the paper-figure default without recompiling.
+pub fn scale_from_args(args: &[String], default: LubmScale) -> LubmScale {
+    flag_value(args, "--scale")
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .map(|universities| LubmScale::with_universities(universities.max(1)))
+        .unwrap_or(default)
+}
+
+/// The value of a `--flag value` / `--flag=value` argument, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return iter.next().map(String::as_str);
+        }
+        if let Some(value) = arg.strip_prefix(flag).and_then(|v| v.strip_prefix('=')) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// Measures `f`'s wall-clock seconds as the best (minimum) of `repeats`
+/// runs — the standard way to damp scheduler noise in speedup tables.
+pub fn measure_seconds(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let started = Instant::now();
+        f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
 }
 
 /// Formats a fixed-width text table with a header row, used by every report
@@ -113,5 +161,37 @@ mod tests {
         let cluster = lubm_cluster(bench_scale());
         assert_eq!(cluster.nodes(), 7);
         assert!(cluster.graph().len() > 100);
+    }
+
+    #[test]
+    fn runtime_argument_parsing() {
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(runtime_from_args(&args(&["--threads", "4"])).threads(), 4);
+        assert_eq!(runtime_from_args(&args(&["--threads=2"])).threads(), 2);
+        assert!(runtime_from_args(&args(&["--threads", "auto"])).threads() >= 1);
+        // No flag: defers to CSQ_THREADS / sequential; just ensure sanity.
+        assert!(runtime_from_args(&args(&["--fast"])).threads() >= 1);
+    }
+
+    #[test]
+    fn scale_argument_parsing() {
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(
+            scale_from_args(&args(&["--scale", "12"]), report_scale()),
+            LubmScale::with_universities(12)
+        );
+        assert_eq!(
+            scale_from_args(&args(&["--scale=3"]), report_scale()),
+            LubmScale::with_universities(3)
+        );
+        assert_eq!(scale_from_args(&args(&[]), report_scale()), report_scale());
+    }
+
+    #[test]
+    fn measure_seconds_returns_a_finite_minimum() {
+        let seconds = measure_seconds(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(seconds.is_finite() && seconds >= 0.0);
     }
 }

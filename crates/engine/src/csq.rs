@@ -6,7 +6,7 @@ use crate::cost::MapReduceCostModel;
 use crate::executor::{ExecutionOutput, Executor};
 use crate::translate::translate;
 use cliquesquare_core::{LogicalPlan, Optimizer, OptimizerConfig, Variant};
-use cliquesquare_mapreduce::Cluster;
+use cliquesquare_mapreduce::{Cluster, Runtime};
 use cliquesquare_sparql::BgpQuery;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -18,6 +18,12 @@ pub struct CsqConfig {
     pub variant: Variant,
     /// Cap on the number of candidate plans considered by the cost model.
     pub max_candidate_plans: usize,
+    /// Degree of execution parallelism: `1` runs task waves sequentially,
+    /// `N > 1` runs them on `N` OS threads, and `0` defers to the
+    /// `CSQ_THREADS` environment variable (sequential when unset). Results
+    /// and simulated seconds are bit-identical at every setting; only the
+    /// measured wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for CsqConfig {
@@ -25,6 +31,24 @@ impl Default for CsqConfig {
         Self {
             variant: Variant::Msc,
             max_candidate_plans: 2_000,
+            threads: 0,
+        }
+    }
+}
+
+impl CsqConfig {
+    /// This configuration with an explicit execution thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The runtime the configuration selects.
+    pub fn runtime(&self) -> Runtime {
+        if self.threads == 0 {
+            Runtime::from_env()
+        } else {
+            Runtime::with_threads(self.threads)
         }
     }
 }
@@ -50,6 +74,10 @@ pub struct CsqReport {
     pub result_count: usize,
     /// Simulated response time in seconds.
     pub simulated_seconds: f64,
+    /// Measured wall-clock execution time in seconds (on `threads` threads).
+    pub wall_seconds: f64,
+    /// Number of OS threads the execution ran task waves on.
+    pub threads: usize,
     /// The full execution output (job log, metrics, results).
     pub execution: ExecutionOutput,
 }
@@ -99,11 +127,14 @@ impl Csq {
         (result.plans, chosen, elapsed_ms)
     }
 
-    /// Runs `query` end to end and reports what happened.
+    /// Runs `query` end to end and reports what happened. Plan choice is
+    /// always made by the deterministic cost model; only the execution of
+    /// the chosen plan uses the configured runtime.
     pub fn run(&self, query: &BgpQuery) -> CsqReport {
         let (candidates, chosen, optimization_ms) = self.plan(query);
         let physical = translate(&chosen, self.cluster.graph());
-        let execution = Executor::new(&self.cluster).execute(&physical);
+        let execution =
+            Executor::with_runtime(&self.cluster, self.config.runtime()).execute(&physical);
         CsqReport {
             query: query.name().to_string(),
             candidate_plans: candidates.len(),
@@ -113,6 +144,8 @@ impl Csq {
             jobs: execution.job_log.job_count(),
             result_count: execution.distinct_count(),
             simulated_seconds: execution.simulated_seconds,
+            wall_seconds: execution.wall_seconds,
+            threads: execution.threads,
             chosen_plan: chosen,
             execution,
         }
@@ -176,6 +209,22 @@ mod tests {
         let (candidates, chosen, _) = csq.plan(&q);
         let min_height = candidates.iter().map(LogicalPlan::height).min().unwrap();
         assert_eq!(chosen.height(), min_height);
+    }
+
+    #[test]
+    fn parallel_csq_agrees_with_sequential() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
+        let q =
+            parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }").unwrap();
+        let sequential = Csq::new(cluster.clone(), CsqConfig::default().with_threads(1)).run(&q);
+        let parallel = Csq::new(cluster, CsqConfig::default().with_threads(4)).run(&q);
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(sequential.result_count, parallel.result_count);
+        assert_eq!(sequential.job_descriptor, parallel.job_descriptor);
+        assert_eq!(sequential.simulated_seconds, parallel.simulated_seconds);
+        assert_eq!(sequential.execution.results, parallel.execution.results);
+        assert!(parallel.wall_seconds > 0.0);
     }
 
     #[test]

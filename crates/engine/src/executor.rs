@@ -1,10 +1,19 @@
-//! Simulated execution of physical plans against the partitioned cluster.
+//! Execution of physical plans against the partitioned cluster.
 //!
 //! Execution is faithful at the data level (it produces the exact query
 //! answers) and at the accounting level (every tuple scanned, shuffled,
-//! joined or written is charged to the job that processes it), but it runs
-//! in-process: "nodes" are partitions of the store and "shuffles" move rows
-//! between in-memory buckets while charging network cost.
+//! joined or written is charged to the job that processes it). Jobs run as
+//! *task waves* on a [`Runtime`]: every map-side operator does its per-node
+//! work as one task per compute node, and every reduce join hash-partitions
+//! its inputs across the nodes (the shuffle) and joins each partition as one
+//! reduce task per node. With `Runtime::sequential()` (the deterministic
+//! default) the tasks run inline on the driver thread; with more threads the
+//! waves execute concurrently on scoped OS threads, producing **bit-identical
+//! results** because every operator canonicalizes (sorts) its merged output.
+//!
+//! Two clocks are reported: `simulated_seconds` (the Section 5.4 cost model
+//! applied to the work counters — unchanged by the thread count) and
+//! `wall_seconds` (real time measured around the task waves).
 
 use crate::jobs::{schedule, JobSchedule};
 use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
@@ -12,23 +21,31 @@ use crate::relation::Relation;
 use crate::translate::translate;
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_mapreduce::{
-    Cluster, ExecutionMetrics, JobExecution, JobKind, JobLog, TaskExecution,
+    Cluster, ExecutionMetrics, JobExecution, JobKind, JobLog, Runtime, TaskExecution,
 };
 use cliquesquare_rdf::{TermId, Triple, TriplePosition};
 use cliquesquare_sparql::{PatternTerm, Variable};
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The result of executing one plan.
 #[derive(Debug, Clone)]
 pub struct ExecutionOutput {
-    /// The final (projected) result relation, with duplicates preserved.
+    /// The final (projected) result relation in canonical (sorted) order,
+    /// with duplicates preserved.
     pub results: Relation,
     /// Per-job execution records.
     pub job_log: JobLog,
     /// Aggregated work counters.
     pub metrics: ExecutionMetrics,
-    /// Simulated response time on the cluster.
+    /// Simulated response time on the cluster (cost model; independent of
+    /// the runtime's thread count).
     pub simulated_seconds: f64,
+    /// Measured wall-clock time of the whole execution on this machine.
+    pub wall_seconds: f64,
+    /// Number of OS threads the runtime executed task waves on.
+    pub threads: usize,
     /// The job schedule the plan was executed under.
     pub schedule: JobSchedule,
 }
@@ -36,14 +53,15 @@ pub struct ExecutionOutput {
 impl ExecutionOutput {
     /// Number of distinct result rows (BGP answers are sets of bindings).
     pub fn distinct_count(&self) -> usize {
-        self.results.clone().distinct().len()
+        self.results.distinct_len()
     }
 }
 
 /// Intermediate operator results: either one relation per compute node
 /// (map-side, co-located data) or a single cluster-wide relation (the output
-/// of a reduce phase).
-#[derive(Debug, Clone)]
+/// of a reduce phase). Shared between consumers via `Arc` — a memo hit costs
+/// a reference-count bump, not a relation clone.
+#[derive(Debug)]
 enum Intermediate {
     Local(Vec<Relation>),
     Global(Relation),
@@ -57,33 +75,70 @@ impl Intermediate {
         }
     }
 
+    fn schema(&self) -> &[Variable] {
+        match self {
+            Intermediate::Local(parts) => parts.first().map(Relation::schema).unwrap_or(&[]),
+            Intermediate::Global(rel) => rel.schema(),
+        }
+    }
+
+    /// Materializes the cluster-wide relation, cloning per-node parts.
+    fn to_global(&self) -> Relation {
+        match self {
+            Intermediate::Global(rel) => rel.clone(),
+            Intermediate::Local(parts) => merge_parts(parts.iter().cloned()),
+        }
+    }
+
+    /// Materializes the cluster-wide relation, consuming the intermediate.
     fn into_global(self) -> Relation {
         match self {
             Intermediate::Global(rel) => rel,
-            Intermediate::Local(mut parts) => {
-                let mut global = parts.pop().unwrap_or_else(|| Relation::empty(Vec::new()));
-                for part in parts {
-                    // All per-node parts share the same schema by construction.
-                    let mut merged = part;
-                    merged.union_in_place(global);
-                    global = merged;
-                }
-                global
-            }
+            Intermediate::Local(parts) => merge_parts(parts.into_iter()),
         }
     }
 }
 
-/// Executes physical plans against a [`Cluster`].
+/// Concatenates per-node parts (same schema by construction) in node order.
+fn merge_parts(parts: impl Iterator<Item = Relation>) -> Relation {
+    let mut global: Option<Relation> = None;
+    for part in parts {
+        match &mut global {
+            None => global = Some(part),
+            Some(acc) => acc.union_in_place(part),
+        }
+    }
+    global.unwrap_or_else(|| Relation::empty(Vec::new()))
+}
+
+/// Executes physical plans against a [`Cluster`] on a [`Runtime`].
 #[derive(Debug, Clone)]
 pub struct Executor<'a> {
     cluster: &'a Cluster,
+    runtime: Runtime,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor over the given cluster.
+    /// Creates an executor over the given cluster. The runtime is taken from
+    /// the `CSQ_THREADS` environment variable (sequential when unset), so
+    /// results are bit-identical either way.
     pub fn new(cluster: &'a Cluster) -> Self {
-        Self { cluster }
+        Self::with_runtime(cluster, Runtime::from_env())
+    }
+
+    /// Creates a sequential (single-threaded) executor.
+    pub fn sequential(cluster: &'a Cluster) -> Self {
+        Self::with_runtime(cluster, Runtime::sequential())
+    }
+
+    /// Creates an executor with an explicit task runtime.
+    pub fn with_runtime(cluster: &'a Cluster, runtime: Runtime) -> Self {
+        Self { cluster, runtime }
+    }
+
+    /// The task runtime executing the job waves.
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
     }
 
     /// Translates a logical plan and executes it.
@@ -94,48 +149,70 @@ impl<'a> Executor<'a> {
 
     /// Executes a physical plan.
     pub fn execute(&self, plan: &PhysicalPlan) -> ExecutionOutput {
+        let started = Instant::now();
         let sched = schedule(plan);
+        let nodes = self.cluster.nodes();
         let mut state = ExecState {
             plan,
             cluster: self.cluster,
             schedule: &sched,
-            per_job: vec![ExecutionMetrics::default(); sched.job_count],
+            runtime: &self.runtime,
+            jobs: (0..sched.job_count).map(|_| JobState::new(nodes)).collect(),
             memo: vec![None; plan.len()],
         };
-        let root = state.eval(plan.root());
-        let results = root.into_global();
+
+        // Operators are stored bottom-up (inputs have smaller ids than their
+        // consumers), so one in-order pass over the arena evaluates every
+        // operator after its inputs — no recursion, no re-evaluation.
+        let needed = evaluated_ops(plan);
+        for (index, _) in needed.iter().enumerate().filter(|(_, needed)| **needed) {
+            let result = state.eval_op(PhysId(index));
+            state.memo[index] = Some(result);
+        }
+        let root = state.memo[plan.root().index()]
+            .take()
+            .expect("root evaluated");
+        let mut results = match Arc::try_unwrap(root) {
+            Ok(value) => value.into_global(),
+            Err(shared) => shared.to_global(),
+        };
+        results.canonicalize();
 
         // Per-job fixed counters: one map wave per job, one reduce wave for
-        // map+reduce jobs.
-        for (index, metrics) in state.per_job.iter_mut().enumerate() {
+        // map+reduce jobs (the *wave* count drives the cost model's task
+        // start-up charge; the job log lists the per-node tasks of a wave).
+        let mut job_log = JobLog::new();
+        for (index, job) in state.jobs.iter().enumerate() {
+            let kind = sched.kinds[index];
+            let mut metrics = job.metrics;
             metrics.jobs = 1;
             metrics.map_tasks = 1;
-            metrics.reduce_tasks = u64::from(sched.kinds[index] == JobKind::MapReduce);
-        }
-
-        let nodes = self.cluster.nodes();
-        let mut job_log = JobLog::new();
-        for (index, metrics) in state.per_job.iter().enumerate() {
-            let kind = sched.kinds[index];
+            metrics.reduce_tasks = u64::from(kind == JobKind::MapReduce);
             job_log.push(JobExecution {
                 label: format!("job {}", index + 1),
                 kind,
-                map_tasks: vec![TaskExecution {
-                    node: 0,
-                    input_tuples: metrics.tuples_read,
-                    output_tuples: metrics.tuples_written,
-                }],
+                map_tasks: (0..nodes)
+                    .map(|node| TaskExecution {
+                        node,
+                        input_tuples: job.map_in[node],
+                        output_tuples: job.map_out[node],
+                    })
+                    .collect(),
                 reduce_tasks: if kind == JobKind::MapReduce {
-                    vec![TaskExecution {
-                        node: 0,
-                        input_tuples: metrics.tuples_shuffled,
-                        output_tuples: metrics.join_output_tuples,
-                    }]
+                    (0..nodes)
+                        .map(|node| TaskExecution {
+                            node,
+                            input_tuples: job.reduce_in[node],
+                            output_tuples: job.reduce_out[node],
+                        })
+                        .collect()
                 } else {
                     Vec::new()
                 },
-                shuffled_tuples: metrics.tuples_shuffled,
-                metrics: *metrics,
+                shuffled_tuples: job.metrics.tuples_shuffled,
+                map_wall_seconds: job.map_wall,
+                reduce_wall_seconds: job.reduce_wall,
+                metrics,
             });
         }
         let metrics = job_log.total_metrics();
@@ -145,91 +222,223 @@ impl<'a> Executor<'a> {
             job_log,
             metrics,
             simulated_seconds,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            threads: self.runtime.threads(),
             schedule: sched,
         }
     }
 }
 
-/// Mutable execution state threaded through the recursive evaluation.
+/// Marks the operators the executor evaluates: everything reachable from the
+/// root, except MapScans that are consumed through the Filter directly above
+/// them (those are evaluated fused into the filter, against the raw triples).
+fn evaluated_ops(plan: &PhysicalPlan) -> Vec<bool> {
+    let mut needed = vec![false; plan.len()];
+    let mut stack = vec![plan.root()];
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        let op = plan.op(id);
+        if let PhysicalOp::Filter { input, .. } = op {
+            if matches!(plan.op(*input), PhysicalOp::MapScan { .. }) {
+                continue;
+            }
+        }
+        for input in op.inputs() {
+            stack.push(input);
+        }
+    }
+    needed
+}
+
+/// Per-job accounting: per-node task tuple counts plus measured wave times.
+struct JobState {
+    map_in: Vec<u64>,
+    map_out: Vec<u64>,
+    reduce_in: Vec<u64>,
+    reduce_out: Vec<u64>,
+    map_wall: f64,
+    reduce_wall: f64,
+    metrics: ExecutionMetrics,
+}
+
+impl JobState {
+    fn new(nodes: usize) -> Self {
+        Self {
+            map_in: vec![0; nodes],
+            map_out: vec![0; nodes],
+            reduce_in: vec![0; nodes],
+            reduce_out: vec![0; nodes],
+            map_wall: 0.0,
+            reduce_wall: 0.0,
+            metrics: ExecutionMetrics::default(),
+        }
+    }
+}
+
+/// Distributes a cluster-wide tuple count over per-node task counters
+/// (intermediate results live in the distributed file system, so re-reading
+/// them is spread across the nodes).
+fn spread(counters: &mut [u64], total: u64) {
+    if counters.is_empty() {
+        return;
+    }
+    let nodes = counters.len() as u64;
+    for (index, counter) in counters.iter_mut().enumerate() {
+        *counter += total / nodes + u64::from((index as u64) < total % nodes);
+    }
+}
+
+/// Deterministic shuffle hash (FNV-1a over the key columns), so that the
+/// hash-partitioned shuffle routes rows identically on every run and at
+/// every thread count.
+fn shuffle_hash(row: &[TermId], columns: &[usize]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &column in columns {
+        hash ^= u64::from(row[column].0);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Hash-partitions an intermediate's rows on the join attributes into one
+/// bucket per compute node: the simulated shuffle.
+fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -> Vec<Relation> {
+    let schema: Vec<Variable> = value.schema().to_vec();
+    let columns: Vec<usize> = attributes
+        .iter()
+        .map(|a| {
+            schema
+                .iter()
+                .position(|v| v == a)
+                .unwrap_or_else(|| panic!("shuffle attribute {a} missing from input"))
+        })
+        .collect();
+    let mut buckets: Vec<Relation> = (0..nodes)
+        .map(|_| Relation::empty(schema.clone()))
+        .collect();
+    let mut route = |rel: &Relation| {
+        for row in rel.rows() {
+            let node = (shuffle_hash(row, &columns) % nodes as u64) as usize;
+            buckets[node].push(row.clone());
+        }
+    };
+    match value {
+        Intermediate::Local(parts) => parts.iter().for_each(&mut route),
+        Intermediate::Global(rel) => route(rel),
+    }
+    buckets
+}
+
+/// Mutable execution state threaded through the arena-order evaluation.
 struct ExecState<'a> {
     plan: &'a PhysicalPlan,
     cluster: &'a Cluster,
     schedule: &'a JobSchedule,
-    per_job: Vec<ExecutionMetrics>,
-    memo: Vec<Option<Intermediate>>,
+    runtime: &'a Runtime,
+    jobs: Vec<JobState>,
+    memo: Vec<Option<Arc<Intermediate>>>,
 }
 
-impl ExecState<'_> {
-    fn job_metrics(&mut self, id: PhysId) -> &mut ExecutionMetrics {
+impl<'a> ExecState<'a> {
+    fn job_mut(&mut self, id: PhysId) -> &mut JobState {
         let job = self.schedule.job_of(id);
-        &mut self.per_job[job - 1]
+        &mut self.jobs[job - 1]
     }
 
-    fn eval(&mut self, id: PhysId) -> Intermediate {
-        if let Some(cached) = &self.memo[id.index()] {
-            return cached.clone();
-        }
-        let result = match self.plan.op(id).clone() {
-            PhysicalOp::MapScan { spec, output } => self.eval_scan(id, &spec, &output, &[]),
+    /// An already-evaluated input (arena order guarantees inputs come first).
+    fn input(&self, id: PhysId) -> Arc<Intermediate> {
+        self.memo[id.index()]
+            .clone()
+            .expect("inputs evaluated before consumers")
+    }
+
+    fn eval_op(&mut self, id: PhysId) -> Arc<Intermediate> {
+        let plan = self.plan;
+        match plan.op(id) {
+            PhysicalOp::MapScan { spec, output } => self.eval_scan(id, spec, output, &[]),
             PhysicalOp::Filter {
                 conditions,
                 input,
                 output,
-            } => self.eval_filter(id, &conditions, input, &output),
+            } => {
+                // A Filter directly above a MapScan is evaluated together
+                // with the scan, because the constant checks apply to the raw
+                // triple rather than to the binding rows.
+                if let PhysicalOp::MapScan { spec, .. } = plan.op(*input) {
+                    self.eval_scan(id, spec, output, conditions)
+                } else {
+                    self.eval_filter(id, conditions, *input)
+                }
+            }
             PhysicalOp::MapJoin {
                 attributes, inputs, ..
-            } => self.eval_map_join(id, &attributes, &inputs),
-            PhysicalOp::MapShuffler { input, .. } => self.eval_shuffler(id, input),
+            } => self.eval_map_join(id, attributes, inputs),
+            PhysicalOp::MapShuffler { input, .. } => self.eval_shuffler(id, *input),
             PhysicalOp::ReduceJoin {
                 attributes, inputs, ..
-            } => self.eval_reduce_join(id, &attributes, &inputs),
-            PhysicalOp::Project { variables, input } => self.eval_project(id, &variables, input),
-        };
-        self.memo[id.index()] = Some(result.clone());
-        result
+            } => self.eval_reduce_join(id, attributes, inputs),
+            PhysicalOp::Project { variables, input } => self.eval_project(id, variables, *input),
+        }
     }
 
     /// Scans the partition files selected by `spec` and converts the raw
     /// triples to binding rows, applying `extra_conditions` (residual
     /// constants pushed down from an enclosing Filter) and the pattern's own
-    /// repeated-variable equalities.
+    /// repeated-variable equalities. One map task per node.
     fn eval_scan(
         &mut self,
         id: PhysId,
         spec: &ScanSpec,
         output: &BTreeSet<Variable>,
         extra_conditions: &[FilterCondition],
-    ) -> Intermediate {
+    ) -> Arc<Intermediate> {
         let store = self.cluster.store();
-        let per_node = store.scan(spec.placement, spec.property, spec.type_object);
-        let scanned: u64 = per_node.iter().map(|v| v.len() as u64).sum();
-        let checks = extra_conditions.len() as u64;
-        {
-            let metrics = self.job_metrics(id);
-            metrics.tuples_read += scanned;
-            metrics.comparisons += scanned * checks.max(1);
-        }
-
+        let nodes = self.cluster.nodes();
         let schema: Vec<Variable> = output.iter().cloned().collect();
-        let mut parts = Vec::with_capacity(per_node.len());
-        let mut produced: u64 = 0;
-        for triples in per_node {
-            let mut relation = Relation::empty(schema.clone());
-            'triples: for triple in triples {
-                for condition in extra_conditions {
-                    if triple.get(condition.position) != condition.constant {
-                        continue 'triples;
+        let tasks: Vec<_> = (0..nodes)
+            .map(|node| {
+                let schema = schema.clone();
+                move || -> (Relation, u64) {
+                    let triples =
+                        store.scan_node(node, spec.placement, spec.property, spec.type_object);
+                    let scanned = triples.len() as u64;
+                    let mut relation = Relation::empty(schema.clone());
+                    'triples: for triple in triples {
+                        for condition in extra_conditions {
+                            if triple.get(condition.position) != condition.constant {
+                                continue 'triples;
+                            }
+                        }
+                        if let Some(row) = bind_triple(&triple, spec, &schema) {
+                            relation.push(row);
+                        }
                     }
+                    (relation, scanned)
                 }
-                if let Some(row) = bind_triple(&triple, spec, &schema) {
-                    relation.push(row);
-                }
-            }
+            })
+            .collect();
+        let (results, wall) = self.runtime.run_timed_wave(tasks);
+
+        let checks = (extra_conditions.len() as u64).max(1);
+        let mut scanned_total: u64 = 0;
+        let mut produced: u64 = 0;
+        let job = self.job_mut(id);
+        job.map_wall += wall;
+        let mut parts = Vec::with_capacity(results.len());
+        for (node, (relation, scanned)) in results.into_iter().enumerate() {
+            job.map_in[node] += scanned;
+            job.map_out[node] += relation.len() as u64;
+            scanned_total += scanned;
             produced += relation.len() as u64;
             parts.push(relation);
         }
-        self.job_metrics(id).tuples_written += produced;
-        Intermediate::Local(parts)
+        job.metrics.tuples_read += scanned_total;
+        job.metrics.comparisons += scanned_total * checks;
+        job.metrics.tuples_written += produced;
+        Arc::new(Intermediate::Local(parts))
     }
 
     fn eval_filter(
@@ -237,19 +446,13 @@ impl ExecState<'_> {
         id: PhysId,
         conditions: &[FilterCondition],
         input: PhysId,
-        output: &BTreeSet<Variable>,
-    ) -> Intermediate {
-        // A Filter directly above a MapScan is evaluated together with the
-        // scan, because the constant checks apply to the raw triple rather
-        // than to the binding rows.
-        if let PhysicalOp::MapScan { spec, .. } = self.plan.op(input).clone() {
-            return self.eval_scan(id, &spec, output, conditions);
-        }
-        let value = self.eval(input);
+    ) -> Arc<Intermediate> {
+        let value = self.input(input);
         let rows = value.cardinality();
-        self.job_metrics(id).comparisons += rows * (conditions.len() as u64).max(1);
+        self.job_mut(id).metrics.comparisons += rows * (conditions.len() as u64).max(1);
         // Filters over non-scan inputs carry no residual conditions in the
-        // BGP fragment (joins enforce every equality), so they pass through.
+        // BGP fragment (joins enforce every equality), so they pass through
+        // sharing the input's Arc.
         value
     }
 
@@ -258,55 +461,75 @@ impl ExecState<'_> {
         id: PhysId,
         attributes: &BTreeSet<Variable>,
         inputs: &[PhysId],
-    ) -> Intermediate {
+    ) -> Arc<Intermediate> {
         let attrs: Vec<Variable> = attributes.iter().cloned().collect();
-        let evaluated: Vec<Intermediate> = inputs.iter().map(|&i| self.eval(i)).collect();
+        let evaluated: Vec<Arc<Intermediate>> = inputs.iter().map(|&i| self.input(i)).collect();
         let nodes = self.cluster.nodes();
         let all_local = evaluated
             .iter()
-            .all(|value| matches!(value, Intermediate::Local(parts) if parts.len() == nodes));
+            .all(|value| matches!(&**value, Intermediate::Local(parts) if parts.len() == nodes));
         if !all_local {
             // Defensive path: a map join over non-co-located inputs degrades
             // to a cluster-wide join (well-formed translations never hit it).
-            let relations: Vec<Relation> = evaluated
-                .into_iter()
-                .map(Intermediate::into_global)
-                .collect();
+            let relations: Vec<Relation> = evaluated.iter().map(|v| v.to_global()).collect();
             let refs: Vec<&Relation> = relations.iter().collect();
             let joined = Relation::join(&refs, &attrs);
-            let metrics = self.job_metrics(id);
-            metrics.join_output_tuples += joined.len() as u64;
-            metrics.tuples_written += joined.len() as u64;
-            return Intermediate::Global(joined);
+            let produced = joined.len() as u64;
+            let job = self.job_mut(id);
+            job.metrics.join_output_tuples += produced;
+            job.metrics.tuples_written += produced;
+            spread(&mut job.map_out, produced);
+            return Arc::new(Intermediate::Global(joined));
         }
-        let locals: Vec<Vec<Relation>> = evaluated
-            .into_iter()
-            .map(|value| match value {
-                Intermediate::Local(parts) => parts,
-                Intermediate::Global(_) => unreachable!("checked above"),
+        let tasks: Vec<_> = (0..nodes)
+            .map(|node| {
+                let attrs = &attrs;
+                let evaluated = &evaluated;
+                move || {
+                    let node_inputs: Vec<&Relation> = evaluated
+                        .iter()
+                        .map(|value| match &**value {
+                            Intermediate::Local(parts) => &parts[node],
+                            Intermediate::Global(_) => unreachable!("checked above"),
+                        })
+                        .collect();
+                    Relation::join(&node_inputs, attrs)
+                }
             })
             .collect();
-        let mut parts = Vec::with_capacity(nodes);
+        let (parts, wall) = self.runtime.run_timed_wave(tasks);
         let mut produced: u64 = 0;
-        for node in 0..nodes {
-            let node_inputs: Vec<&Relation> =
-                locals.iter().map(|per_node| &per_node[node]).collect();
-            let joined = Relation::join(&node_inputs, &attrs);
-            produced += joined.len() as u64;
-            parts.push(joined);
+        let job = self.job_mut(id);
+        job.map_wall += wall;
+        for (node, part) in parts.iter().enumerate() {
+            job.map_out[node] += part.len() as u64;
+            produced += part.len() as u64;
         }
-        let metrics = self.job_metrics(id);
-        metrics.join_output_tuples += produced;
-        metrics.tuples_written += produced;
-        Intermediate::Local(parts)
+        job.metrics.join_output_tuples += produced;
+        job.metrics.tuples_written += produced;
+        Arc::new(Intermediate::Local(parts))
     }
 
-    fn eval_shuffler(&mut self, id: PhysId, input: PhysId) -> Intermediate {
-        let value = self.eval(input);
+    fn eval_shuffler(&mut self, id: PhysId, input: PhysId) -> Arc<Intermediate> {
+        let value = self.input(input);
         let rows = value.cardinality();
-        let metrics = self.job_metrics(id);
-        metrics.tuples_read += rows;
-        metrics.tuples_written += rows;
+        let job = self.job_mut(id);
+        job.metrics.tuples_read += rows;
+        job.metrics.tuples_written += rows;
+        match &*value {
+            Intermediate::Local(parts) => {
+                for (node, part) in parts.iter().enumerate() {
+                    job.map_in[node] += part.len() as u64;
+                    job.map_out[node] += part.len() as u64;
+                }
+            }
+            Intermediate::Global(_) => {
+                // A previous job's stored output: re-read from the
+                // distributed file system by this job's map tasks.
+                spread(&mut job.map_in, rows);
+                spread(&mut job.map_out, rows);
+            }
+        }
         value
     }
 
@@ -315,33 +538,82 @@ impl ExecState<'_> {
         id: PhysId,
         attributes: &BTreeSet<Variable>,
         inputs: &[PhysId],
-    ) -> Intermediate {
+    ) -> Arc<Intermediate> {
         let attrs: Vec<Variable> = attributes.iter().cloned().collect();
-        let mut relations = Vec::with_capacity(inputs.len());
-        let mut shuffled: u64 = 0;
-        for &input in inputs {
-            let value = self.eval(input);
-            shuffled += value.cardinality();
-            relations.push(value.into_global());
+        let evaluated: Vec<Arc<Intermediate>> = inputs.iter().map(|&i| self.input(i)).collect();
+        let nodes = self.cluster.nodes();
+        let shuffled: u64 = evaluated.iter().map(|v| v.cardinality()).sum();
+
+        let phase_started = Instant::now();
+        // Shuffle: hash-partition every input's rows on the join attributes,
+        // so all rows agreeing on the key meet on the same node.
+        let buckets: Vec<Vec<Relation>> = evaluated
+            .iter()
+            .map(|value| partition_rows(value, &attrs, nodes))
+            .collect();
+        // One reduce task per node joins the co-partitioned buckets.
+        let tasks: Vec<_> = (0..nodes)
+            .map(|node| {
+                let attrs = &attrs;
+                let buckets = &buckets;
+                move || {
+                    let node_inputs: Vec<&Relation> =
+                        buckets.iter().map(|per_input| &per_input[node]).collect();
+                    Relation::join(&node_inputs, attrs)
+                }
+            })
+            .collect();
+        // `phase_started` spans shuffle + join wave + merge, so the plain
+        // (untimed) wave is enough here.
+        let parts = self.runtime.run_wave(tasks);
+
+        let mut produced: u64 = 0;
+        let job = self.job_mut(id);
+        for (node, part) in parts.iter().enumerate() {
+            let received: u64 = buckets
+                .iter()
+                .map(|per_input| per_input[node].len() as u64)
+                .sum();
+            job.reduce_in[node] += received;
+            job.reduce_out[node] += part.len() as u64;
+            produced += part.len() as u64;
         }
-        let refs: Vec<&Relation> = relations.iter().collect();
-        let joined = Relation::join(&refs, &attrs);
-        let metrics = self.job_metrics(id);
-        metrics.tuples_shuffled += shuffled;
-        metrics.join_output_tuples += joined.len() as u64;
-        metrics.tuples_written += joined.len() as u64;
-        Intermediate::Global(joined)
+        // Merge in node order and canonicalize: identical at every thread
+        // count, and identical to a cluster-wide join of the inputs (a hash
+        // partition on the key never separates joinable rows).
+        let joined = merge_parts(parts.into_iter());
+        job.reduce_wall += phase_started.elapsed().as_secs_f64();
+        job.metrics.tuples_shuffled += shuffled;
+        job.metrics.join_output_tuples += produced;
+        job.metrics.tuples_written += produced;
+        Arc::new(Intermediate::Global(joined))
     }
 
-    fn eval_project(&mut self, id: PhysId, variables: &[Variable], input: PhysId) -> Intermediate {
-        let value = self.eval(input);
+    fn eval_project(
+        &mut self,
+        id: PhysId,
+        variables: &[Variable],
+        input: PhysId,
+    ) -> Arc<Intermediate> {
+        let value = self.input(input);
         let rows = value.cardinality();
-        self.job_metrics(id).comparisons += rows;
-        match value {
+        match &*value {
             Intermediate::Local(parts) => {
-                Intermediate::Local(parts.into_iter().map(|r| r.project(variables)).collect())
+                let tasks: Vec<_> = parts
+                    .iter()
+                    .map(|part| move || part.project(variables))
+                    .collect();
+                let (projected, wall) = self.runtime.run_timed_wave(tasks);
+                let job = self.job_mut(id);
+                job.map_wall += wall;
+                job.metrics.comparisons += rows;
+                Arc::new(Intermediate::Local(projected))
             }
-            Intermediate::Global(rel) => Intermediate::Global(rel.project(variables)),
+            Intermediate::Global(rel) => {
+                let projected = rel.project(variables);
+                self.job_mut(id).metrics.comparisons += rows;
+                Arc::new(Intermediate::Global(projected))
+            }
         }
     }
 }
@@ -392,7 +664,7 @@ mod tests {
         let q = parse_query(query).unwrap();
         let result = Optimizer::with_variant(variant).optimize(&q);
         let logical = result.flattest_plans()[0].clone();
-        Executor::new(cluster).execute_logical(&logical)
+        Executor::sequential(cluster).execute_logical(&logical)
     }
 
     #[test]
@@ -457,7 +729,7 @@ mod tests {
         let q = parse_query(query).unwrap();
         let plans = Optimizer::with_variant(Variant::Msc).optimize(&q).plans;
         let reference = reference_eval(cluster.graph(), &q);
-        let executor = Executor::new(&cluster);
+        let executor = Executor::sequential(&cluster);
         for plan in plans.iter().take(8) {
             let output = executor.execute_logical(plan);
             assert_eq!(output.distinct_count(), reference.len());
@@ -513,5 +785,74 @@ mod tests {
             Variant::Msc,
         );
         assert_eq!(output.distinct_count(), 0);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_sequential() {
+        let cluster = cluster();
+        let queries = [
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }",
+            "SELECT ?x ?y ?z WHERE { ?x rdf:type ub:UndergraduateStudent . ?y rdf:type ub:FullProfessor . \
+             ?z rdf:type ub:Course . ?x ub:advisor ?y . ?x ub:takesCourse ?z . ?y ub:teacherOf ?z }",
+        ];
+        for query in queries {
+            let q = parse_query(query).unwrap();
+            let result = Optimizer::with_variant(Variant::Msc).optimize(&q);
+            let logical = result.flattest_plans()[0].clone();
+            let sequential = Executor::sequential(&cluster).execute_logical(&logical);
+            for threads in [2, 4, 8] {
+                let parallel = Executor::with_runtime(&cluster, Runtime::with_threads(threads))
+                    .execute_logical(&logical);
+                assert_eq!(sequential.results, parallel.results, "threads={threads}");
+                assert_eq!(parallel.threads, threads);
+                assert_eq!(
+                    sequential.job_log.descriptor(),
+                    parallel.job_log.descriptor()
+                );
+                assert_eq!(sequential.metrics, parallel.metrics);
+                assert_eq!(
+                    sequential.simulated_seconds, parallel.simulated_seconds,
+                    "the cost model must not depend on the thread count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn job_log_records_per_node_tasks_and_wall_time() {
+        let cluster = cluster();
+        let output = run(
+            &cluster,
+            "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }",
+            Variant::Msc,
+        );
+        assert!(output.wall_seconds > 0.0);
+        assert!(output.job_log.wall_seconds() >= 0.0);
+        for job in &output.job_log.jobs {
+            assert_eq!(job.map_tasks.len(), cluster.nodes());
+            if job.kind == JobKind::MapReduce {
+                assert_eq!(job.reduce_tasks.len(), cluster.nodes());
+            }
+            // Per-node map task inputs add up to the job's read counter.
+            assert_eq!(
+                job.map_tasks.iter().map(|t| t.input_tuples).sum::<u64>(),
+                job.metrics.tuples_read
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_canonical() {
+        let cluster = cluster();
+        let output = run(
+            &cluster,
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        assert!(output.results.is_canonical());
+        let mut sorted = output.results.clone();
+        sorted.canonicalize();
+        assert_eq!(sorted, output.results);
     }
 }

@@ -10,7 +10,10 @@
 //! * [`translate`] — logical → physical translation (Section 5.2),
 //! * [`jobs`] — grouping of physical operators into MapReduce jobs
 //!   (Section 5.3),
-//! * [`executor`] — simulated execution with full work accounting,
+//! * [`executor`] — execution with full work accounting; per-node map and
+//!   reduce task waves run on a [`cliquesquare_mapreduce::Runtime`]
+//!   (sequential by default, real OS threads with `CSQ_THREADS`/`--threads`,
+//!   bit-identical results either way),
 //! * [`cost`] — the Section 5.4 cost model used to choose among plans,
 //! * [`reference`] — a naive single-node BGP evaluator used as a correctness
 //!   oracle in tests,

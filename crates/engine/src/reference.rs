@@ -1,12 +1,21 @@
-//! A naive, single-node reference evaluator for BGP queries.
+//! A naive reference evaluator for BGP queries.
 //!
 //! Used as a correctness oracle: the distributed executor must return exactly
 //! the same (distinct) answer set as this straightforward pattern-at-a-time
-//! evaluation over the in-memory graph.
+//! evaluation over the in-memory graph. The evaluation is embarrassingly
+//! parallel across binding rows, so [`reference_eval_with`] chunks the
+//! current binding table over a [`Runtime`]'s OS threads — chunk outputs are
+//! concatenated in chunk order, making the result **bit-identical** to the
+//! sequential evaluation at any thread count.
 
 use crate::relation::Relation;
+use cliquesquare_mapreduce::Runtime;
 use cliquesquare_rdf::{Graph, TermId, TriplePosition};
 use cliquesquare_sparql::{BgpQuery, PatternTerm, TriplePattern, Variable};
+
+/// Below this many binding rows, chunking across threads costs more than it
+/// saves; the pattern is evaluated inline.
+const PARALLEL_ROW_THRESHOLD: usize = 256;
 
 /// Resolves a constant pattern term against the graph dictionary; a constant
 /// that does not occur in the data can never match.
@@ -17,55 +26,45 @@ fn constant_id(graph: &Graph, term: &PatternTerm) -> Option<Option<TermId>> {
     }
 }
 
-/// Evaluates one triple pattern under an existing set of bindings, extending
-/// each binding row with the pattern's variables.
-fn extend(graph: &Graph, bindings: Relation, pattern: &TriplePattern) -> Relation {
-    // Output schema: existing variables plus the pattern's new ones.
-    let mut schema: Vec<Variable> = bindings.schema().to_vec();
-    for v in pattern.variables() {
-        if !schema.contains(&v) {
-            schema.push(v.clone());
-        }
-    }
-    let mut output = Relation::empty(schema.clone());
+/// The per-pattern evaluation context shared by all binding rows.
+struct PatternEval<'a> {
+    graph: &'a Graph,
+    bindings: &'a Relation,
+    schema: &'a [Variable],
+    positions: [(&'a PatternTerm, TriplePosition); 3],
+    consts: [Option<Option<TermId>>; 3],
+}
 
-    let Some(subject_const) = constant_id(graph, &pattern.subject) else {
-        return output;
-    };
-    let Some(property_const) = constant_id(graph, &pattern.property) else {
-        return output;
-    };
-    let Some(object_const) = constant_id(graph, &pattern.object) else {
-        return output;
-    };
-
-    let positions = [
-        (&pattern.subject, TriplePosition::Subject),
-        (&pattern.property, TriplePosition::Property),
-        (&pattern.object, TriplePosition::Object),
-    ];
-
-    for row in bindings.rows() {
+impl PatternEval<'_> {
+    /// Extends one binding row with every matching triple, appending the
+    /// consistent extensions to `out` (in graph scan order, so processing
+    /// rows in order reproduces the sequential output exactly).
+    fn extend_row(&self, row: &[TermId], out: &mut Vec<Vec<TermId>>) {
         // Constants fixed by the pattern or by already-bound variables.
-        let mut fixed = [subject_const, property_const, object_const];
-        for (index, (term, _)) in positions.iter().enumerate() {
+        let mut fixed = [
+            self.consts[0].expect("checked"),
+            self.consts[1].expect("checked"),
+            self.consts[2].expect("checked"),
+        ];
+        for (index, (term, _)) in self.positions.iter().enumerate() {
             if let PatternTerm::Variable(v) = term {
-                if let Some(col) = bindings.column(v) {
+                if let Some(col) = self.bindings.column(v) {
                     fixed[index] = Some(row[col]);
                 }
             }
         }
-        for triple in graph.match_pattern(fixed[0], fixed[1], fixed[2]) {
+        for triple in self.graph.match_pattern(fixed[0], fixed[1], fixed[2]) {
             // Bind the pattern's variables, checking repeated occurrences.
-            let mut extended: Vec<Option<TermId>> = schema
+            let mut extended: Vec<Option<TermId>> = self
+                .schema
                 .iter()
-                .map(|v| bindings.column(v).map(|c| row[c]))
+                .map(|v| self.bindings.column(v).map(|c| row[c]))
                 .collect();
             let mut consistent = true;
-            for (term, position) in positions {
+            for (term, position) in self.positions {
                 if let PatternTerm::Variable(v) = term {
                     let value = triple.get(position);
-                    let slot = schema.iter().position(|s| s == v).expect("in schema");
+                    let slot = self.schema.iter().position(|s| s == v).expect("in schema");
                     match extended[slot] {
                         None => extended[slot] = Some(value),
                         Some(existing) if existing != value => {
@@ -77,19 +76,101 @@ fn extend(graph: &Graph, bindings: Relation, pattern: &TriplePattern) -> Relatio
                 }
             }
             if consistent {
-                output.push(extended.into_iter().map(|v| v.expect("bound")).collect());
+                out.push(extended.into_iter().map(|v| v.expect("bound")).collect());
             }
         }
+    }
+}
+
+/// Evaluates one triple pattern under an existing set of bindings, extending
+/// each binding row with the pattern's variables. Binding rows are chunked
+/// across the runtime's threads; chunk outputs are concatenated in chunk
+/// order, so the output is identical at every thread count.
+fn extend(
+    graph: &Graph,
+    bindings: Relation,
+    pattern: &TriplePattern,
+    runtime: &Runtime,
+) -> Relation {
+    // Output schema: existing variables plus the pattern's new ones.
+    let mut schema: Vec<Variable> = bindings.schema().to_vec();
+    for v in pattern.variables() {
+        if !schema.contains(&v) {
+            schema.push(v.clone());
+        }
+    }
+
+    let consts = [
+        constant_id(graph, &pattern.subject),
+        constant_id(graph, &pattern.property),
+        constant_id(graph, &pattern.object),
+    ];
+    if consts.iter().any(Option::is_none) {
+        // A constant absent from the dictionary can never match.
+        return Relation::empty(schema);
+    }
+
+    let eval = PatternEval {
+        graph,
+        bindings: &bindings,
+        schema: &schema,
+        positions: [
+            (&pattern.subject, TriplePosition::Subject),
+            (&pattern.property, TriplePosition::Property),
+            (&pattern.object, TriplePosition::Object),
+        ],
+        consts,
+    };
+
+    let rows = bindings.rows();
+    let out_rows: Vec<Vec<TermId>> =
+        if runtime.is_parallel() && rows.len() >= PARALLEL_ROW_THRESHOLD {
+            // Over-split relative to the thread count so the dynamic wave
+            // scheduler can balance skewed chunks.
+            let chunks = rows.len().div_ceil(runtime.threads() * 4).max(1);
+            let tasks: Vec<_> = rows
+                .chunks(chunks)
+                .map(|chunk| {
+                    let eval = &eval;
+                    move || {
+                        let mut out = Vec::new();
+                        for row in chunk {
+                            eval.extend_row(row, &mut out);
+                        }
+                        out
+                    }
+                })
+                .collect();
+            runtime.run_wave(tasks).into_iter().flatten().collect()
+        } else {
+            let mut out = Vec::new();
+            for row in rows {
+                eval.extend_row(row, &mut out);
+            }
+            out
+        };
+    let mut output = Relation::empty(schema);
+    for row in out_rows {
+        output.push(row);
     }
     output
 }
 
 /// Evaluates a BGP query over the graph and returns the **distinct** set of
-/// bindings of its distinguished variables.
+/// bindings of its distinguished variables. The thread count is taken from
+/// the `CSQ_THREADS` environment variable (sequential when unset); see
+/// [`reference_eval_with`] for an explicit runtime.
 pub fn reference_eval(graph: &Graph, query: &BgpQuery) -> Relation {
+    reference_eval_with(graph, query, &Runtime::from_env())
+}
+
+/// Evaluates a BGP query over the graph on the given runtime and returns the
+/// **distinct** set of bindings of its distinguished variables. The answer
+/// is bit-identical at every thread count.
+pub fn reference_eval_with(graph: &Graph, query: &BgpQuery, runtime: &Runtime) -> Relation {
     let mut bindings = Relation::new(Vec::new(), vec![Vec::new()]);
     for pattern in query.patterns() {
-        bindings = extend(graph, bindings, pattern);
+        bindings = extend(graph, bindings, pattern, runtime);
         if bindings.is_empty() {
             break;
         }
@@ -169,6 +250,45 @@ mod tests {
         let second = reference_count(&g, &q);
         assert_eq!(first, second);
         assert!(first > 0);
+    }
+
+    #[test]
+    fn parallel_reference_is_bit_identical() {
+        let g = LubmGenerator::new(LubmScale::tiny()).generate();
+        let queries = [
+            "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?y }",
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }",
+        ];
+        for query in queries {
+            let q = parse_query(query).unwrap();
+            let sequential = reference_eval_with(&g, &q, &Runtime::sequential());
+            for threads in [2, 8] {
+                let parallel = reference_eval_with(&g, &q, &Runtime::with_threads(threads));
+                assert_eq!(sequential, parallel, "threads={threads} on {query}");
+                assert_eq!(sequential.rows(), parallel.rows());
+            }
+            assert!(!sequential.is_empty());
+        }
+    }
+
+    #[test]
+    fn chunked_parallel_extension_matches_sequential() {
+        // Enough binding rows that the second pattern's evaluation crosses
+        // PARALLEL_ROW_THRESHOLD and actually runs chunked.
+        let mut g = Graph::new();
+        for i in 0..(2 * PARALLEL_ROW_THRESHOLD) {
+            g.insert_terms(
+                Term::iri(format!("s{i}")),
+                Term::iri("p"),
+                Term::iri(format!("o{}", i % 20)),
+            );
+        }
+        let q = parse_query("SELECT ?a ?b WHERE { ?a <p> ?x . ?b <p> ?x }").unwrap();
+        let sequential = reference_eval_with(&g, &q, &Runtime::sequential());
+        let parallel = reference_eval_with(&g, &q, &Runtime::with_threads(4));
+        assert_eq!(sequential, parallel);
+        assert!(sequential.len() > PARALLEL_ROW_THRESHOLD);
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! In-memory relations (variable bindings) and n-ary hash joins.
+//!
+//! Relations track whether their rows are in *canonical* (lexicographically
+//! sorted) order. Canonical form is what makes the parallel runtime's output
+//! bit-identical to sequential execution: operators that merge per-node or
+//! per-partition results canonicalize, and downstream consumers
+//! ([`Relation::sorted`], [`Relation::distinct`], [`Relation::union_in_place`])
+//! skip the redundant re-sort when their inputs are already canonical.
 
 use cliquesquare_rdf::TermId;
 use cliquesquare_sparql::Variable;
@@ -7,10 +14,28 @@ use std::collections::HashMap;
 /// A relation over query variables: a schema plus dictionary-encoded rows.
 ///
 /// This is the tuple format flowing between simulated physical operators.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: Vec<Variable>,
     rows: Vec<Vec<TermId>>,
+    /// `true` when `rows` is known to be lexicographically sorted. Kept
+    /// up to date cheaply on `push`/`union_in_place`; `false` is always a
+    /// safe value (it only costs a re-sort later).
+    canonical: bool,
+}
+
+/// Equality compares schema and rows; the `canonical` bookkeeping flag is
+/// derived state and must not influence it.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Relation {}
+
+fn rows_sorted(rows: &[Vec<TermId>]) -> bool {
+    rows.windows(2).all(|pair| pair[0] <= pair[1])
 }
 
 impl Relation {
@@ -19,6 +44,7 @@ impl Relation {
         Self {
             schema,
             rows: Vec::new(),
+            canonical: true,
         }
     }
 
@@ -31,7 +57,12 @@ impl Relation {
         for row in &rows {
             assert_eq!(row.len(), schema.len(), "row arity mismatch");
         }
-        Self { schema, rows }
+        let canonical = rows_sorted(&rows);
+        Self {
+            schema,
+            rows,
+            canonical,
+        }
     }
 
     /// The relation's schema (variable order of each row).
@@ -54,13 +85,27 @@ impl Relation {
         self.rows.is_empty()
     }
 
-    /// Appends a row.
+    /// Returns `true` if the rows are known to be in canonical (sorted)
+    /// order.
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
+    }
+
+    /// Appends a row, keeping the canonical flag accurate: appending a row
+    /// that is `>=` the current last row preserves sortedness.
     ///
     /// # Panics
     ///
     /// Panics if the row arity differs from the schema's.
     pub fn push(&mut self, row: Vec<TermId>) {
         assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+        if self.canonical {
+            if let Some(last) = self.rows.last() {
+                if *last > row {
+                    self.canonical = false;
+                }
+            }
+        }
         self.rows.push(row);
     }
 
@@ -69,14 +114,62 @@ impl Relation {
         self.schema.iter().position(|v| v == variable)
     }
 
-    /// Concatenates another relation with the *same schema* into this one.
+    /// Sorts the rows into canonical order (no-op when already canonical).
+    pub fn canonicalize(&mut self) {
+        if !self.canonical {
+            self.rows.sort_unstable();
+            self.canonical = true;
+        }
+        debug_assert!(rows_sorted(&self.rows), "canonical relation not sorted");
+    }
+
+    /// Combines another relation with the *same schema* into this one.
+    ///
+    /// When both sides are canonical the rows are merged (linear time) and
+    /// the result stays canonical; otherwise the rows are concatenated and
+    /// the result is marked non-canonical.
     ///
     /// # Panics
     ///
     /// Panics if the schemas differ.
     pub fn union_in_place(&mut self, other: Relation) {
         assert_eq!(self.schema, other.schema, "schema mismatch in union");
-        self.rows.extend(other.rows);
+        if self.rows.is_empty() {
+            self.rows = other.rows;
+            self.canonical = other.canonical;
+            return;
+        }
+        if other.rows.is_empty() {
+            return;
+        }
+        if self.canonical && other.canonical {
+            let left = std::mem::take(&mut self.rows);
+            let mut merged = Vec::with_capacity(left.len() + other.rows.len());
+            let mut a = left.into_iter().peekable();
+            let mut b = other.rows.into_iter().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(x), Some(y)) => {
+                        if x <= y {
+                            merged.push(a.next().expect("peeked"));
+                        } else {
+                            merged.push(b.next().expect("peeked"));
+                        }
+                    }
+                    (Some(_), None) => merged.push(a.next().expect("peeked")),
+                    (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                    (None, None) => break,
+                }
+            }
+            debug_assert!(
+                rows_sorted(&merged),
+                "merge of canonical inputs not canonical"
+            );
+            self.rows = merged;
+        } else {
+            self.rows.extend(other.rows);
+            self.canonical = false;
+        }
     }
 
     /// Projects the relation onto `variables` (dropping duplicates of rows is
@@ -88,26 +181,55 @@ impl Relation {
             .filter(|v| self.column(v).is_some())
             .cloned()
             .collect();
-        let rows = self
+        let rows: Vec<Vec<TermId>> = self
             .rows
             .iter()
             .map(|row| columns.iter().map(|&c| row[c]).collect())
             .collect();
-        Relation { schema: kept, rows }
+        // Projection drops / reorders columns, so sortedness of the input
+        // does not carry over in general; recheck (one linear pass) so that
+        // downstream `distinct` calls can skip their sort.
+        let canonical = rows_sorted(&rows);
+        Relation {
+            schema: kept,
+            rows,
+            canonical,
+        }
     }
 
     /// Sorts rows lexicographically (used to compare results in tests).
+    /// Already-canonical relations are returned unchanged.
     pub fn sorted(mut self) -> Relation {
-        self.rows.sort_unstable();
+        self.canonicalize();
         self
     }
 
-    /// Deduplicates rows (after sorting). BGP evaluation is set semantics in
-    /// the paper's formalization, so final results are compared deduplicated.
+    /// Deduplicates rows (after sorting, skipped when already canonical).
+    /// BGP evaluation is set semantics in the paper's formalization, so
+    /// final results are compared deduplicated.
     pub fn distinct(mut self) -> Relation {
-        self.rows.sort_unstable();
+        self.canonicalize();
         self.rows.dedup();
         self
+    }
+
+    /// Number of distinct rows, without consuming or cloning the relation
+    /// when it is already canonical.
+    pub fn distinct_len(&self) -> usize {
+        if self.canonical {
+            debug_assert!(rows_sorted(&self.rows), "canonical relation not sorted");
+            let duplicates = self
+                .rows
+                .windows(2)
+                .filter(|pair| pair[0] == pair[1])
+                .count();
+            self.rows.len() - duplicates
+        } else {
+            let mut rows = self.rows.clone();
+            rows.sort_unstable();
+            rows.dedup();
+            rows.len()
+        }
     }
 
     /// The key of a row restricted to the given columns.
@@ -119,7 +241,9 @@ impl Relation {
     ///
     /// The output schema is the union of the input schemas in input order
     /// (join attributes appear once). This mirrors the logical `J_A` operator:
-    /// every input must contain every join attribute.
+    /// every input must contain every join attribute. The output is
+    /// canonicalized (sorted), so join results are deterministic even though
+    /// the probe order over the hash table is not.
     pub fn join(inputs: &[&Relation], attributes: &[Variable]) -> Relation {
         assert!(!inputs.is_empty(), "join needs at least one input");
         // Output schema: union of schemas, first occurrence wins.
@@ -132,8 +256,10 @@ impl Relation {
             }
         }
         if inputs.len() == 1 {
-            // Single input: the join is the identity.
-            return Relation::new(schema, inputs[0].rows.clone());
+            // Single input: the join is the identity (canonicalized).
+            let mut out = Relation::new(schema, inputs[0].rows.clone());
+            out.canonicalize();
+            return out;
         }
 
         // Group every input by its key on the join attributes.
@@ -187,6 +313,7 @@ impl Relation {
             let template = vec![None; schema.len()];
             combine(&per_input, &out_columns, 0, template, &mut output);
         }
+        output.canonicalize();
         output
     }
 }
@@ -316,10 +443,19 @@ mod tests {
     }
 
     #[test]
-    fn single_input_join_is_identity() {
+    fn single_input_join_is_identity_up_to_order() {
         let r = rel(&["x", "a"], &[&[1, 2], &[3, 4]]);
         let joined = Relation::join(&[&r], &[v("x")]);
         assert_eq!(joined.rows(), r.rows());
+    }
+
+    #[test]
+    fn join_output_is_canonical() {
+        let left = rel(&["a", "x"], &[&[9, 10], &[2, 20], &[3, 10]]);
+        let right = rel(&["x", "b"], &[&[10, 100], &[20, 200]]);
+        let joined = Relation::join(&[&left, &right], &[v("x")]);
+        assert!(joined.is_canonical());
+        assert!(joined.rows().windows(2).all(|pair| pair[0] <= pair[1]));
     }
 
     #[test]
@@ -340,6 +476,62 @@ mod tests {
         let b = rel(&["x"], &[&[2], &[3]]);
         a.union_in_place(b);
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn union_of_canonical_inputs_merges_in_order() {
+        let mut a = rel(&["x"], &[&[1], &[4], &[9]]);
+        let b = rel(&["x"], &[&[2], &[4], &[7]]);
+        assert!(a.is_canonical() && b.is_canonical());
+        a.union_in_place(b);
+        assert!(a.is_canonical());
+        let values: Vec<u32> = a.rows().iter().map(|r| r[0].0).collect();
+        assert_eq!(values, vec![1, 2, 4, 4, 7, 9]);
+    }
+
+    #[test]
+    fn union_with_non_canonical_input_concatenates() {
+        let mut a = rel(&["x"], &[&[1], &[2]]);
+        let b = rel(&["x"], &[&[5], &[3]]);
+        assert!(!b.is_canonical());
+        a.union_in_place(b);
+        assert!(!a.is_canonical());
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.distinct_len(), 4);
+    }
+
+    #[test]
+    fn push_tracks_canonical_order() {
+        let mut r = Relation::empty(vec![v("x")]);
+        assert!(r.is_canonical());
+        r.push(vec![t(1)]);
+        r.push(vec![t(2)]);
+        assert!(r.is_canonical());
+        r.push(vec![t(0)]);
+        assert!(!r.is_canonical());
+        r.canonicalize();
+        assert!(r.is_canonical());
+        assert_eq!(r.rows()[0], vec![t(0)]);
+    }
+
+    #[test]
+    fn distinct_len_matches_distinct() {
+        let canonical = rel(&["x"], &[&[1], &[1], &[2], &[3], &[3]]);
+        assert!(canonical.is_canonical());
+        assert_eq!(canonical.distinct_len(), 3);
+        let scrambled = rel(&["x"], &[&[3], &[1], &[2], &[1], &[3]]);
+        assert!(!scrambled.is_canonical());
+        assert_eq!(scrambled.distinct_len(), 3);
+        assert_eq!(scrambled.distinct().len(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_canonical_flag() {
+        let sorted = rel(&["x"], &[&[1], &[2]]);
+        let mut pushed = Relation::empty(vec![v("x")]);
+        pushed.push(vec![t(1)]);
+        pushed.push(vec![t(2)]);
+        assert_eq!(sorted, pushed);
     }
 
     #[test]

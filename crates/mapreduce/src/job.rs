@@ -53,6 +53,12 @@ pub struct JobExecution {
     pub reduce_tasks: Vec<TaskExecution>,
     /// Tuples shuffled between the map and reduce phases.
     pub shuffled_tuples: u64,
+    /// Measured wall-clock seconds spent in this job's map task waves
+    /// (real time on the runtime's OS threads, not simulated time).
+    pub map_wall_seconds: f64,
+    /// Measured wall-clock seconds spent in this job's shuffle + reduce
+    /// task waves.
+    pub reduce_wall_seconds: f64,
     /// Work counters charged to this job.
     pub metrics: ExecutionMetrics,
 }
@@ -113,6 +119,14 @@ impl JobLog {
         } else {
             self.jobs.len().to_string()
         }
+    }
+
+    /// Measured wall-clock seconds across all jobs' task waves.
+    pub fn wall_seconds(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.map_wall_seconds + j.reduce_wall_seconds)
+            .sum()
     }
 
     /// Aggregated work counters over all jobs.
@@ -178,6 +192,8 @@ mod tests {
                 Vec::new()
             },
             shuffled_tuples: shuffled,
+            map_wall_seconds: 0.0,
+            reduce_wall_seconds: 0.0,
             metrics: ExecutionMetrics {
                 tuples_read: input,
                 tuples_written: output,

@@ -16,6 +16,9 @@
 //!   startup overhead, intermediate result materialization and shuffling.
 //! * **Cost accounting** ([`metrics`]): scan, CPU, I/O and network costs in
 //!   the style of Section 5.4, turned into a simulated response time.
+//! * **A parallel task runtime** ([`runtime`]): per-node map and reduce
+//!   tasks of a job wave execute concurrently on scoped OS threads, so the
+//!   engine reports *measured* wall-clock times next to the simulated ones.
 //!
 //! The simulator never moves real bytes across machines: "shuffling" a tuple
 //! charges network cost and re-buckets it, which is sufficient to reproduce
@@ -28,8 +31,10 @@ pub mod cluster;
 pub mod job;
 pub mod metrics;
 pub mod partition;
+pub mod runtime;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use job::{JobExecution, JobKind, JobLog, TaskExecution};
 pub use metrics::{CostParameters, ExecutionMetrics};
 pub use partition::{FileKey, PartitionedStore, PlacementStats};
+pub use runtime::{Runtime, THREADS_ENV};

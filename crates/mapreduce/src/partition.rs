@@ -156,30 +156,42 @@ impl PartitionedStore {
         property: Option<TermId>,
         type_object: Option<TermId>,
     ) -> Vec<Vec<Triple>> {
-        self.files
-            .iter()
-            .map(|node_files| {
-                let mut out = Vec::new();
-                for (key, triples) in node_files {
-                    if key.placement != placement {
-                        continue;
-                    }
-                    if let Some(p) = property {
-                        if key.property != p {
-                            continue;
-                        }
-                    }
-                    if let Some(class) = type_object {
-                        if key.type_object != Some(class) {
-                            continue;
-                        }
-                    }
-                    out.extend_from_slice(triples);
-                }
-                out.sort_unstable();
-                out
-            })
+        (0..self.nodes)
+            .map(|node| self.scan_node(node, placement, property, type_object))
             .collect()
+    }
+
+    /// Scans the matching files of a single compute node (the per-node unit
+    /// of work of a map task wave). See [`scan`](Self::scan).
+    pub fn scan_node(
+        &self,
+        node: usize,
+        placement: TriplePosition,
+        property: Option<TermId>,
+        type_object: Option<TermId>,
+    ) -> Vec<Triple> {
+        let Some(node_files) = self.files.get(node) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (key, triples) in node_files {
+            if key.placement != placement {
+                continue;
+            }
+            if let Some(p) = property {
+                if key.property != p {
+                    continue;
+                }
+            }
+            if let Some(class) = type_object {
+                if key.type_object != Some(class) {
+                    continue;
+                }
+            }
+            out.extend_from_slice(triples);
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Total number of tuples that [`scan`](Self::scan) would read.
@@ -242,7 +254,7 @@ mod tests {
         let works_for = graph.lookup(&Term::iri(vocab::ub("worksFor"))).unwrap();
         let expected = graph
             .triples_with(TriplePosition::Property, works_for)
-            .len();
+            .count();
         for placement in TriplePosition::ALL {
             let scanned = store.scan_cardinality(placement, Some(works_for), None);
             assert_eq!(scanned, expected, "placement {placement}");
@@ -260,7 +272,9 @@ mod tests {
         let all_types = store.scan_cardinality(TriplePosition::Subject, Some(rdf_type), None);
         assert!(narrowed > 0);
         assert!(narrowed < all_types);
-        let expected = graph.match_pattern(None, Some(rdf_type), Some(grad)).len();
+        let expected = graph
+            .match_pattern(None, Some(rdf_type), Some(grad))
+            .count();
         assert_eq!(narrowed, expected);
     }
 

@@ -90,63 +90,67 @@ impl Graph {
         triple
     }
 
-    /// Returns the triples whose component at `position` equals `value`.
-    pub fn triples_with(&self, position: TriplePosition, value: TermId) -> Vec<Triple> {
+    /// The index slice (triple positions into [`triples`](Self::triples))
+    /// for a component value, empty when the value never occurs there.
+    pub fn index_of(&self, position: TriplePosition, value: TermId) -> &[usize] {
         let index = match position {
             TriplePosition::Subject => &self.by_subject,
             TriplePosition::Property => &self.by_property,
             TriplePosition::Object => &self.by_object,
         };
-        index
-            .get(&value)
-            .map(|ids| ids.iter().map(|&i| self.triples[i]).collect())
-            .unwrap_or_default()
+        index.get(&value).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Returns the triples matching an optional pattern on each position.
+    /// Iterates over the triples whose component at `position` equals
+    /// `value`, without materializing a vector.
+    pub fn triples_with(
+        &self,
+        position: TriplePosition,
+        value: TermId,
+    ) -> impl Iterator<Item = Triple> + '_ {
+        self.index_of(position, value)
+            .iter()
+            .map(move |&i| self.triples[i])
+    }
+
+    /// Iterates over the triples matching an optional pattern on each
+    /// position.
     ///
     /// `None` matches anything; `Some(id)` requires equality. This is the
-    /// basic access path used by the simulated Match operators.
+    /// basic access path used by the simulated Match operators. The scan is
+    /// driven by the *smallest* index among the constrained positions (full
+    /// triple list when no position is constrained), and the remaining
+    /// constraints are checked on the fly — no intermediate vector is
+    /// allocated.
     pub fn match_pattern(
         &self,
         subject: Option<TermId>,
         property: Option<TermId>,
         object: Option<TermId>,
-    ) -> Vec<Triple> {
-        // Use the most selective available index.
-        let candidates: Box<dyn Iterator<Item = &Triple>> = if let Some(p) = property {
-            Box::new(
-                self.by_property
-                    .get(&p)
-                    .into_iter()
-                    .flatten()
-                    .map(|&i| &self.triples[i]),
-            )
-        } else if let Some(s) = subject {
-            Box::new(
-                self.by_subject
-                    .get(&s)
-                    .into_iter()
-                    .flatten()
-                    .map(|&i| &self.triples[i]),
-            )
-        } else if let Some(o) = object {
-            Box::new(
-                self.by_object
-                    .get(&o)
-                    .into_iter()
-                    .flatten()
-                    .map(|&i| &self.triples[i]),
-            )
-        } else {
-            Box::new(self.triples.iter())
+    ) -> impl Iterator<Item = Triple> + '_ {
+        // Pick the most selective available index to drive the scan.
+        let mut driver: Option<&[usize]> = None;
+        for (constant, position) in [
+            (subject, TriplePosition::Subject),
+            (property, TriplePosition::Property),
+            (object, TriplePosition::Object),
+        ] {
+            if let Some(id) = constant {
+                let ids = self.index_of(position, id);
+                if driver.is_none_or(|best| ids.len() < best.len()) {
+                    driver = Some(ids);
+                }
+            }
+        }
+        let candidates: Box<dyn Iterator<Item = &Triple> + '_> = match driver {
+            Some(ids) => Box::new(ids.iter().map(move |&i| &self.triples[i])),
+            None => Box::new(self.triples.iter()),
         };
         candidates
-            .filter(|t| subject.is_none_or(|s| t.subject == s))
-            .filter(|t| property.is_none_or(|p| t.property == p))
-            .filter(|t| object.is_none_or(|o| t.object == o))
+            .filter(move |t| subject.is_none_or(|s| t.subject == s))
+            .filter(move |t| property.is_none_or(|p| t.property == p))
+            .filter(move |t| object.is_none_or(|o| t.object == o))
             .copied()
-            .collect()
     }
 
     /// Returns the number of distinct property values in the graph.
@@ -217,9 +221,10 @@ mod tests {
         let g = sample_graph();
         let a = g.lookup(&Term::iri("a")).unwrap();
         let p1 = g.lookup(&Term::iri("p1")).unwrap();
-        assert_eq!(g.triples_with(TriplePosition::Subject, a).len(), 2);
-        assert_eq!(g.triples_with(TriplePosition::Property, p1).len(), 2);
-        assert_eq!(g.triples_with(TriplePosition::Object, a).len(), 1);
+        assert_eq!(g.triples_with(TriplePosition::Subject, a).count(), 2);
+        assert_eq!(g.triples_with(TriplePosition::Property, p1).count(), 2);
+        assert_eq!(g.triples_with(TriplePosition::Object, a).count(), 1);
+        assert_eq!(g.index_of(TriplePosition::Subject, a).len(), 2);
     }
 
     #[test]
@@ -227,19 +232,21 @@ mod tests {
         let g = sample_graph();
         let a = g.lookup(&Term::iri("a")).unwrap();
         let p2 = g.lookup(&Term::iri("p2")).unwrap();
-        assert_eq!(g.match_pattern(None, None, None).len(), 4);
-        assert_eq!(g.match_pattern(Some(a), None, None).len(), 2);
-        assert_eq!(g.match_pattern(Some(a), Some(p2), None).len(), 1);
-        assert_eq!(g.match_pattern(Some(a), Some(p2), Some(a)).len(), 0);
+        assert_eq!(g.match_pattern(None, None, None).count(), 4);
+        assert_eq!(g.match_pattern(Some(a), None, None).count(), 2);
+        assert_eq!(g.match_pattern(Some(a), Some(p2), None).count(), 1);
+        assert_eq!(g.match_pattern(Some(a), Some(p2), Some(a)).count(), 0);
     }
 
     #[test]
     fn match_pattern_unknown_ids_yield_nothing() {
         let g = sample_graph();
-        assert!(g.match_pattern(Some(TermId(999)), None, None).is_empty());
-        assert!(g
-            .triples_with(TriplePosition::Property, TermId(999))
-            .is_empty());
+        assert_eq!(g.match_pattern(Some(TermId(999)), None, None).count(), 0);
+        assert_eq!(
+            g.triples_with(TriplePosition::Property, TermId(999))
+                .count(),
+            0
+        );
     }
 
     #[test]

@@ -385,8 +385,10 @@ mod tests {
             let class_id = g
                 .lookup(&Term::iri(vocab::ub(class)))
                 .unwrap_or_else(|| panic!("class {class} missing"));
-            let instances = g.match_pattern(None, Some(rdf_type), Some(class_id));
-            assert!(!instances.is_empty(), "class {class} has no instances");
+            let instances = g
+                .match_pattern(None, Some(rdf_type), Some(class_id))
+                .count();
+            assert!(instances > 0, "class {class} has no instances");
         }
     }
 

@@ -69,7 +69,7 @@ proptest! {
         }
         for position in TriplePosition::ALL {
             for (id, _) in graph.dictionary().iter() {
-                let indexed = graph.triples_with(position, id);
+                let indexed: Vec<_> = graph.triples_with(position, id).collect();
                 let scanned: Vec<_> = graph
                     .triples()
                     .iter()

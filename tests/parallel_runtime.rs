@@ -1,0 +1,159 @@
+//! Oracle tests for the parallel task runtime: executing a plan on OS
+//! threads must be **observationally identical** to sequential execution —
+//! same (bit-identical) result relation, same job descriptors, same work
+//! counters, same simulated seconds — and both must agree with the naive
+//! reference evaluator.
+
+use cliquesquare_core::{Optimizer, Variant};
+use cliquesquare_engine::csq::{Csq, CsqConfig};
+use cliquesquare_engine::reference::reference_eval_with;
+use cliquesquare_engine::Executor;
+use cliquesquare_mapreduce::{Cluster, ClusterConfig, Runtime};
+use cliquesquare_querygen::lubm_queries::lubm_queries;
+use cliquesquare_querygen::{SyntheticShape, SyntheticWorkload};
+use cliquesquare_rdf::{Graph, LubmGenerator, LubmScale, Term};
+use cliquesquare_sparql::BgpQuery;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn lubm_cluster() -> Cluster {
+    let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+    Cluster::load(graph, ClusterConfig::with_nodes(4))
+}
+
+/// The ISSUE-mandated oracle: on all 14 LUBM queries, the parallel
+/// executor's distinct answer set equals both the sequential executor's and
+/// the reference evaluator's.
+#[test]
+fn all_lubm_queries_agree_across_runtimes_and_reference() {
+    let cluster = lubm_cluster();
+    for query in lubm_queries() {
+        let reference = reference_eval_with(cluster.graph(), &query, &Runtime::sequential());
+        let sequential =
+            Csq::new(cluster.clone(), CsqConfig::default().with_threads(1)).run(&query);
+        let parallel = Csq::new(cluster.clone(), CsqConfig::default().with_threads(4)).run(&query);
+
+        assert_eq!(
+            sequential.result_count,
+            reference.len(),
+            "{}: sequential executor disagrees with the reference evaluator",
+            query.name()
+        );
+        assert_eq!(
+            parallel.result_count,
+            reference.len(),
+            "{}: parallel executor disagrees with the reference evaluator",
+            query.name()
+        );
+        assert_eq!(
+            sequential.execution.results,
+            parallel.execution.results,
+            "{}: parallel results are not bit-identical to sequential",
+            query.name()
+        );
+        assert_eq!(
+            sequential.execution.results.clone().distinct(),
+            reference,
+            "{}: executor answer set differs from the reference",
+            query.name()
+        );
+        assert_eq!(
+            sequential.job_descriptor,
+            parallel.job_descriptor,
+            "{}: thread count changed the job descriptor",
+            query.name()
+        );
+        assert_eq!(
+            sequential.simulated_seconds,
+            parallel.simulated_seconds,
+            "{}: thread count changed the simulated cost",
+            query.name()
+        );
+    }
+}
+
+/// The parallel reference evaluator is itself an oracle; cross-check it
+/// against its sequential form on the whole LUBM workload.
+#[test]
+fn parallel_reference_evaluator_is_bit_identical_on_lubm() {
+    let cluster = lubm_cluster();
+    for query in lubm_queries() {
+        let sequential = reference_eval_with(cluster.graph(), &query, &Runtime::sequential());
+        let parallel = reference_eval_with(cluster.graph(), &query, &Runtime::with_threads(4));
+        assert_eq!(sequential, parallel, "{}", query.name());
+    }
+}
+
+/// Strategy: a random query shape, size and seed (same distribution as the
+/// synthetic optimizer workload of Section 6.2).
+fn query_strategy() -> impl Strategy<Value = BgpQuery> {
+    (0usize..4, 2usize..7, any::<u64>()).prop_map(|(shape, size, seed)| {
+        let shape = SyntheticShape::ALL[shape];
+        let mut rng = StdRng::seed_from_u64(seed);
+        SyntheticWorkload::query(shape, size, &mut rng)
+    })
+}
+
+/// A small random graph over the synthetic property vocabulary used by the
+/// generated queries, so that executions can produce non-empty answers.
+fn synthetic_graph(seed: u64) -> Graph {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = Graph::new();
+    for _ in 0..600 {
+        let s = rng.gen_range(0..40);
+        let p = rng.gen_range(1..11);
+        let o = rng.gen_range(0..40);
+        graph.insert_terms(
+            Term::iri(format!("http://synthetic.example/node{s}")),
+            Term::iri(format!("http://synthetic.example/p{p}")),
+            Term::iri(format!("http://synthetic.example/node{o}")),
+        );
+    }
+    graph
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random synthetic queries executed at threads ∈ {1, 2, 8}: every
+    /// thread count produces the bit-identical result relation, identical
+    /// work counters, and the reference evaluator's answer count.
+    #[test]
+    fn random_queries_are_thread_count_invariant(
+        query in query_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let graph = synthetic_graph(seed);
+        let cluster = Cluster::load(graph, ClusterConfig::with_nodes(3));
+        // Project every variable so that distinct answer counting is strict.
+        let query = BgpQuery::named(
+            query.name().to_string(),
+            query.variables(),
+            query.patterns().to_vec(),
+        );
+        let result = Optimizer::with_variant(Variant::Msc).optimize(&query);
+        prop_assert!(!result.plans.is_empty(), "synthetic queries are connected");
+        let logical = result.flattest_plans()[0].clone();
+
+        let reference = reference_eval_with(cluster.graph(), &query, &Runtime::sequential());
+        let sequential = Executor::sequential(&cluster).execute_logical(&logical);
+        prop_assert_eq!(sequential.distinct_count(), reference.len());
+        for threads in [2usize, 8] {
+            let parallel = Executor::with_runtime(&cluster, Runtime::with_threads(threads))
+                .execute_logical(&logical);
+            prop_assert_eq!(
+                &sequential.results,
+                &parallel.results,
+                "threads={} changed the results",
+                threads
+            );
+            prop_assert_eq!(sequential.metrics, parallel.metrics);
+            prop_assert_eq!(
+                sequential.job_log.descriptor(),
+                parallel.job_log.descriptor()
+            );
+        }
+    }
+}
