@@ -117,12 +117,14 @@ impl<'a> H2RdfSystem<'a> {
             accumulated = joined;
         }
 
+        // `distinct_len` counts without cloning: projections of canonical
+        // flat relations skip the sort entirely.
         let projected = if query.distinguished().is_empty() {
             accumulated
         } else {
             accumulated.project(query.distinguished())
         };
-        let result_count = projected.distinct().len();
+        let result_count = projected.distinct_len();
         let jobs = metrics.jobs as usize;
         let job_descriptor = if jobs == map_only_jobs && jobs <= 1 {
             "M".to_string()

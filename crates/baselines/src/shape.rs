@@ -146,12 +146,14 @@ impl<'a> ShapeSystem<'a> {
             accumulated = joined;
         }
 
+        // `distinct_len` counts without cloning: projections of canonical
+        // flat relations skip the sort entirely.
         let projected = if query.distinguished().is_empty() {
             accumulated
         } else {
             accumulated.project(query.distinguished())
         };
-        let result_count = projected.distinct().len();
+        let result_count = projected.distinct_len();
         let jobs = fragments.len().saturating_sub(1);
         SystemRunReport {
             system: "SHAPE-2f".to_string(),

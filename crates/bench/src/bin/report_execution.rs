@@ -12,17 +12,27 @@
 //! runs), together with the resulting real speedup. Both executions are
 //! asserted to produce bit-identical answers.
 //!
-//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution [-- --threads N] [--scale U]`
+//! The `row allocs` / `Mrow/s` columns come from the engine's relation
+//! counters: the flat columnar layout performs **zero** per-row heap
+//! allocations on the join and shuffle paths, and the throughput column
+//! reports join output rows per wall-second of the sequential execution.
+//!
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution [-- --threads N] [--scale U] [--snapshot [PATH]]`
 //! (`--threads auto` uses all cores; default: `CSQ_THREADS` or sequential.
 //! `--scale U` generates U LUBM universities — larger datasets amortize the
-//! per-wave thread spawn cost, which is what the speedup column measures.)
+//! per-wave thread spawn cost, which is what the speedup column measures.
+//! `--snapshot [PATH]` additionally writes the per-query wall times and
+//! totals to `PATH` — `BENCH_execution.json` by default — as the recorded
+//! perf-trajectory artifact; CI uploads it without gating on it.)
 
 use cliquesquare_baselines::BinaryPlanner;
 use cliquesquare_bench::{
-    fmt_f64, lubm_cluster, measure_seconds, report_scale, runtime_from_args, scale_from_args, table,
+    fmt_f64, lubm_cluster, measure_seconds, report_scale, runtime_from_args, scale_from_args,
+    snapshot_path_from_args, table, write_execution_snapshot, SnapshotQuery,
 };
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_engine::csq::{Csq, CsqConfig};
+use cliquesquare_engine::relation::stats as relation_stats;
 use cliquesquare_engine::{translate, Executor};
 use cliquesquare_querygen::lubm_queries;
 
@@ -47,6 +57,7 @@ fn main() {
     let parallel_executor = Executor::with_runtime(&cluster, runtime);
 
     let mut rows = Vec::new();
+    let mut snapshot_queries: Vec<SnapshotQuery> = Vec::new();
     for query in lubm_queries::lubm_queries() {
         let report = csq.run(&query);
         let run_binary = |plan: Option<LogicalPlan>| {
@@ -96,7 +107,21 @@ fn main() {
         let wall_par = measure_seconds(REPEATS, || {
             std::hint::black_box(parallel_executor.execute(&physical));
         });
+        // Allocation / throughput counters of one sequential execution.
+        relation_stats::reset();
+        std::hint::black_box(executor.execute(&physical));
+        let rel_stats = relation_stats::snapshot();
+        let join_mrows_per_s = rel_stats.join_rows_out as f64 / wall_seq / 1e6;
 
+        snapshot_queries.push(SnapshotQuery {
+            name: query.name().to_string(),
+            patterns: query.len(),
+            jobs: report.job_descriptor.clone(),
+            simulated_seconds: report.simulated_seconds,
+            wall_sequential_ms: wall_seq * 1e3,
+            wall_parallel_ms: wall_par * 1e3,
+            results: report.result_count,
+        });
         rows.push(vec![
             format!(
                 "{}({}|{}{}{})",
@@ -115,6 +140,8 @@ fn main() {
             fmt_f64(wall_seq * 1e3),
             fmt_f64(wall_par * 1e3),
             fmt_f64(wall_seq / wall_par),
+            fmt_f64(join_mrows_per_s),
+            rel_stats.row_allocs.to_string(),
             report.result_count.to_string(),
         ]);
     }
@@ -132,6 +159,8 @@ fn main() {
                 "wall 1T (ms)",
                 "wall NT (ms)",
                 "speedup",
+                "Mrow/s",
+                "row allocs",
                 "|Q|",
             ],
             &rows
@@ -139,7 +168,22 @@ fn main() {
     );
     println!(
         "Columns `MSC-Best`..`linear/MSC` are simulated (cost model, thread-independent); \
-         `wall *` columns are measured on this machine."
+         `wall *` columns are measured on this machine. `Mrow/s` is join output throughput \
+         of the sequential run; `row allocs` counts per-row heap allocations on the \
+         join/shuffle paths (always 0 with the flat columnar relations)."
     );
     println!("Expected shape (paper): MSC plans are fastest for every query, up to ~2x vs bushy and up to ~16x vs linear.");
+
+    if let Some(path) = snapshot_path_from_args(&args) {
+        let total: f64 = snapshot_queries.iter().map(|q| q.wall_sequential_ms).sum();
+        write_execution_snapshot(
+            &path,
+            cluster.graph().len(),
+            cluster.nodes(),
+            runtime.threads(),
+            &snapshot_queries,
+        )
+        .expect("write bench snapshot");
+        println!("\nWrote bench snapshot to {path} (total sequential wall: {total:.3} ms).");
+    }
 }

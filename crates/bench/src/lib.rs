@@ -128,6 +128,107 @@ pub fn fmt_percent(value: f64) -> String {
     format!("{:.1}%", value * 100.0)
 }
 
+/// Parses the `--snapshot [PATH]` flag: `Some(path)` when a snapshot was
+/// requested (`BENCH_execution.json` when no path follows the flag).
+pub fn snapshot_path_from_args(args: &[String]) -> Option<String> {
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--snapshot" {
+            return Some(match iter.peek() {
+                Some(value) if !value.starts_with("--") => (*value).clone(),
+                _ => "BENCH_execution.json".to_string(),
+            });
+        }
+        if let Some(value) = arg.strip_prefix("--snapshot=") {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
+/// One query's entry in the execution bench snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotQuery {
+    /// Query name (`Q1` … `Q14`).
+    pub name: String,
+    /// Number of triple patterns.
+    pub patterns: usize,
+    /// Paper-style job descriptor of the executed plan (`"M"`, `"1"`, …).
+    pub jobs: String,
+    /// Simulated response time (Section 5.4 cost model, thread-independent).
+    pub simulated_seconds: f64,
+    /// Measured wall-clock of the plan on the sequential runtime (ms).
+    pub wall_sequential_ms: f64,
+    /// Measured wall-clock on the configured parallel runtime (ms).
+    pub wall_parallel_ms: f64,
+    /// Number of distinct answers.
+    pub results: usize,
+}
+
+/// Minimal JSON string escaping (the snapshot only contains query names and
+/// job descriptors, but stay correct for arbitrary text).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the 14-query LUBM execution snapshot as `BENCH_execution.json`:
+/// per-query wall milliseconds plus workload totals, so the performance
+/// trajectory of the execution stack is recorded next to the code. The
+/// writer is hand-rolled because the vendored `serde` is a no-op stub.
+pub fn write_execution_snapshot(
+    path: &str,
+    dataset_triples: usize,
+    nodes: usize,
+    threads: usize,
+    queries: &[SnapshotQuery],
+) -> std::io::Result<()> {
+    let total_sequential: f64 = queries.iter().map(|q| q.wall_sequential_ms).sum();
+    let total_parallel: f64 = queries.iter().map(|q| q.wall_parallel_ms).sum();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"execution\",\n");
+    json.push_str("  \"workload\": \"LUBM Q1-Q14\",\n");
+    json.push_str(&format!("  \"dataset_triples\": {dataset_triples},\n"));
+    json.push_str(&format!("  \"nodes\": {nodes},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"total_wall_sequential_ms\": {total_sequential:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"total_wall_parallel_ms\": {total_parallel:.3},\n"
+    ));
+    json.push_str("  \"queries\": [\n");
+    for (index, q) in queries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"patterns\": {}, \"jobs\": \"{}\", \
+             \"simulated_seconds\": {:.6}, \"wall_sequential_ms\": {:.3}, \
+             \"wall_parallel_ms\": {:.3}, \"results\": {}}}{}\n",
+            json_escape(&q.name),
+            q.patterns,
+            json_escape(&q.jobs),
+            q.simulated_seconds,
+            q.wall_sequential_ms,
+            q.wall_parallel_ms,
+            q.results,
+            if index + 1 == queries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

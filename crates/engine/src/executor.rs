@@ -17,7 +17,7 @@
 
 use crate::jobs::{schedule, JobSchedule};
 use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
-use crate::relation::Relation;
+use crate::relation::{self, Relation};
 use crate::translate::translate;
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_mapreduce::{
@@ -291,45 +291,35 @@ fn spread(counters: &mut [u64], total: u64) {
     }
 }
 
-/// Deterministic shuffle hash (FNV-1a over the key columns), so that the
-/// hash-partitioned shuffle routes rows identically on every run and at
-/// every thread count.
-fn shuffle_hash(row: &[TermId], columns: &[usize]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &column in columns {
-        hash ^= u64::from(row[column].0);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
 /// Hash-partitions an intermediate's rows on the join attributes into one
-/// bucket per compute node: the simulated shuffle.
+/// bucket per compute node: the simulated shuffle. Each bucket's flat
+/// buffer is built directly by [`relation::hash_partition`] — no per-row
+/// heap allocation.
 fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -> Vec<Relation> {
-    let schema: Vec<Variable> = value.schema().to_vec();
-    let columns: Vec<usize> = attributes
-        .iter()
-        .map(|a| {
-            schema
-                .iter()
-                .position(|v| v == a)
-                .unwrap_or_else(|| panic!("shuffle attribute {a} missing from input"))
-        })
-        .collect();
-    let mut buckets: Vec<Relation> = (0..nodes)
-        .map(|_| Relation::empty(schema.clone()))
-        .collect();
-    let mut route = |rel: &Relation| {
-        for row in rel.rows() {
-            let node = (shuffle_hash(row, &columns) % nodes as u64) as usize;
-            buckets[node].push(row.clone());
-        }
-    };
     match value {
-        Intermediate::Local(parts) => parts.iter().for_each(&mut route),
-        Intermediate::Global(rel) => route(rel),
+        Intermediate::Global(rel) => relation::hash_partition(rel, attributes, nodes),
+        Intermediate::Local(parts) => {
+            // Route every part and concatenate each node's buckets in part
+            // order (same row order as shuffling the concatenated parts).
+            let mut buckets: Option<Vec<Relation>> = None;
+            for part in parts {
+                let routed = relation::hash_partition(part, attributes, nodes);
+                match &mut buckets {
+                    None => buckets = Some(routed),
+                    Some(acc) => {
+                        for (bucket, part_bucket) in acc.iter_mut().zip(routed) {
+                            bucket.concat(part_bucket);
+                        }
+                    }
+                }
+            }
+            buckets.unwrap_or_else(|| {
+                (0..nodes)
+                    .map(|_| Relation::empty(value.schema().to_vec()))
+                    .collect()
+            })
+        }
     }
-    buckets
 }
 
 /// Mutable execution state threaded through the arena-order evaluation.
@@ -398,22 +388,25 @@ impl<'a> ExecState<'a> {
         let store = self.cluster.store();
         let nodes = self.cluster.nodes();
         let schema: Vec<Variable> = output.iter().cloned().collect();
+        let binder = TripleBinder::new(spec, &schema);
         let tasks: Vec<_> = (0..nodes)
             .map(|node| {
                 let schema = schema.clone();
+                let binder = &binder;
                 move || -> (Relation, u64) {
                     let triples =
                         store.scan_node(node, spec.placement, spec.property, spec.type_object);
                     let scanned = triples.len() as u64;
-                    let mut relation = Relation::empty(schema.clone());
+                    let mut relation = Relation::empty(schema);
+                    let mut scratch = vec![TermId(0); binder.arity()];
                     'triples: for triple in triples {
                         for condition in extra_conditions {
                             if triple.get(condition.position) != condition.constant {
                                 continue 'triples;
                             }
                         }
-                        if let Some(row) = bind_triple(&triple, spec, &schema) {
-                            relation.push(row);
+                        if binder.bind(&triple, &mut scratch) {
+                            relation.push_row(&scratch);
                         }
                     }
                     (relation, scanned)
@@ -618,32 +611,72 @@ impl<'a> ExecState<'a> {
     }
 }
 
-/// Converts a raw triple matched by `spec` into a binding row over `schema`,
-/// or `None` when repeated variables in the pattern bind to different values.
-fn bind_triple(triple: &Triple, spec: &ScanSpec, schema: &[Variable]) -> Option<Vec<TermId>> {
-    let positions = [
-        (&spec.pattern.subject, TriplePosition::Subject),
-        (&spec.pattern.property, TriplePosition::Property),
-        (&spec.pattern.object, TriplePosition::Object),
-    ];
-    let mut row = Vec::with_capacity(schema.len());
-    for variable in schema {
-        let mut value: Option<TermId> = None;
+/// Converts raw triples matched by a scan spec into binding rows over a
+/// fixed schema, with the position → column mapping computed **once** per
+/// scan instead of per triple. [`TripleBinder::bind`] writes into a caller
+/// scratch row, so the scan performs no per-row heap allocation.
+struct TripleBinder {
+    arity: usize,
+    /// First occurrence of each schema variable in the pattern: the triple
+    /// position that provides the column's value.
+    writes: Vec<(TriplePosition, usize)>,
+    /// Repeated occurrences: positions that must agree with an already
+    /// written column (repeated-variable consistency).
+    checks: Vec<(TriplePosition, usize)>,
+    /// `true` when some schema variable does not occur in the pattern: no
+    /// triple can bind it, so the scan produces no rows (mirrors the
+    /// row-by-row `None` of the historical binder).
+    unbound_column: bool,
+}
+
+impl TripleBinder {
+    fn new(spec: &ScanSpec, schema: &[Variable]) -> Self {
+        let positions = [
+            (&spec.pattern.subject, TriplePosition::Subject),
+            (&spec.pattern.property, TriplePosition::Property),
+            (&spec.pattern.object, TriplePosition::Object),
+        ];
+        let mut writes: Vec<(TriplePosition, usize)> = Vec::new();
+        let mut checks: Vec<(TriplePosition, usize)> = Vec::new();
+        let mut written = vec![false; schema.len()];
         for (term, position) in positions {
             if let PatternTerm::Variable(v) = term {
-                if v == variable {
-                    let candidate = triple.get(position);
-                    match value {
-                        None => value = Some(candidate),
-                        Some(existing) if existing != candidate => return None,
-                        Some(_) => {}
+                if let Some(slot) = schema.iter().position(|s| s == v) {
+                    if written[slot] {
+                        checks.push((position, slot));
+                    } else {
+                        written[slot] = true;
+                        writes.push((position, slot));
                     }
                 }
             }
         }
-        row.push(value?);
+        Self {
+            arity: schema.len(),
+            writes,
+            checks,
+            unbound_column: written.iter().any(|w| !w),
+        }
     }
-    Some(row)
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Fills `row` with the triple's bindings; returns `false` when the
+    /// triple binds a repeated variable to different values (or a schema
+    /// column has no source position).
+    fn bind(&self, triple: &Triple, row: &mut [TermId]) -> bool {
+        if self.unbound_column {
+            return false;
+        }
+        for &(position, slot) in &self.writes {
+            row[slot] = triple.get(position);
+        }
+        self.checks
+            .iter()
+            .all(|&(position, slot)| triple.get(position) == row[slot])
+    }
 }
 
 #[cfg(test)]

@@ -52,5 +52,5 @@ pub use cost::{CostEstimate, MapReduceCostModel};
 pub use csq::{Csq, CsqConfig, CsqReport};
 pub use executor::{ExecutionOutput, Executor};
 pub use physical::{PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
-pub use relation::Relation;
+pub use relation::{hash_partition, Relation};
 pub use translate::translate;

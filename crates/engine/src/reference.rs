@@ -26,57 +26,51 @@ fn constant_id(graph: &Graph, term: &PatternTerm) -> Option<Option<TermId>> {
     }
 }
 
-/// The per-pattern evaluation context shared by all binding rows.
+/// The per-pattern evaluation context shared by all binding rows: every
+/// position → column mapping is resolved **once** per pattern, so extending
+/// a row is a `match_pattern` index probe plus slice copies into a reused
+/// scratch row — no per-row heap allocation and no per-triple schema scans.
 struct PatternEval<'a> {
     graph: &'a Graph,
-    bindings: &'a Relation,
-    schema: &'a [Variable],
-    positions: [(&'a PatternTerm, TriplePosition); 3],
-    consts: [Option<Option<TermId>>; 3],
+    /// Arity of the incoming binding rows (the output row's carried prefix).
+    binding_arity: usize,
+    /// Output arity (carried prefix + the pattern's new variables).
+    out_arity: usize,
+    /// Pattern constants resolved against the dictionary, per position.
+    consts: [Option<TermId>; 3],
+    /// Positions whose variable is already bound: the binding column that
+    /// fixes the position's value for the index probe.
+    carried: [Option<usize>; 3],
+    /// First occurrence of each *new* variable: (position, output slot).
+    writes: Vec<(TriplePosition, usize)>,
+    /// Repeated occurrences of new variables: the position must agree with
+    /// the slot already written from the same triple.
+    checks: Vec<(TriplePosition, usize)>,
 }
 
 impl PatternEval<'_> {
     /// Extends one binding row with every matching triple, appending the
     /// consistent extensions to `out` (in graph scan order, so processing
     /// rows in order reproduces the sequential output exactly).
-    fn extend_row(&self, row: &[TermId], out: &mut Vec<Vec<TermId>>) {
-        // Constants fixed by the pattern or by already-bound variables.
-        let mut fixed = [
-            self.consts[0].expect("checked"),
-            self.consts[1].expect("checked"),
-            self.consts[2].expect("checked"),
+    fn extend_row(&self, row: &[TermId], scratch: &mut [TermId], out: &mut Relation) {
+        let fixed = [
+            self.carried[0].map(|c| row[c]).or(self.consts[0]),
+            self.carried[1].map(|c| row[c]).or(self.consts[1]),
+            self.carried[2].map(|c| row[c]).or(self.consts[2]),
         ];
-        for (index, (term, _)) in self.positions.iter().enumerate() {
-            if let PatternTerm::Variable(v) = term {
-                if let Some(col) = self.bindings.column(v) {
-                    fixed[index] = Some(row[col]);
-                }
-            }
-        }
+        scratch[..self.binding_arity].copy_from_slice(row);
         for triple in self.graph.match_pattern(fixed[0], fixed[1], fixed[2]) {
-            // Bind the pattern's variables, checking repeated occurrences.
-            let mut extended: Vec<Option<TermId>> = self
-                .schema
-                .iter()
-                .map(|v| self.bindings.column(v).map(|c| row[c]))
-                .collect();
-            let mut consistent = true;
-            for (term, position) in self.positions {
-                if let PatternTerm::Variable(v) = term {
-                    let value = triple.get(position);
-                    let slot = self.schema.iter().position(|s| s == v).expect("in schema");
-                    match extended[slot] {
-                        None => extended[slot] = Some(value),
-                        Some(existing) if existing != value => {
-                            consistent = false;
-                            break;
-                        }
-                        Some(_) => {}
-                    }
-                }
+            // Carried variables are already enforced by the index probe;
+            // only the pattern's new variables need writing / checking.
+            for &(position, slot) in &self.writes {
+                scratch[slot] = triple.get(position);
             }
+            let consistent = self
+                .checks
+                .iter()
+                .all(|&(position, slot)| triple.get(position) == scratch[slot]);
             if consistent {
-                out.push(extended.into_iter().map(|v| v.expect("bound")).collect());
+                out.push_row(scratch);
             }
         }
     }
@@ -110,50 +104,85 @@ fn extend(
         return Relation::empty(schema);
     }
 
+    let positions = [
+        (&pattern.subject, TriplePosition::Subject),
+        (&pattern.property, TriplePosition::Property),
+        (&pattern.object, TriplePosition::Object),
+    ];
+    let mut carried: [Option<usize>; 3] = [None; 3];
+    let mut writes: Vec<(TriplePosition, usize)> = Vec::new();
+    let mut checks: Vec<(TriplePosition, usize)> = Vec::new();
+    let mut written = vec![false; schema.len()];
+    written[..bindings.schema().len()].fill(true);
+    for (index, (term, position)) in positions.iter().enumerate() {
+        if let PatternTerm::Variable(v) = term {
+            if let Some(column) = bindings.column(v) {
+                carried[index] = Some(column);
+            } else {
+                let slot = schema.iter().position(|s| s == v).expect("in schema");
+                if written[slot] {
+                    checks.push((*position, slot));
+                } else {
+                    written[slot] = true;
+                    writes.push((*position, slot));
+                }
+            }
+        }
+    }
+
     let eval = PatternEval {
         graph,
-        bindings: &bindings,
-        schema: &schema,
-        positions: [
-            (&pattern.subject, TriplePosition::Subject),
-            (&pattern.property, TriplePosition::Property),
-            (&pattern.object, TriplePosition::Object),
+        binding_arity: bindings.schema().len(),
+        out_arity: schema.len(),
+        consts: [
+            consts[0].expect("checked"),
+            consts[1].expect("checked"),
+            consts[2].expect("checked"),
         ],
-        consts,
+        carried,
+        writes,
+        checks,
     };
 
-    let rows = bindings.rows();
-    let out_rows: Vec<Vec<TermId>> =
-        if runtime.is_parallel() && rows.len() >= PARALLEL_ROW_THRESHOLD {
-            // Over-split relative to the thread count so the dynamic wave
-            // scheduler can balance skewed chunks.
-            let chunks = rows.len().div_ceil(runtime.threads() * 4).max(1);
-            let tasks: Vec<_> = rows
-                .chunks(chunks)
-                .map(|chunk| {
-                    let eval = &eval;
-                    move || {
-                        let mut out = Vec::new();
-                        for row in chunk {
-                            eval.extend_row(row, &mut out);
-                        }
-                        out
+    if runtime.is_parallel() && bindings.len() >= PARALLEL_ROW_THRESHOLD {
+        // Over-split relative to the thread count so the dynamic wave
+        // scheduler can balance skewed chunks.
+        let chunk_rows = bindings.len().div_ceil(runtime.threads() * 4).max(1);
+        let ranges: Vec<(usize, usize)> = (0..bindings.len())
+            .step_by(chunk_rows)
+            .map(|start| (start, (start + chunk_rows).min(bindings.len())))
+            .collect();
+        let tasks: Vec<_> = ranges
+            .into_iter()
+            .map(|(start, end)| {
+                let eval = &eval;
+                let bindings = &bindings;
+                let schema = &schema;
+                move || {
+                    let mut out = Relation::empty(schema.clone());
+                    let mut scratch = vec![TermId(0); eval.out_arity];
+                    for index in start..end {
+                        eval.extend_row(bindings.row(index), &mut scratch, &mut out);
                     }
-                })
-                .collect();
-            runtime.run_wave(tasks).into_iter().flatten().collect()
-        } else {
-            let mut out = Vec::new();
-            for row in rows {
-                eval.extend_row(row, &mut out);
-            }
-            out
-        };
-    let mut output = Relation::empty(schema);
-    for row in out_rows {
-        output.push(row);
+                    out
+                }
+            })
+            .collect();
+        // Concatenate the chunk outputs in chunk order: identical to the
+        // sequential row order at every thread count.
+        let mut output = Relation::empty(schema.clone());
+        for chunk in runtime.run_wave(tasks) {
+            output.concat(chunk);
+        }
+        output
+    } else {
+        let mut output = Relation::empty(schema.clone());
+        let mut scratch = vec![TermId(0); eval.out_arity];
+        for row in bindings.rows() {
+            eval.extend_row(row, &mut scratch, &mut output);
+        }
+        output
     }
-    output
 }
 
 /// Evaluates a BGP query over the graph and returns the **distinct** set of
@@ -168,7 +197,7 @@ pub fn reference_eval(graph: &Graph, query: &BgpQuery) -> Relation {
 /// **distinct** set of bindings of its distinguished variables. The answer
 /// is bit-identical at every thread count.
 pub fn reference_eval_with(graph: &Graph, query: &BgpQuery, runtime: &Runtime) -> Relation {
-    let mut bindings = Relation::new(Vec::new(), vec![Vec::new()]);
+    let mut bindings = Relation::unit();
     for pattern in query.patterns() {
         bindings = extend(graph, bindings, pattern, runtime);
         if bindings.is_empty() {
@@ -266,7 +295,7 @@ mod tests {
             for threads in [2, 8] {
                 let parallel = reference_eval_with(&g, &q, &Runtime::with_threads(threads));
                 assert_eq!(sequential, parallel, "threads={threads} on {query}");
-                assert_eq!(sequential.rows(), parallel.rows());
+                assert!(sequential.rows().eq(parallel.rows()));
             }
             assert!(!sequential.is_empty());
         }

@@ -1,26 +1,122 @@
-//! In-memory relations (variable bindings) and n-ary hash joins.
+//! In-memory relations (variable bindings) stored as flat columnar buffers,
+//! plus the n-ary sort-merge join.
+//!
+//! A [`Relation`] keeps all of its rows in **one** row-major `Vec<TermId>`
+//! buffer (`arity` consecutive ids per row) instead of a `Vec` per row. Rows
+//! are handed out as borrowed `&[TermId]` slices, so scanning, shuffling and
+//! joining perform no per-row heap allocation — the [`stats`] counters make
+//! that measurable.
 //!
 //! Relations track whether their rows are in *canonical* (lexicographically
 //! sorted) order. Canonical form is what makes the parallel runtime's output
 //! bit-identical to sequential execution: operators that merge per-node or
 //! per-partition results canonicalize, and downstream consumers
 //! ([`Relation::sorted`], [`Relation::distinct`], [`Relation::union_in_place`])
-//! skip the redundant re-sort when their inputs are already canonical.
+//! skip the redundant re-sort when their inputs are already canonical. The
+//! n-ary [`Relation::join`] cashes the same invariant in: inputs whose join
+//! attributes are the leading columns of an already-canonical relation are
+//! merged in place, and every other input pays one column-permuted index
+//! sort — never a hash table, never a key `Vec` per row.
 
 use cliquesquare_rdf::TermId;
 use cliquesquare_sparql::Variable;
-use std::collections::HashMap;
+use std::cmp::Ordering;
 
-/// A relation over query variables: a schema plus dictionary-encoded rows.
+/// Thread-local allocation and throughput counters for the relation layer.
+///
+/// The counters exist so the flat-buffer claim is *measured*, not asserted:
+/// `row_allocs` counts heap allocations made for an individual row (zero on
+/// every engine path since the columnar refactor), `buffer_allocs` counts
+/// whole-buffer allocations (bounded by the operator count, not the row
+/// count), and the join counters record output volume and which of the two
+/// sort-merge paths each input took.
+pub mod stats {
+    use std::cell::Cell;
+
+    /// A snapshot of the thread-local relation counters.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    pub struct RelationStats {
+        /// Heap allocations sized to a single row (must stay 0 on the join
+        /// and shuffle paths).
+        pub row_allocs: u64,
+        /// Whole-buffer allocations (one per operator output / sort / merge,
+        /// independent of the row count).
+        pub buffer_allocs: u64,
+        /// Rows produced by [`super::Relation::join`].
+        pub join_rows_out: u64,
+        /// Join inputs consumed through the sorted-leading-columns fast path
+        /// (no re-sort needed).
+        pub join_inputs_presorted: u64,
+        /// Join inputs that paid the one-shot column-permuted index sort.
+        pub join_inputs_resorted: u64,
+    }
+
+    thread_local! {
+        static STATS: Cell<RelationStats> = const { Cell::new(RelationStats {
+            row_allocs: 0,
+            buffer_allocs: 0,
+            join_rows_out: 0,
+            join_inputs_presorted: 0,
+            join_inputs_resorted: 0,
+        }) };
+    }
+
+    /// Resets this thread's counters to zero.
+    pub fn reset() {
+        STATS.with(|s| s.set(RelationStats::default()));
+    }
+
+    /// Reads this thread's counters.
+    pub fn snapshot() -> RelationStats {
+        STATS.with(|s| s.get())
+    }
+
+    fn update(f: impl FnOnce(&mut RelationStats)) {
+        STATS.with(|s| {
+            let mut v = s.get();
+            f(&mut v);
+            s.set(v);
+        });
+    }
+
+    pub(crate) fn count_row_allocs(n: u64) {
+        update(|s| s.row_allocs += n);
+    }
+
+    pub(crate) fn count_buffer_alloc() {
+        update(|s| s.buffer_allocs += 1);
+    }
+
+    pub(crate) fn count_join_rows(n: u64) {
+        update(|s| s.join_rows_out += n);
+    }
+
+    pub(crate) fn count_join_input(presorted: bool) {
+        update(|s| {
+            if presorted {
+                s.join_inputs_presorted += 1;
+            } else {
+                s.join_inputs_resorted += 1;
+            }
+        });
+    }
+}
+
+/// A relation over query variables: a schema plus dictionary-encoded rows in
+/// one flat row-major buffer.
 ///
 /// This is the tuple format flowing between simulated physical operators.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Vec<Variable>,
-    rows: Vec<Vec<TermId>>,
-    /// `true` when `rows` is known to be lexicographically sorted. Kept
-    /// up to date cheaply on `push`/`union_in_place`; `false` is always a
-    /// safe value (it only costs a re-sort later).
+    /// Row-major storage: row `i` occupies `data[i * arity .. (i + 1) * arity]`.
+    data: Vec<TermId>,
+    /// Number of rows, tracked explicitly because the arity can be zero
+    /// (a relation over no variables still distinguishes 0 rows from 1).
+    rows: usize,
+    /// `true` when the rows are known to be lexicographically sorted. Kept
+    /// up to date cheaply on `push_row`/`union_in_place`; `false` is always
+    /// a safe value (it only costs a re-sort later).
     canonical: bool,
 }
 
@@ -28,38 +124,130 @@ pub struct Relation {
 /// derived state and must not influence it.
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.rows == other.rows
+        self.schema == other.schema && self.rows == other.rows && self.data == other.data
     }
 }
 
 impl Eq for Relation {}
 
-fn rows_sorted(rows: &[Vec<TermId>]) -> bool {
-    rows.windows(2).all(|pair| pair[0] <= pair[1])
+/// One linear pass checking that a flat buffer's rows are sorted.
+fn flat_sorted(data: &[TermId], arity: usize) -> bool {
+    if arity == 0 {
+        return true;
+    }
+    let mut chunks = data.chunks_exact(arity);
+    let Some(mut previous) = chunks.next() else {
+        return true;
+    };
+    for row in chunks {
+        if previous > row {
+            return false;
+        }
+        previous = row;
+    }
+    true
 }
+
+/// Borrowed iterator over a relation's rows as `&[TermId]` slices.
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    data: &'a [TermId],
+    arity: usize,
+    remaining: usize,
+    offset: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [TermId];
+
+    fn next(&mut self) -> Option<&'a [TermId]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let row = &self.data[self.offset..self.offset + self.arity];
+        self.offset += self.arity;
+        self.remaining -= 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
 
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn empty(schema: Vec<Variable>) -> Self {
         Self {
             schema,
-            rows: Vec::new(),
+            data: Vec::new(),
+            rows: 0,
             canonical: true,
         }
     }
 
-    /// Creates a relation from a schema and rows.
+    /// The relation with no variables and exactly one (empty) row — the
+    /// identity for binding extension in the reference evaluator.
+    pub fn unit() -> Self {
+        Self {
+            schema: Vec::new(),
+            data: Vec::new(),
+            rows: 1,
+            canonical: true,
+        }
+    }
+
+    /// Creates a relation from a schema and materialized rows.
+    ///
+    /// This is a convenience for tests and small fixtures: it flattens the
+    /// per-row `Vec`s into the columnar buffer (and counts them as row
+    /// allocations in [`stats`]). Hot paths build relations with
+    /// [`Relation::push_row`] or [`Relation::from_flat`] instead.
     ///
     /// # Panics
     ///
     /// Panics if any row's arity differs from the schema's.
     pub fn new(schema: Vec<Variable>, rows: Vec<Vec<TermId>>) -> Self {
-        for row in &rows {
-            assert_eq!(row.len(), schema.len(), "row arity mismatch");
+        stats::count_row_allocs(rows.len() as u64);
+        let mut relation = Self::empty(schema);
+        if let Some(first) = rows.first() {
+            stats::count_buffer_alloc();
+            relation.data.reserve(first.len() * rows.len());
         }
-        let canonical = rows_sorted(&rows);
+        for row in &rows {
+            relation.push_row(row);
+        }
+        relation
+    }
+
+    /// Creates a relation directly from a flat row-major buffer.
+    ///
+    /// The canonical flag is computed with one linear pass so downstream
+    /// consumers can still skip redundant sorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of the schema arity
+    /// (a zero-arity schema requires an empty buffer).
+    pub fn from_flat(schema: Vec<Variable>, data: Vec<TermId>) -> Self {
+        let arity = schema.len();
+        let rows = if arity == 0 {
+            assert!(data.is_empty(), "flat buffer for a zero-arity schema");
+            0
+        } else {
+            assert_eq!(
+                data.len() % arity,
+                0,
+                "flat buffer length not a multiple of arity"
+            );
+            data.len() / arity
+        };
+        let canonical = flat_sorted(&data, arity);
         Self {
             schema,
+            data,
             rows,
             canonical,
         }
@@ -70,19 +258,46 @@ impl Relation {
         &self.schema
     }
 
-    /// The relation's rows.
-    pub fn rows(&self) -> &[Vec<TermId>] {
-        &self.rows
+    /// Number of columns per row.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The flat row-major buffer backing the relation.
+    pub fn data(&self) -> &[TermId] {
+        &self.data
+    }
+
+    /// Row `index` as a borrowed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn row(&self, index: usize) -> &[TermId] {
+        assert!(index < self.rows, "row index out of bounds");
+        let arity = self.schema.len();
+        &self.data[index * arity..(index + 1) * arity]
+    }
+
+    /// Iterates over the rows as borrowed `&[TermId]` slices (no per-row
+    /// allocation).
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            data: &self.data,
+            arity: self.schema.len(),
+            remaining: self.rows,
+            offset: 0,
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.rows
     }
 
     /// Returns `true` if the relation has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows == 0
     }
 
     /// Returns `true` if the rows are known to be in canonical (sorted)
@@ -91,22 +306,24 @@ impl Relation {
         self.canonical
     }
 
-    /// Appends a row, keeping the canonical flag accurate: appending a row
-    /// that is `>=` the current last row preserves sortedness.
+    /// Appends a row by copying it into the flat buffer, keeping the
+    /// canonical flag accurate: appending a row that is `>=` the current
+    /// last row preserves sortedness.
     ///
     /// # Panics
     ///
     /// Panics if the row arity differs from the schema's.
-    pub fn push(&mut self, row: Vec<TermId>) {
-        assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
-        if self.canonical {
-            if let Some(last) = self.rows.last() {
-                if *last > row {
-                    self.canonical = false;
-                }
+    pub fn push_row(&mut self, row: &[TermId]) {
+        let arity = self.schema.len();
+        assert_eq!(row.len(), arity, "row arity mismatch");
+        if self.canonical && self.rows > 0 {
+            let last = &self.data[(self.rows - 1) * arity..];
+            if last > row {
+                self.canonical = false;
             }
         }
-        self.rows.push(row);
+        self.data.extend_from_slice(row);
+        self.rows += 1;
     }
 
     /// Index of `variable` in the schema.
@@ -114,62 +331,115 @@ impl Relation {
         self.schema.iter().position(|v| v == variable)
     }
 
-    /// Sorts the rows into canonical order (no-op when already canonical).
+    /// Sorts the rows into canonical order (no-op when already canonical;
+    /// one verification pass rescues almost-sorted buffers from the sort).
     pub fn canonicalize(&mut self) {
+        let arity = self.schema.len();
         if !self.canonical {
-            self.rows.sort_unstable();
-            self.canonical = true;
+            if flat_sorted(&self.data, arity) {
+                self.canonical = true;
+            } else {
+                // Index sort + one permuted copy: two buffer allocations,
+                // zero per-row allocations.
+                assert!(self.rows <= u32::MAX as usize, "relation too large");
+                stats::count_buffer_alloc();
+                let mut order: Vec<u32> = (0..self.rows as u32).collect();
+                order.sort_unstable_by(|&a, &b| self.row(a as usize).cmp(self.row(b as usize)));
+                stats::count_buffer_alloc();
+                let mut sorted: Vec<TermId> = Vec::with_capacity(self.data.len());
+                for &i in &order {
+                    sorted.extend_from_slice(self.row(i as usize));
+                }
+                self.data = sorted;
+                self.canonical = true;
+            }
         }
-        debug_assert!(rows_sorted(&self.rows), "canonical relation not sorted");
+        debug_assert!(
+            flat_sorted(&self.data, arity),
+            "canonical relation not sorted"
+        );
     }
 
     /// Combines another relation with the *same schema* into this one.
     ///
-    /// When both sides are canonical the rows are merged (linear time) and
-    /// the result stays canonical; otherwise the rows are concatenated and
-    /// the result is marked non-canonical.
+    /// When both sides are canonical the flat buffers are merged (linear
+    /// time) and the result stays canonical; otherwise the buffers are
+    /// concatenated and the result is marked non-canonical.
     ///
     /// # Panics
     ///
     /// Panics if the schemas differ.
     pub fn union_in_place(&mut self, other: Relation) {
         assert_eq!(self.schema, other.schema, "schema mismatch in union");
-        if self.rows.is_empty() {
+        if self.rows == 0 {
+            self.data = other.data;
             self.rows = other.rows;
             self.canonical = other.canonical;
             return;
         }
-        if other.rows.is_empty() {
+        if other.rows == 0 {
             return;
         }
+        let arity = self.schema.len();
         if self.canonical && other.canonical {
-            let left = std::mem::take(&mut self.rows);
-            let mut merged = Vec::with_capacity(left.len() + other.rows.len());
-            let mut a = left.into_iter().peekable();
-            let mut b = other.rows.into_iter().peekable();
-            loop {
-                match (a.peek(), b.peek()) {
-                    (Some(x), Some(y)) => {
-                        if x <= y {
-                            merged.push(a.next().expect("peeked"));
-                        } else {
-                            merged.push(b.next().expect("peeked"));
-                        }
-                    }
-                    (Some(_), None) => merged.push(a.next().expect("peeked")),
-                    (None, Some(_)) => merged.push(b.next().expect("peeked")),
-                    (None, None) => break,
+            if arity == 0 {
+                self.rows += other.rows;
+                return;
+            }
+            let left = std::mem::take(&mut self.data);
+            let right = other.data;
+            stats::count_buffer_alloc();
+            let mut merged: Vec<TermId> = Vec::with_capacity(left.len() + right.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < left.len() && j < right.len() {
+                if left[i..i + arity] <= right[j..j + arity] {
+                    merged.extend_from_slice(&left[i..i + arity]);
+                    i += arity;
+                } else {
+                    merged.extend_from_slice(&right[j..j + arity]);
+                    j += arity;
                 }
             }
+            merged.extend_from_slice(&left[i..]);
+            merged.extend_from_slice(&right[j..]);
             debug_assert!(
-                rows_sorted(&merged),
+                flat_sorted(&merged, arity),
                 "merge of canonical inputs not canonical"
             );
-            self.rows = merged;
+            self.data = merged;
+            self.rows += other.rows;
         } else {
-            self.rows.extend(other.rows);
+            self.data.extend_from_slice(&other.data);
+            self.rows += other.rows;
             self.canonical = false;
         }
+    }
+
+    /// Appends another relation's rows (same schema) in concatenation
+    /// order, without the sorted merge of [`Relation::union_in_place`].
+    /// The canonical flag stays exact: the result is canonical only when
+    /// both inputs are and the boundary rows are ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas differ.
+    pub fn concat(&mut self, other: Relation) {
+        assert_eq!(self.schema, other.schema, "schema mismatch in concat");
+        if other.rows == 0 {
+            return;
+        }
+        if self.rows == 0 {
+            self.data = other.data;
+            self.rows = other.rows;
+            self.canonical = other.canonical;
+            return;
+        }
+        let arity = self.schema.len();
+        self.canonical = self.canonical
+            && other.canonical
+            && (arity == 0 || self.data[(self.rows - 1) * arity..] <= other.data[..arity]);
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
     }
 
     /// Projects the relation onto `variables` (dropping duplicates of rows is
@@ -181,18 +451,28 @@ impl Relation {
             .filter(|v| self.column(v).is_some())
             .cloned()
             .collect();
-        let rows: Vec<Vec<TermId>> = self
-            .rows
-            .iter()
-            .map(|row| columns.iter().map(|&c| row[c]).collect())
-            .collect();
+        let arity = kept.len();
+        stats::count_buffer_alloc();
+        let mut data: Vec<TermId> = Vec::with_capacity(arity * self.rows);
         // Projection drops / reorders columns, so sortedness of the input
-        // does not carry over in general; recheck (one linear pass) so that
+        // does not carry over in general; track it while emitting so that
         // downstream `distinct` calls can skip their sort.
-        let canonical = rows_sorted(&rows);
+        let mut canonical = true;
+        for (index, row) in self.rows().enumerate() {
+            for &c in &columns {
+                data.push(row[c]);
+            }
+            if canonical && index > 0 {
+                let here = (index) * arity;
+                if data[here - arity..here] > data[here..] {
+                    canonical = false;
+                }
+            }
+        }
         Relation {
             schema: kept,
-            rows,
+            data,
+            rows: self.rows,
             canonical,
         }
     }
@@ -204,46 +484,73 @@ impl Relation {
         self
     }
 
-    /// Deduplicates rows (after sorting, skipped when already canonical).
-    /// BGP evaluation is set semantics in the paper's formalization, so
-    /// final results are compared deduplicated.
+    /// Deduplicates rows in place (after sorting, skipped when already
+    /// canonical). BGP evaluation is set semantics in the paper's
+    /// formalization, so final results are compared deduplicated.
     pub fn distinct(mut self) -> Relation {
         self.canonicalize();
-        self.rows.dedup();
+        let arity = self.schema.len();
+        if arity == 0 {
+            self.rows = self.rows.min(1);
+            return self;
+        }
+        if self.rows <= 1 {
+            return self;
+        }
+        let mut write = 1usize;
+        for read in 1..self.rows {
+            let duplicate = self.data[read * arity..(read + 1) * arity]
+                == self.data[(write - 1) * arity..write * arity];
+            if !duplicate {
+                if read != write {
+                    self.data
+                        .copy_within(read * arity..(read + 1) * arity, write * arity);
+                }
+                write += 1;
+            }
+        }
+        self.data.truncate(write * arity);
+        self.rows = write;
         self
     }
 
     /// Number of distinct rows, without consuming or cloning the relation
     /// when it is already canonical.
     pub fn distinct_len(&self) -> usize {
+        let arity = self.schema.len();
+        if arity == 0 {
+            return self.rows.min(1);
+        }
         if self.canonical {
-            debug_assert!(rows_sorted(&self.rows), "canonical relation not sorted");
-            let duplicates = self
-                .rows
-                .windows(2)
-                .filter(|pair| pair[0] == pair[1])
+            debug_assert!(
+                flat_sorted(&self.data, arity),
+                "canonical relation not sorted"
+            );
+            let duplicates = (1..self.rows)
+                .filter(|&i| {
+                    self.data[(i - 1) * arity..i * arity] == self.data[i * arity..(i + 1) * arity]
+                })
                 .count();
-            self.rows.len() - duplicates
+            self.rows - duplicates
         } else {
-            let mut rows = self.rows.clone();
-            rows.sort_unstable();
-            rows.dedup();
-            rows.len()
+            self.clone().distinct().len()
         }
     }
 
-    /// The key of a row restricted to the given columns.
-    fn key(row: &[TermId], columns: &[usize]) -> Vec<TermId> {
-        columns.iter().map(|&c| row[c]).collect()
-    }
-
-    /// N-ary hash join of `inputs` on the shared `attributes`.
+    /// N-ary **sort-merge** join of `inputs` on the shared `attributes`.
     ///
     /// The output schema is the union of the input schemas in input order
-    /// (join attributes appear once). This mirrors the logical `J_A` operator:
-    /// every input must contain every join attribute. The output is
-    /// canonicalized (sorted), so join results are deterministic even though
-    /// the probe order over the hash table is not.
+    /// (join attributes appear once). This mirrors the logical `J_A`
+    /// operator: every input must contain every join attribute.
+    ///
+    /// Each input is walked in key order: an already-canonical input whose
+    /// join attributes are its leading columns (in attribute order) is
+    /// consumed as-is, and any other input pays one column-permuted index
+    /// sort — no hash table and no per-row key allocation on either path.
+    /// Matching key groups are combined with a cross product that writes
+    /// into one reused scratch row, rejecting combinations that disagree on
+    /// shared non-join attributes. The output is canonicalized (sorted), so
+    /// join results are deterministic and bit-identical at any thread count.
     pub fn join(inputs: &[&Relation], attributes: &[Variable]) -> Relation {
         assert!(!inputs.is_empty(), "join needs at least one input");
         // Output schema: union of schemas, first occurrence wins.
@@ -257,95 +564,300 @@ impl Relation {
         }
         if inputs.len() == 1 {
             // Single input: the join is the identity (canonicalized).
-            let mut out = Relation::new(schema, inputs[0].rows.clone());
+            stats::count_buffer_alloc();
+            let mut out = Relation {
+                schema,
+                data: inputs[0].data.clone(),
+                rows: inputs[0].rows,
+                canonical: inputs[0].canonical,
+            };
             out.canonicalize();
+            stats::count_join_rows(out.rows as u64);
             return out;
         }
 
-        // Group every input by its key on the join attributes.
-        let mut grouped: Vec<HashMap<Vec<TermId>, Vec<&Vec<TermId>>>> =
-            Vec::with_capacity(inputs.len());
-        let mut key_columns: Vec<Vec<usize>> = Vec::with_capacity(inputs.len());
-        for rel in inputs {
-            let columns: Vec<usize> = attributes
-                .iter()
-                .map(|a| {
-                    rel.column(a)
-                        .unwrap_or_else(|| panic!("join attribute {a} missing from input"))
-                })
-                .collect();
-            let mut map: HashMap<Vec<TermId>, Vec<&Vec<TermId>>> = HashMap::new();
-            for row in &rel.rows {
-                map.entry(Self::key(row, &columns)).or_default().push(row);
-            }
-            key_columns.push(columns);
-            grouped.push(map);
-        }
-
-        // Iterate over the keys of the smallest input and probe the others.
-        let (smallest, _) = grouped
+        let n = inputs.len();
+        // Per input: key columns and the row visit order that makes the
+        // rows key-sorted.
+        let views: Vec<InputView<'_>> = inputs
             .iter()
-            .enumerate()
-            .min_by_key(|(_, m)| m.len())
-            .expect("at least one input");
-        let mut output = Relation::empty(schema.clone());
-        let out_columns: Vec<Vec<usize>> = inputs
-            .iter()
-            .map(|rel| {
-                rel.schema()
-                    .iter()
-                    .map(|v| schema.iter().position(|s| s == v).expect("schema union"))
-                    .collect()
-            })
+            .map(|rel| InputView::new(rel, attributes))
             .collect();
 
-        'keys: for key in grouped[smallest].keys() {
-            let mut per_input: Vec<&Vec<&Vec<TermId>>> = Vec::with_capacity(inputs.len());
-            for map in &grouped {
-                match map.get(key) {
-                    Some(rows) => per_input.push(rows),
-                    None => continue 'keys,
+        let mut out = Relation::empty(schema);
+        if views.iter().any(|view| view.len() == 0) {
+            stats::count_join_rows(0);
+            return out;
+        }
+
+        // Output column mapping: `writes[i]` are the columns input `i` is
+        // the first to provide; `checks[i]` are columns some earlier input
+        // already provided that are *not* join attributes (join attributes
+        // are equal by construction of the merge). Both are column-index
+        // pairs `(src, dst)`.
+        let mut writes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        let mut checks: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        let mut provided = vec![false; out.schema.len()];
+        for (i, rel) in inputs.iter().enumerate() {
+            for (src, v) in rel.schema().iter().enumerate() {
+                let dst = out
+                    .schema
+                    .iter()
+                    .position(|s| s == v)
+                    .expect("schema union");
+                if !provided[dst] {
+                    provided[dst] = true;
+                    writes[i].push((src, dst));
+                } else if !attributes.contains(v) {
+                    checks[i].push((src, dst));
                 }
             }
-            // Cross product of the matching rows of every input, merging each
-            // combination into one output row and rejecting combinations that
-            // disagree on shared non-join attributes.
-            let template = vec![None; schema.len()];
-            combine(&per_input, &out_columns, 0, template, &mut output);
         }
-        output.canonicalize();
-        output
+
+        stats::count_buffer_alloc();
+        let mut scratch: Vec<TermId> = vec![TermId(0); out.schema.len()];
+        let mut cursors = vec![0usize; n];
+        let mut ends = vec![0usize; n];
+        // The n-ary merge: repeatedly align all cursors on a common key,
+        // then emit the cross product of the aligned key groups.
+        let mut max_input = 0usize;
+        'merge: loop {
+            // Align every input's current key with the largest current key.
+            'align: loop {
+                let mut advanced_max = false;
+                for i in 0..n {
+                    if i == max_input {
+                        continue;
+                    }
+                    loop {
+                        if cursors[i] == views[i].len() {
+                            break 'merge;
+                        }
+                        match cmp_keys(&views[i], cursors[i], &views[max_input], cursors[max_input])
+                        {
+                            Ordering::Less => cursors[i] += 1,
+                            Ordering::Equal => break,
+                            Ordering::Greater => {
+                                max_input = i;
+                                advanced_max = true;
+                                break;
+                            }
+                        }
+                    }
+                    if advanced_max {
+                        continue 'align;
+                    }
+                }
+                break 'align;
+            }
+            // All inputs agree on the key: delimit each input's key group.
+            for i in 0..n {
+                let mut end = cursors[i] + 1;
+                while end < views[i].len()
+                    && cmp_keys(&views[i], end, &views[i], cursors[i]) == Ordering::Equal
+                {
+                    end += 1;
+                }
+                ends[i] = end;
+            }
+            emit_groups(
+                &views,
+                &writes,
+                &checks,
+                &cursors,
+                &ends,
+                0,
+                &mut scratch,
+                &mut out,
+            );
+            cursors.copy_from_slice(&ends);
+            if (0..n).any(|i| cursors[i] == views[i].len()) {
+                break 'merge;
+            }
+        }
+        out.canonicalize();
+        stats::count_join_rows(out.rows as u64);
+        out
     }
 }
 
-/// Recursively merges one matching row from each input into output rows.
-fn combine(
-    per_input: &[&Vec<&Vec<TermId>>],
-    out_columns: &[Vec<usize>],
-    depth: usize,
-    partial: Vec<Option<TermId>>,
-    output: &mut Relation,
-) {
-    if depth == per_input.len() {
-        let row: Vec<TermId> = partial
-            .into_iter()
-            .map(|cell| cell.expect("every output column filled by some input"))
+/// One join input viewed in key-sorted row order.
+struct InputView<'r> {
+    rel: &'r Relation,
+    /// Column of each join attribute in the input's schema.
+    key_cols: Vec<usize>,
+    /// Row visit order: `None` when the relation is canonical and the join
+    /// attributes are its leading columns (rows are already key-sorted);
+    /// otherwise the one-shot column-permuted index sort.
+    order: Option<Vec<u32>>,
+}
+
+impl<'r> InputView<'r> {
+    fn new(rel: &'r Relation, attributes: &[Variable]) -> Self {
+        let key_cols: Vec<usize> = attributes
+            .iter()
+            .map(|a| {
+                rel.column(a)
+                    .unwrap_or_else(|| panic!("join attribute {a} missing from input"))
+            })
             .collect();
-        output.push(row);
+        let presorted = rel.is_canonical()
+            && key_cols
+                .iter()
+                .enumerate()
+                .all(|(position, &column)| column == position);
+        stats::count_join_input(presorted);
+        let order = if presorted {
+            None
+        } else {
+            assert!(rel.len() <= u32::MAX as usize, "relation too large");
+            stats::count_buffer_alloc();
+            let mut order: Vec<u32> = (0..rel.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let ra = rel.row(a as usize);
+                let rb = rel.row(b as usize);
+                key_cols
+                    .iter()
+                    .map(|&c| ra[c])
+                    .cmp(key_cols.iter().map(|&c| rb[c]))
+            });
+            Some(order)
+        };
+        Self {
+            rel,
+            key_cols,
+            order,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// The row at key-sorted position `pos`.
+    fn row(&self, pos: usize) -> &[TermId] {
+        match &self.order {
+            None => self.rel.row(pos),
+            Some(order) => self.rel.row(order[pos] as usize),
+        }
+    }
+}
+
+/// Compares the join keys of two key-sorted positions (possibly of different
+/// inputs), column by column in attribute order.
+fn cmp_keys(a: &InputView<'_>, apos: usize, b: &InputView<'_>, bpos: usize) -> Ordering {
+    let ra = a.row(apos);
+    let rb = b.row(bpos);
+    for (&ca, &cb) in a.key_cols.iter().zip(&b.key_cols) {
+        match ra[ca].cmp(&rb[cb]) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Emits the cross product of the aligned key groups `[cursors[i], ends[i])`
+/// into `out`, writing every combination into the single reused `scratch`
+/// row. Combinations that disagree on a shared non-join attribute are
+/// rejected before recursing further.
+#[allow(clippy::too_many_arguments)]
+fn emit_groups(
+    views: &[InputView<'_>],
+    writes: &[Vec<(usize, usize)>],
+    checks: &[Vec<(usize, usize)>],
+    cursors: &[usize],
+    ends: &[usize],
+    depth: usize,
+    scratch: &mut Vec<TermId>,
+    out: &mut Relation,
+) {
+    if depth == views.len() {
+        out.data.extend_from_slice(scratch);
+        out.rows += 1;
+        out.canonical = false;
         return;
     }
-    'rows: for source in per_input[depth] {
-        let mut next = partial.clone();
-        for (src_col, &dst_col) in out_columns[depth].iter().enumerate() {
-            let value = source[src_col];
-            match next[dst_col] {
-                None => next[dst_col] = Some(value),
-                Some(existing) if existing != value => continue 'rows,
-                Some(_) => {}
+    'rows: for pos in cursors[depth]..ends[depth] {
+        let row = views[depth].row(pos);
+        for &(src, dst) in &checks[depth] {
+            if scratch[dst] != row[src] {
+                continue 'rows;
             }
         }
-        combine(per_input, out_columns, depth + 1, next, output);
+        for &(src, dst) in &writes[depth] {
+            scratch[dst] = row[src];
+        }
+        emit_groups(
+            views,
+            writes,
+            checks,
+            cursors,
+            ends,
+            depth + 1,
+            scratch,
+            out,
+        );
     }
+}
+
+/// Hash-partitions a relation's rows into `nodes` buckets on the given
+/// attributes (the simulated shuffle's routing step), building each bucket's
+/// flat buffer directly — zero per-row heap allocations.
+///
+/// The hash is deterministic (FNV-1a over the key columns), so rows are
+/// routed identically on every run and at every thread count. Rows are
+/// appended to their bucket in input order, which preserves the relative
+/// order (and thus sortedness) of any sorted input.
+///
+/// # Panics
+///
+/// Panics if an attribute is missing from the relation's schema.
+pub fn hash_partition(relation: &Relation, attributes: &[Variable], nodes: usize) -> Vec<Relation> {
+    let nodes = nodes.max(1);
+    let columns: Vec<usize> = attributes
+        .iter()
+        .map(|a| {
+            relation
+                .column(a)
+                .unwrap_or_else(|| panic!("shuffle attribute {a} missing from input"))
+        })
+        .collect();
+    let mut buffers: Vec<Vec<TermId>> = (0..nodes).map(|_| Vec::new()).collect();
+    // Row counts are tracked explicitly so zero-arity rows (empty key, empty
+    // payload) are routed like any other row instead of vanishing.
+    let mut counts = vec![0usize; nodes];
+    for row in relation.rows() {
+        let node = (shuffle_hash(row, &columns) % nodes as u64) as usize;
+        buffers[node].extend_from_slice(row);
+        counts[node] += 1;
+    }
+    buffers
+        .into_iter()
+        .zip(counts)
+        .map(|(data, rows)| {
+            stats::count_buffer_alloc();
+            let canonical = flat_sorted(&data, relation.arity());
+            Relation {
+                schema: relation.schema().to_vec(),
+                data,
+                rows,
+                canonical,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic shuffle hash (FNV-1a over the key columns), so that the
+/// hash-partitioned shuffle routes rows identically on every run and at
+/// every thread count.
+pub fn shuffle_hash(row: &[TermId], columns: &[usize]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &column in columns {
+        hash ^= u64::from(row[column].0);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -369,13 +881,21 @@ mod tests {
         )
     }
 
+    fn rows_of(relation: &Relation) -> Vec<Vec<TermId>> {
+        relation.rows().map(<[TermId]>::to_vec).collect()
+    }
+
     #[test]
     fn basic_accessors() {
         let r = rel(&["a", "b"], &[&[1, 2], &[3, 4]]);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+        assert_eq!(r.arity(), 2);
         assert_eq!(r.column(&v("b")), Some(1));
         assert_eq!(r.column(&v("z")), None);
+        assert_eq!(r.row(0), &[t(1), t(2)]);
+        assert_eq!(r.row(1), &[t(3), t(4)]);
+        assert_eq!(r.data(), &[t(1), t(2), t(3), t(4)]);
     }
 
     #[test]
@@ -385,19 +905,51 @@ mod tests {
     }
 
     #[test]
+    fn rows_iterator_is_exact_size() {
+        let r = rel(&["a"], &[&[1], &[2], &[3]]);
+        let mut rows = r.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.next(), Some(&[t(1)][..]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.count(), 2);
+    }
+
+    #[test]
+    fn unit_relation_has_one_empty_row() {
+        let unit = Relation::unit();
+        assert_eq!(unit.len(), 1);
+        assert_eq!(unit.arity(), 0);
+        assert_eq!(unit.rows().next(), Some(&[][..]));
+        assert_eq!(unit.clone().distinct().len(), 1);
+        assert_eq!(unit.distinct_len(), 1);
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let schema = vec![v("a"), v("b")];
+        let r = Relation::from_flat(schema.clone(), vec![t(1), t(2), t(3), t(4)]);
+        assert_eq!(r.len(), 2);
+        assert!(r.is_canonical());
+        let unsorted = Relation::from_flat(schema, vec![t(9), t(9), t(1), t(2)]);
+        assert!(!unsorted.is_canonical());
+        assert_eq!(unsorted.len(), 2);
+    }
+
+    #[test]
     fn binary_join_on_one_attribute() {
         let left = rel(&["a", "x"], &[&[1, 10], &[2, 20], &[3, 10]]);
         let right = rel(&["x", "b"], &[&[10, 100], &[20, 200], &[30, 300]]);
         let joined = Relation::join(&[&left, &right], &[v("x")]).sorted();
         assert_eq!(joined.schema(), &[v("a"), v("x"), v("b")]);
         assert_eq!(
-            joined.rows(),
-            rel(
-                &["a", "x", "b"],
-                &[&[1, 10, 100], &[2, 20, 200], &[3, 10, 100]]
+            rows_of(&joined),
+            rows_of(
+                &rel(
+                    &["a", "x", "b"],
+                    &[&[1, 10, 100], &[2, 20, 200], &[3, 10, 100]]
+                )
+                .sorted()
             )
-            .sorted()
-            .rows()
         );
     }
 
@@ -420,7 +972,7 @@ mod tests {
         let right = rel(&["x", "y", "b"], &[&[1, 2, 20], &[1, 9, 21]]);
         let joined = Relation::join(&[&left, &right], &[v("x"), v("y")]);
         assert_eq!(joined.len(), 1);
-        assert_eq!(joined.rows()[0], vec![t(1), t(2), t(10), t(20)]);
+        assert_eq!(joined.row(0), &[t(1), t(2), t(10), t(20)]);
     }
 
     #[test]
@@ -431,7 +983,7 @@ mod tests {
         let right = rel(&["x", "z", "b"], &[&[1, 5, 50], &[1, 7, 70]]);
         let joined = Relation::join(&[&left, &right], &[v("x")]);
         assert_eq!(joined.len(), 1);
-        assert_eq!(joined.rows()[0], vec![t(1), t(5), t(50)]);
+        assert_eq!(joined.row(0), &[t(1), t(5), t(50)]);
     }
 
     #[test]
@@ -446,7 +998,7 @@ mod tests {
     fn single_input_join_is_identity_up_to_order() {
         let r = rel(&["x", "a"], &[&[1, 2], &[3, 4]]);
         let joined = Relation::join(&[&r], &[v("x")]);
-        assert_eq!(joined.rows(), r.rows());
+        assert_eq!(rows_of(&joined), rows_of(&r));
     }
 
     #[test]
@@ -455,7 +1007,93 @@ mod tests {
         let right = rel(&["x", "b"], &[&[10, 100], &[20, 200]]);
         let joined = Relation::join(&[&left, &right], &[v("x")]);
         assert!(joined.is_canonical());
-        assert!(joined.rows().windows(2).all(|pair| pair[0] <= pair[1]));
+        assert!(flat_sorted(joined.data(), joined.arity()));
+    }
+
+    #[test]
+    fn join_with_no_attributes_is_a_cross_product() {
+        let left = rel(&["a"], &[&[1], &[2]]);
+        let right = rel(&["b"], &[&[7], &[8], &[9]]);
+        let joined = Relation::join(&[&left, &right], &[]);
+        assert_eq!(joined.len(), 6);
+        assert_eq!(joined.schema(), &[v("a"), v("b")]);
+    }
+
+    #[test]
+    fn join_uses_the_presorted_fast_path_for_leading_keys() {
+        stats::reset();
+        // Canonical, key `x` leading in both inputs → no re-sort.
+        let left = rel(&["x", "a"], &[&[1, 10], &[2, 20]]);
+        let right = rel(&["x", "b"], &[&[1, 5], &[3, 6]]);
+        assert!(left.is_canonical() && right.is_canonical());
+        let joined = Relation::join(&[&left, &right], &[v("x")]);
+        assert_eq!(joined.len(), 1);
+        let after = stats::snapshot();
+        assert_eq!(after.join_inputs_presorted, 2);
+        assert_eq!(after.join_inputs_resorted, 0);
+
+        stats::reset();
+        // Key `x` trailing in the left input → one column-permuted sort.
+        let trailing = rel(&["a", "x"], &[&[10, 1], &[20, 2]]);
+        let joined = Relation::join(&[&trailing, &right], &[v("x")]);
+        assert_eq!(joined.len(), 1);
+        let after = stats::snapshot();
+        assert_eq!(after.join_inputs_presorted, 1);
+        assert_eq!(after.join_inputs_resorted, 1);
+    }
+
+    #[test]
+    fn join_handles_duplicate_keys_on_both_sides() {
+        let left = rel(&["x", "a"], &[&[1, 10], &[1, 11], &[2, 12]]);
+        let right = rel(&["x", "b"], &[&[1, 20], &[1, 21], &[1, 22]]);
+        let joined = Relation::join(&[&left, &right], &[v("x")]);
+        // 2 left rows with x=1 × 3 right rows with x=1.
+        assert_eq!(joined.len(), 6);
+    }
+
+    #[test]
+    fn hash_partition_routes_every_row_exactly_once() {
+        let r = rel(&["x", "a"], &[&[1, 10], &[2, 20], &[3, 30], &[4, 40]]);
+        let buckets = hash_partition(&r, &[v("x")], 3);
+        assert_eq!(buckets.len(), 3);
+        let total: usize = buckets.iter().map(Relation::len).sum();
+        assert_eq!(total, r.len());
+        let mut recombined: Vec<Vec<TermId>> = buckets.iter().flat_map(rows_of).collect();
+        recombined.sort_unstable();
+        let mut expected = rows_of(&r);
+        expected.sort_unstable();
+        assert_eq!(recombined, expected);
+        // Same key → same bucket.
+        for bucket in &buckets {
+            for row in bucket.rows() {
+                let node = (shuffle_hash(row, &[0]) % 3) as usize;
+                assert_eq!(bucket.schema(), r.schema());
+                assert!(
+                    std::ptr::eq(&buckets[node], bucket) || buckets[node].is_empty() || {
+                        // The row must live in the bucket its hash selects.
+                        rows_of(&buckets[node]).contains(&row.to_vec())
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partition_keeps_zero_arity_rows() {
+        let buckets = hash_partition(&Relation::unit(), &[], 3);
+        assert_eq!(buckets.iter().map(Relation::len).sum::<usize>(), 1);
+        for bucket in &buckets {
+            assert_eq!(bucket.arity(), 0);
+        }
+    }
+
+    #[test]
+    fn hash_partition_preserves_sortedness_per_bucket() {
+        let r = rel(&["x"], &[&[1], &[2], &[3], &[4], &[5], &[6]]);
+        assert!(r.is_canonical());
+        for bucket in hash_partition(&r, &[v("x")], 4) {
+            assert!(bucket.is_canonical());
+        }
     }
 
     #[test]
@@ -468,6 +1106,15 @@ mod tests {
         // Projecting onto an absent variable silently drops it.
         let narrowed = r.project(&[v("a"), v("z")]);
         assert_eq!(narrowed.schema(), &[v("a")]);
+    }
+
+    #[test]
+    fn project_to_zero_columns_keeps_the_row_count() {
+        let r = rel(&["a"], &[&[1], &[2]]);
+        let projected = r.project(&[v("z")]);
+        assert_eq!(projected.arity(), 0);
+        assert_eq!(projected.len(), 2);
+        assert_eq!(projected.distinct().len(), 1);
     }
 
     #[test]
@@ -485,7 +1132,7 @@ mod tests {
         assert!(a.is_canonical() && b.is_canonical());
         a.union_in_place(b);
         assert!(a.is_canonical());
-        let values: Vec<u32> = a.rows().iter().map(|r| r[0].0).collect();
+        let values: Vec<u32> = a.rows().map(|r| r[0].0).collect();
         assert_eq!(values, vec![1, 2, 4, 4, 7, 9]);
     }
 
@@ -501,17 +1148,17 @@ mod tests {
     }
 
     #[test]
-    fn push_tracks_canonical_order() {
+    fn push_row_tracks_canonical_order() {
         let mut r = Relation::empty(vec![v("x")]);
         assert!(r.is_canonical());
-        r.push(vec![t(1)]);
-        r.push(vec![t(2)]);
+        r.push_row(&[t(1)]);
+        r.push_row(&[t(2)]);
         assert!(r.is_canonical());
-        r.push(vec![t(0)]);
+        r.push_row(&[t(0)]);
         assert!(!r.is_canonical());
         r.canonicalize();
         assert!(r.is_canonical());
-        assert_eq!(r.rows()[0], vec![t(0)]);
+        assert_eq!(r.row(0), &[t(0)]);
     }
 
     #[test]
@@ -529,8 +1176,8 @@ mod tests {
     fn equality_ignores_canonical_flag() {
         let sorted = rel(&["x"], &[&[1], &[2]]);
         let mut pushed = Relation::empty(vec![v("x")]);
-        pushed.push(vec![t(1)]);
-        pushed.push(vec![t(2)]);
+        pushed.push_row(&[t(1)]);
+        pushed.push_row(&[t(2)]);
         assert_eq!(sorted, pushed);
     }
 
@@ -540,5 +1187,19 @@ mod tests {
         let mut a = rel(&["x"], &[&[1]]);
         let b = rel(&["y"], &[&[2]]);
         a.union_in_place(b);
+    }
+
+    #[test]
+    fn join_reports_zero_row_allocations() {
+        let left = rel(&["x", "a"], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let right = rel(&["b", "x"], &[&[5, 1], &[6, 2], &[7, 9]]);
+        stats::reset();
+        let joined = Relation::join(&[&left, &right], &[v("x")]);
+        let buckets = hash_partition(&joined, &[v("x")], 4);
+        let after = stats::snapshot();
+        assert_eq!(after.row_allocs, 0, "join/shuffle allocated per-row");
+        assert_eq!(after.join_rows_out, joined.len() as u64);
+        assert!(after.buffer_allocs > 0);
+        assert_eq!(buckets.len(), 4);
     }
 }

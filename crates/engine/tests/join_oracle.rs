@@ -1,0 +1,178 @@
+//! Differential tests for the n-ary **sort-merge** join: on random
+//! relations, [`Relation::join`] must produce exactly the multiset of rows
+//! that a naive nested-loop oracle produces — covering duplicate keys,
+//! empty inputs, shared non-join attributes, cross products (no join
+//! attributes), and single-input identity joins, on both the
+//! sorted-leading-key fast path and the column-permuted re-sort path.
+
+use cliquesquare_engine::Relation;
+use cliquesquare_rdf::TermId;
+use cliquesquare_sparql::Variable;
+use proptest::prelude::*;
+
+fn v(name: &str) -> Variable {
+    Variable::new(name)
+}
+
+fn relation(schema: &[&str], rows: Vec<Vec<u32>>) -> Relation {
+    Relation::new(
+        schema.iter().map(|s| v(s)).collect(),
+        rows.into_iter()
+            .map(|r| r.into_iter().map(TermId).collect())
+            .collect(),
+    )
+}
+
+/// Nested-loop n-ary join oracle: enumerates every combination of one row
+/// per input, keeps the combinations that agree on every shared variable
+/// (join attributes and incidental shared columns alike), and merges them
+/// into output rows over the union schema. Returns the sorted multiset.
+fn oracle_join(inputs: &[&Relation], attributes: &[Variable]) -> Vec<Vec<TermId>> {
+    let mut schema: Vec<Variable> = Vec::new();
+    for rel in inputs {
+        for var in rel.schema() {
+            if !schema.contains(var) {
+                schema.push(var.clone());
+            }
+        }
+    }
+    // Every input must contain every join attribute (the J_A contract).
+    for rel in inputs {
+        for attr in attributes {
+            assert!(rel.column(attr).is_some());
+        }
+    }
+    let mut out: Vec<Vec<TermId>> = Vec::new();
+    let seed: Vec<Option<TermId>> = vec![None; schema.len()];
+    fn recurse(
+        inputs: &[&Relation],
+        schema: &[Variable],
+        depth: usize,
+        partial: &[Option<TermId>],
+        out: &mut Vec<Vec<TermId>>,
+    ) {
+        if depth == inputs.len() {
+            out.push(partial.iter().map(|c| c.expect("all bound")).collect());
+            return;
+        }
+        'rows: for row in inputs[depth].rows() {
+            let mut next = partial.to_vec();
+            for (src, var) in inputs[depth].schema().iter().enumerate() {
+                let dst = schema.iter().position(|s| s == var).expect("union");
+                match next[dst] {
+                    None => next[dst] = Some(row[src]),
+                    Some(existing) if existing != row[src] => continue 'rows,
+                    Some(_) => {}
+                }
+            }
+            recurse(inputs, schema, depth + 1, &next, out);
+        }
+    }
+    recurse(inputs, &schema, 0, &seed, &mut out);
+    out.sort_unstable();
+    out
+}
+
+/// The engine join's rows as a sorted multiset (it is canonical already,
+/// but sort defensively so the comparison never depends on that).
+fn joined_rows(inputs: &[&Relation], attributes: &[Variable]) -> Vec<Vec<TermId>> {
+    let joined = Relation::join(inputs, attributes).sorted();
+    joined.rows().map(<[TermId]>::to_vec).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Binary join on one attribute, tiny domain → lots of duplicate keys,
+    /// plus the empty-input edge (0-row vectors are generated).
+    #[test]
+    fn binary_join_matches_oracle(
+        left_rows in proptest::collection::vec((0u32..4, 0u32..4), 0..20),
+        right_rows in proptest::collection::vec((0u32..4, 0u32..4), 0..20),
+    ) {
+        let left = relation(&["x", "a"], left_rows.iter().map(|&(x, a)| vec![x, a]).collect());
+        let right = relation(&["x", "b"], right_rows.iter().map(|&(x, b)| vec![x, b]).collect());
+        let attrs = vec![v("x")];
+        prop_assert_eq!(
+            joined_rows(&[&left, &right], &attrs),
+            oracle_join(&[&left, &right], &attrs)
+        );
+    }
+
+    /// The key column placed *last* forces the column-permuted re-sort path;
+    /// the result must be identical to the leading-key layout.
+    #[test]
+    fn trailing_key_resort_path_matches_oracle(
+        left_rows in proptest::collection::vec((0u32..4, 0u32..4), 0..20),
+        right_rows in proptest::collection::vec((0u32..4, 0u32..4), 0..20),
+    ) {
+        let trailing = relation(&["a", "x"], left_rows.iter().map(|&(x, a)| vec![a, x]).collect());
+        let right = relation(&["x", "b"], right_rows.iter().map(|&(x, b)| vec![x, b]).collect());
+        let attrs = vec![v("x")];
+        prop_assert_eq!(
+            joined_rows(&[&trailing, &right], &attrs),
+            oracle_join(&[&trailing, &right], &attrs)
+        );
+    }
+
+    /// Three-way join on `x` where two inputs also share the non-join
+    /// attribute `z`: combinations disagreeing on `z` must be rejected.
+    #[test]
+    fn shared_non_join_attributes_match_oracle(
+        r1 in proptest::collection::vec((0u32..3, 0u32..3), 0..12),
+        r2 in proptest::collection::vec((0u32..3, 0u32..3, 0u32..3), 0..12),
+        r3 in proptest::collection::vec((0u32..3, 0u32..3), 0..12),
+    ) {
+        let a = relation(&["x", "z"], r1.iter().map(|&(x, z)| vec![x, z]).collect());
+        let b = relation(&["x", "z", "b"], r2.iter().map(|&(x, z, c)| vec![x, z, c]).collect());
+        let c = relation(&["x", "c"], r3.iter().map(|&(x, y)| vec![x, y]).collect());
+        let attrs = vec![v("x")];
+        prop_assert_eq!(
+            joined_rows(&[&a, &b, &c], &attrs),
+            oracle_join(&[&a, &b, &c], &attrs)
+        );
+    }
+
+    /// Multi-attribute keys: join on (x, y) with duplicates in both columns.
+    #[test]
+    fn multi_attribute_keys_match_oracle(
+        left_rows in proptest::collection::vec((0u32..3, 0u32..3, 0u32..3), 0..15),
+        right_rows in proptest::collection::vec((0u32..3, 0u32..3, 0u32..3), 0..15),
+    ) {
+        let left = relation(&["x", "y", "a"], left_rows.iter().map(|&(x, y, a)| vec![x, y, a]).collect());
+        let right = relation(&["y", "x", "b"], right_rows.iter().map(|&(x, y, b)| vec![y, x, b]).collect());
+        let attrs = vec![v("x"), v("y")];
+        prop_assert_eq!(
+            joined_rows(&[&left, &right], &attrs),
+            oracle_join(&[&left, &right], &attrs)
+        );
+    }
+
+    /// No join attributes at all: the join degrades to a consistency-checked
+    /// cross product (used by the SHAPE baseline on disconnected fragments).
+    #[test]
+    fn cross_product_matches_oracle(
+        left_rows in proptest::collection::vec(0u32..5, 0..10),
+        right_rows in proptest::collection::vec(0u32..5, 0..10),
+    ) {
+        let left = relation(&["a"], left_rows.iter().map(|&a| vec![a]).collect());
+        let right = relation(&["b"], right_rows.iter().map(|&b| vec![b]).collect());
+        prop_assert_eq!(
+            joined_rows(&[&left, &right], &[]),
+            oracle_join(&[&left, &right], &[])
+        );
+    }
+
+    /// A single-input join is the identity up to canonical order — and the
+    /// oracle agrees.
+    #[test]
+    fn single_input_identity_matches_oracle(
+        rows in proptest::collection::vec((0u32..6, 0u32..6), 0..20),
+    ) {
+        let r = relation(&["x", "a"], rows.iter().map(|&(x, a)| vec![x, a]).collect());
+        let attrs = vec![v("x")];
+        prop_assert_eq!(joined_rows(&[&r], &attrs), oracle_join(&[&r], &attrs));
+        let identity = Relation::join(&[&r], &attrs);
+        prop_assert_eq!(identity.len(), r.len());
+    }
+}

@@ -86,8 +86,8 @@ proptest! {
         let cascaded = Relation::join(&[&ab, &c], &attrs);
         prop_assert_eq!(nary.len(), cascaded.len());
         prop_assert_eq!(
-            nary.clone().distinct().sorted().rows().len(),
-            cascaded.clone().distinct().sorted().rows().len()
+            nary.clone().distinct().sorted().len(),
+            cascaded.clone().distinct().sorted().len()
         );
     }
 

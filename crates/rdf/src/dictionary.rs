@@ -2,7 +2,9 @@
 
 use crate::term::{Term, TermId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Initial capacity of the hash index (slots, always a power of two).
+const INITIAL_INDEX_CAPACITY: usize = 16;
 
 /// A bidirectional dictionary mapping [`Term`]s to dense [`TermId`]s.
 ///
@@ -10,10 +12,33 @@ use std::collections::HashMap;
 /// the CliqueSquare prototype) to replace long IRI/literal strings with
 /// compact integers before join processing. Identifiers are assigned in
 /// insertion order starting from zero.
+///
+/// Every term's text is stored **once**, in the id-ordered `terms` table;
+/// the reverse direction is an open-addressing hash index whose slots hold
+/// only term ids (id-keyed probing: a probe compares the query term against
+/// `terms[id]`). The historical `HashMap<Term, TermId>` design stored every
+/// string twice, doubling the dictionary's memory footprint — see
+/// [`Dictionary::heap_bytes`] and the memory regression test.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Dictionary {
     terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    /// Open-addressing (linear probing) index: each slot stores `id + 1`,
+    /// `0` meaning empty. The capacity is a power of two.
+    index: Vec<u32>,
+}
+
+/// A stable 64-bit hash of a term (FNV-1a over a kind tag plus the text),
+/// independent of the process and platform.
+fn term_hash(term: &Term) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let tag: u8 = if term.is_iri() { 1 } else { 2 };
+    hash ^= u64::from(tag);
+    hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    for &byte in term.value().as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 impl Dictionary {
@@ -32,20 +57,64 @@ impl Dictionary {
         self.terms.is_empty()
     }
 
+    /// The slot `term` hashes to, or the empty slot where it would be
+    /// inserted. The index is never full (load factor is kept below 7/8).
+    fn probe(&self, term: &Term) -> usize {
+        debug_assert!(self.index.len().is_power_of_two());
+        let mask = self.index.len() - 1;
+        let mut slot = (term_hash(term) as usize) & mask;
+        loop {
+            match self.index[slot] {
+                0 => return slot,
+                stored => {
+                    let id = TermId(stored - 1);
+                    if self.terms[id.index()] == *term {
+                        return slot;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Doubles the index and re-inserts every id (terms are untouched).
+    fn grow_index(&mut self) {
+        let capacity = (self.index.len() * 2).max(INITIAL_INDEX_CAPACITY);
+        self.index = vec![0; capacity];
+        let mask = capacity - 1;
+        for (position, term) in self.terms.iter().enumerate() {
+            let mut slot = (term_hash(term) as usize) & mask;
+            while self.index[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = position as u32 + 1;
+        }
+    }
+
     /// Encodes `term`, inserting it if it was not present, and returns its id.
     pub fn encode(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.ids.get(&term) {
-            return id;
+        if self.index.is_empty() || (self.terms.len() + 1) * 8 > self.index.len() * 7 {
+            self.grow_index();
+        }
+        let slot = self.probe(&term);
+        if self.index[slot] != 0 {
+            return TermId(self.index[slot] - 1);
         }
         let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
-        self.ids.insert(term.clone(), id);
+        self.index[slot] = id.0 + 1;
         self.terms.push(term);
         id
     }
 
     /// Looks up the id of `term` without inserting it.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
-        self.ids.get(term).copied()
+        if self.index.is_empty() {
+            return None;
+        }
+        match self.index[self.probe(term)] {
+            0 => None,
+            stored => Some(TermId(stored - 1)),
+        }
     }
 
     /// Decodes an id back into its term. Returns `None` for unknown ids.
@@ -59,6 +128,16 @@ impl Dictionary {
             .iter()
             .enumerate()
             .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Estimated heap footprint in bytes: the term table (one `Term` slot
+    /// plus the text bytes per term, stored once) plus the 4-byte id slots
+    /// of the hash index. String capacity is approximated by its length.
+    pub fn heap_bytes(&self) -> usize {
+        let term_slots = self.terms.capacity() * std::mem::size_of::<Term>();
+        let text: usize = self.terms.iter().map(|t| t.value().len()).sum();
+        let index = self.index.capacity() * std::mem::size_of::<u32>();
+        term_slots + text + index
     }
 }
 
@@ -118,5 +197,52 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
         assert_eq!(d.lookup(&Term::iri("x")), None);
+    }
+
+    #[test]
+    fn survives_many_growth_cycles() {
+        let mut d = Dictionary::new();
+        let ids: Vec<TermId> = (0..10_000u32)
+            .map(|i| d.encode(Term::iri(format!("http://example.org/resource/{i}"))))
+            .collect();
+        assert_eq!(d.len(), 10_000);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                d.lookup(&Term::iri(format!("http://example.org/resource/{i}"))),
+                Some(*id)
+            );
+        }
+        // Re-encoding never mints a new id.
+        assert_eq!(
+            d.encode(Term::iri("http://example.org/resource/42")),
+            ids[42]
+        );
+        assert_eq!(d.len(), 10_000);
+    }
+
+    /// Memory-footprint regression test: the term text must be stored once.
+    ///
+    /// The historical layout (`Vec<Term>` + `HashMap<Term, TermId>`) owned
+    /// every string twice, so its footprint was ≥ 2× the text bytes before
+    /// any hash-table overhead. The id-keyed probing index keeps the
+    /// footprint below 1.5× the text bytes for realistically sized IRIs.
+    #[test]
+    fn terms_are_stored_once() {
+        let mut d = Dictionary::new();
+        let mut text_bytes = 0usize;
+        for i in 0..4096u32 {
+            let iri = format!(
+                "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Department{i}/University{i}.edu/GraduateStudent{i}"
+            );
+            text_bytes += iri.len();
+            d.encode(Term::iri(iri));
+        }
+        let heap = d.heap_bytes();
+        assert!(heap > text_bytes, "footprint must include the text itself");
+        assert!(
+            heap < text_bytes + text_bytes / 2,
+            "dictionary stores term text more than once: {heap} bytes of heap \
+             for {text_bytes} bytes of text"
+        );
     }
 }

@@ -1,0 +1,143 @@
+//! Allocation regression tests for the flat columnar relation layer.
+//!
+//! A counting global allocator measures the *actual* number of heap
+//! allocations performed by [`Relation::join`] and the shuffle's
+//! [`hash_partition`]: both must allocate a bounded number of whole buffers
+//! — never one allocation per row or per key. The engine's own
+//! `relation::stats` counters are cross-checked in the same run.
+
+use cliquesquare::engine::relation::stats;
+use cliquesquare::engine::{hash_partition, Relation};
+use cliquesquare::rdf::TermId;
+use cliquesquare::sparql::Variable;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Wraps the system allocator, counting every allocation call made by the
+/// **current thread** (a per-thread counter keeps concurrently running
+/// tests in this binary from polluting each other's measurements).
+struct CountingAllocator;
+
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
+
+fn v(name: &str) -> Variable {
+    Variable::new(name)
+}
+
+/// Builds an `(x, a)` relation of `rows` rows through the zero-allocation
+/// `push_row` path (one buffer reserve up front).
+fn build(schema: &[&str], rows: usize, key_of: impl Fn(usize) -> u32) -> Relation {
+    let mut relation = Relation::empty(schema.iter().map(|s| v(s)).collect());
+    for i in 0..rows {
+        relation.push_row(&[TermId(key_of(i)), TermId(i as u32)]);
+    }
+    relation
+}
+
+/// `Relation::join` allocates whole buffers, not per-row keys: the absolute
+/// allocation count of a 4 000 × 4 000-row join stays bounded by a small
+/// constant (the historical hash join allocated a key `Vec` per row plus a
+/// `Vec<Option<TermId>>` template per output row — tens of thousands here).
+#[test]
+fn sort_merge_join_allocates_no_per_row_memory() {
+    const ROWS: usize = 4_000;
+    // Mostly-unique keys: output size ~= input size.
+    let left = build(&["x", "a"], ROWS, |i| i as u32);
+    // Trailing key on the right side to also exercise the re-sort path.
+    let right = build(&["b", "x"], ROWS, |i| (ROWS - i) as u32);
+
+    stats::reset();
+    let before = allocations();
+    let joined = Relation::join(&[&left, &right], &[v("x")]);
+    let during_join = allocations() - before;
+    let relation_stats = stats::snapshot();
+
+    assert!(
+        joined.len() >= ROWS - 1,
+        "join produced {} rows",
+        joined.len()
+    );
+    assert_eq!(
+        relation_stats.row_allocs, 0,
+        "per-row heap allocation on the join path"
+    );
+    assert_eq!(relation_stats.join_rows_out, joined.len() as u64);
+    assert!(
+        during_join < 256,
+        "join of {ROWS}x{ROWS} rows performed {during_join} allocations \
+         (expected a small constant, got per-row behaviour)"
+    );
+}
+
+/// The shuffle path builds per-node flat buffers directly: allocations
+/// scale with the node count (plus buffer growth), never with the rows.
+#[test]
+fn shuffle_partitioning_allocates_no_per_row_memory() {
+    const ROWS: usize = 4_000;
+    const NODES: usize = 8;
+    let relation = build(&["x", "a"], ROWS, |i| (i * 7) as u32);
+
+    stats::reset();
+    let before = allocations();
+    let buckets = hash_partition(&relation, &[v("x")], NODES);
+    let during_shuffle = allocations() - before;
+    let relation_stats = stats::snapshot();
+
+    assert_eq!(buckets.len(), NODES);
+    assert_eq!(buckets.iter().map(Relation::len).sum::<usize>(), ROWS);
+    assert_eq!(
+        relation_stats.row_allocs, 0,
+        "per-row heap allocation on the shuffle path"
+    );
+    assert!(
+        during_shuffle < 256,
+        "shuffle of {ROWS} rows across {NODES} nodes performed {during_shuffle} \
+         allocations (expected O(nodes), got per-row behaviour)"
+    );
+}
+
+/// Doubling the row count must not meaningfully change the allocation
+/// count of a join (only the logarithmic buffer-growth term moves).
+#[test]
+fn join_allocations_do_not_scale_with_row_count() {
+    let count_join = |rows: usize| -> u64 {
+        let left = build(&["x", "a"], rows, |i| i as u32);
+        let right = build(&["x", "b"], rows, |i| i as u32);
+        let before = allocations();
+        let joined = Relation::join(&[&left, &right], &[v("x")]);
+        let spent = allocations() - before;
+        assert_eq!(joined.len(), rows);
+        spent
+    };
+    let small = count_join(1_000);
+    let large = count_join(8_000);
+    assert!(
+        large <= small + 16,
+        "8x the rows cost {large} allocations vs {small}: the join allocates per row"
+    );
+}
