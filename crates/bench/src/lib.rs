@@ -131,12 +131,18 @@ pub fn fmt_percent(value: f64) -> String {
 /// Parses the `--snapshot [PATH]` flag: `Some(path)` when a snapshot was
 /// requested (`BENCH_execution.json` when no path follows the flag).
 pub fn snapshot_path_from_args(args: &[String]) -> Option<String> {
+    snapshot_path_with_default(args, "BENCH_execution.json")
+}
+
+/// [`snapshot_path_from_args`] with a caller-chosen default file name
+/// (`report_load` records `BENCH_load.json`).
+pub fn snapshot_path_with_default(args: &[String], default: &str) -> Option<String> {
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         if arg == "--snapshot" {
             return Some(match iter.peek() {
                 Some(value) if !value.starts_with("--") => (*value).clone(),
-                _ => "BENCH_execution.json".to_string(),
+                _ => default.to_string(),
             });
         }
         if let Some(value) = arg.strip_prefix("--snapshot=") {
@@ -223,6 +229,79 @@ pub fn write_execution_snapshot(
             q.wall_parallel_ms,
             q.results,
             if index + 1 == queries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json)
+}
+
+/// One pipeline stage's entry in the load bench snapshot.
+#[derive(Debug, Clone)]
+pub struct LoadStage {
+    /// Stage name (`input`, `encode`, `merge`, `index`, `partition`).
+    pub name: String,
+    /// Stage seconds on the sequential (1-thread) loader.
+    pub sequential_seconds: f64,
+    /// Stage seconds on the configured parallel loader.
+    pub parallel_seconds: f64,
+}
+
+/// Writes the bulk-load snapshot as `BENCH_load.json`: per-stage seconds on
+/// the sequential and parallel loaders, end-to-end totals and throughputs.
+/// Hand-rolled JSON for the same reason as [`write_execution_snapshot`].
+#[allow(clippy::too_many_arguments)]
+pub fn write_load_snapshot(
+    path: &str,
+    workload: &str,
+    dataset_triples: usize,
+    distinct_terms: usize,
+    nodes: usize,
+    threads: usize,
+    chunks: usize,
+    stages: &[LoadStage],
+) -> std::io::Result<()> {
+    let total_sequential: f64 = stages.iter().map(|s| s.sequential_seconds).sum();
+    let total_parallel: f64 = stages.iter().map(|s| s.parallel_seconds).sum();
+    let throughput = |seconds: f64| {
+        if seconds > 0.0 {
+            dataset_triples as f64 / seconds
+        } else {
+            0.0
+        }
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"load\",\n");
+    json.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(workload)));
+    json.push_str(&format!("  \"dataset_triples\": {dataset_triples},\n"));
+    json.push_str(&format!("  \"distinct_terms\": {distinct_terms},\n"));
+    json.push_str(&format!("  \"nodes\": {nodes},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"chunks\": {chunks},\n"));
+    json.push_str(&format!(
+        "  \"total_sequential_ms\": {:.3},\n",
+        total_sequential * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"total_parallel_ms\": {:.3},\n",
+        total_parallel * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"sequential_triples_per_s\": {:.0},\n",
+        throughput(total_sequential)
+    ));
+    json.push_str(&format!(
+        "  \"parallel_triples_per_s\": {:.0},\n",
+        throughput(total_parallel)
+    ));
+    json.push_str("  \"stages\": [\n");
+    for (index, stage) in stages.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}}}{}\n",
+            json_escape(&stage.name),
+            stage.sequential_seconds * 1e3,
+            stage.parallel_seconds * 1e3,
+            if index + 1 == stages.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

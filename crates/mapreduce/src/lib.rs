@@ -19,6 +19,11 @@
 //! * **A parallel task runtime** ([`runtime`]): per-node map and reduce
 //!   tasks of a job wave execute concurrently on scoped OS threads, so the
 //!   engine reports *measured* wall-clock times next to the simulated ones.
+//! * **A parallel bulk loader** ([`load`]): raw triples (N-Triples text or
+//!   the LUBM generator) are parsed, dictionary-encoded through per-thread
+//!   shard dictionaries, merged, indexed and partitioned as task waves on
+//!   the same runtime — bit-identical to the sequential ingest path at any
+//!   thread count.
 //!
 //! The simulator never moves real bytes across machines: "shuffling" a tuple
 //! charges network cost and re-buckets it, which is sufficient to reproduce
@@ -29,12 +34,14 @@
 
 pub mod cluster;
 pub mod job;
+pub mod load;
 pub mod metrics;
 pub mod partition;
 pub mod runtime;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use job::{JobExecution, JobKind, JobLog, TaskExecution};
+pub use load::{BulkLoader, LoadOptions, LoadOutput, LoadReport};
 pub use metrics::{CostParameters, ExecutionMetrics};
 pub use partition::{FileKey, PartitionedStore, PlacementStats};
 pub use runtime::{Runtime, THREADS_ENV};

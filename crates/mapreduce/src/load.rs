@@ -1,0 +1,437 @@
+//! The parallel bulk-load pipeline: raw triples in, ready-to-query
+//! [`Graph`] + [`PartitionedStore`] out.
+//!
+//! Sequential ingest funnels every triple through one dictionary, then one
+//! index builder, then one partitioner — so load time, not query time,
+//! bounds the dataset scales the benchmarks can reach. [`BulkLoader`] runs
+//! the same pipeline as waves of per-chunk tasks on the existing
+//! [`Runtime`]:
+//!
+//! 1. **input wave** — N-Triples chunks are parsed (or LUBM universities
+//!    generated) independently per worker;
+//! 2. **encode wave** — each chunk is dictionary-encoded against its own
+//!    shard dictionary ([`cliquesquare_rdf::load::encode_shard`]);
+//! 3. **merge + remap** — shard dictionaries merge into the global
+//!    dictionary in first-occurrence order (sequential over *distinct*
+//!    terms, pre-sized so it never rehashes), then every shard rewrites its
+//!    triples to final ids in parallel;
+//! 4. **index wave** — the graph's three positional indexes are built
+//!    concurrently (one task per position);
+//! 5. **partition wave** — the Section 5.1 replicated store is built as a
+//!    map wave (route chunks) plus a reduce wave (merge per node), see
+//!    [`PartitionedStore::build_with`].
+//!
+//! **Determinism contract** (mirroring the execution runtime's): the loaded
+//! graph and store are **bit-identical** to the sequential path —
+//! [`cliquesquare_rdf::ntriples::parse_into_graph`] /
+//! [`cliquesquare_rdf::LubmGenerator::generate`] followed by
+//! [`PartitionedStore::build`] — at any thread count and any chunking.
+//! Same [`cliquesquare_rdf::TermId`] assignment, same index order, same
+//! file placement; `tests/bulk_load.rs` enforces it at threads 1, 2 and 8.
+
+use crate::partition::PartitionedStore;
+use crate::runtime::Runtime;
+use cliquesquare_rdf::load as shard;
+use cliquesquare_rdf::ntriples::ParseError;
+use cliquesquare_rdf::{Graph, LubmGenerator, LubmScale, Term, TriplePosition};
+use std::time::Instant;
+
+/// How many chunks each worker thread gets by default: a few per thread so
+/// the wave's dynamic pickup can balance uneven chunks.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Configuration of a bulk load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Compute nodes of the partitioned store (the paper's testbed has 7).
+    pub nodes: usize,
+    /// Number of input chunks (shards). `None` sizes the chunking from the
+    /// runtime: one chunk on the sequential runtime (the loader then *is*
+    /// the sequential path), a few per thread otherwise. LUBM loads cap the
+    /// count at one university per chunk. The loaded result is bit-identical
+    /// either way; chunking only affects balance.
+    pub chunks: Option<usize>,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            nodes: 7,
+            chunks: None,
+        }
+    }
+}
+
+impl LoadOptions {
+    /// Options with the given node count and default chunking.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Wall-clock and size accounting of one bulk load, per pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Worker threads of the loading runtime.
+    pub threads: usize,
+    /// Input chunks (= dictionary shards) the load used.
+    pub chunks: usize,
+    /// Compute nodes of the partitioned store.
+    pub nodes: usize,
+    /// Triples loaded.
+    pub triples: usize,
+    /// Distinct terms in the merged dictionary.
+    pub distinct_terms: usize,
+    /// Seconds spent parsing N-Triples text / generating LUBM data.
+    pub input_seconds: f64,
+    /// Seconds spent in the per-shard dictionary-encoding wave.
+    pub encode_seconds: f64,
+    /// Seconds spent merging shard dictionaries and remapping shard triples
+    /// to final ids (sequential merge + parallel remap wave).
+    pub merge_seconds: f64,
+    /// Seconds spent building the graph's three positional indexes.
+    pub index_seconds: f64,
+    /// Seconds spent building the replicated partitioned store.
+    pub partition_seconds: f64,
+}
+
+impl LoadReport {
+    /// End-to-end load seconds (sum of all stages).
+    pub fn total_seconds(&self) -> f64 {
+        self.input_seconds
+            + self.encode_seconds
+            + self.merge_seconds
+            + self.index_seconds
+            + self.partition_seconds
+    }
+
+    /// End-to-end load throughput in triples per second.
+    pub fn triples_per_second(&self) -> f64 {
+        let total = self.total_seconds();
+        if total > 0.0 {
+            self.triples as f64 / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The result of a bulk load: the indexed graph, the partitioned store, and
+/// the per-stage timing report.
+#[derive(Debug, Clone)]
+pub struct LoadOutput {
+    /// The dictionary-encoded, indexed graph.
+    pub graph: Graph,
+    /// The Section 5.1 replicated, property-grouped store.
+    pub store: PartitionedStore,
+    /// Per-stage wall-clock and size accounting.
+    pub report: LoadReport,
+}
+
+/// The parallel bulk loader (see the module docs for the pipeline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BulkLoader {
+    runtime: Runtime,
+}
+
+impl BulkLoader {
+    /// A loader running its waves on `runtime`.
+    pub fn new(runtime: Runtime) -> Self {
+        Self { runtime }
+    }
+
+    /// A loader on the sequential runtime: every stage runs inline, which
+    /// is exactly the historical single-threaded ingest path.
+    pub fn sequential() -> Self {
+        Self::new(Runtime::sequential())
+    }
+
+    /// The loader's runtime.
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
+    }
+
+    /// The number of input chunks a load will use.
+    fn chunk_count(&self, options: &LoadOptions) -> usize {
+        options
+            .chunks
+            .unwrap_or_else(|| {
+                if self.runtime.is_parallel() {
+                    self.runtime.threads() * CHUNKS_PER_THREAD
+                } else {
+                    1
+                }
+            })
+            .max(1)
+    }
+
+    /// Parses and loads an N-Triples document.
+    ///
+    /// The text is split at line boundaries into chunks parsed on separate
+    /// workers; parse errors report the document-global line number of the
+    /// offending line, and the *earliest* failing line wins — exactly the
+    /// error a sequential parse would have reported.
+    pub fn load_ntriples(
+        &self,
+        text: &str,
+        options: &LoadOptions,
+    ) -> Result<LoadOutput, ParseError> {
+        let started = Instant::now();
+        let chunks = shard::split_ntriples(text, self.chunk_count(options));
+        let parsed = self.runtime.run_wave(
+            chunks
+                .into_iter()
+                .map(|chunk| move || shard::parse_chunk(chunk))
+                .collect(),
+        );
+        // Chunks are in document order, so the first error is the earliest.
+        let term_chunks = parsed.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let input_seconds = started.elapsed().as_secs_f64();
+        Ok(self.assemble(term_chunks, options, input_seconds))
+    }
+
+    /// Generates and loads the LUBM-like dataset at `scale`. The unit of
+    /// generation is the university (universities draw from independent RNG
+    /// streams, see [`LubmGenerator::university_triples`]); universities are
+    /// grouped into [`LoadOptions::chunks`] contiguous batches — capped at
+    /// one university per batch — each generated and encoded as one shard.
+    pub fn load_lubm(&self, scale: LubmScale, options: &LoadOptions) -> LoadOutput {
+        let started = Instant::now();
+        let generator = LubmGenerator::new(scale);
+        let generator = &generator;
+        let batches = self.chunk_count(options).min(scale.universities.max(1));
+        let per_batch = scale.universities.div_ceil(batches.max(1)).max(1);
+        let term_chunks = self.runtime.run_wave(
+            (0..scale.universities)
+                .step_by(per_batch)
+                .map(|first| {
+                    let last = (first + per_batch).min(scale.universities);
+                    move || {
+                        let mut terms = Vec::new();
+                        for u in first..last {
+                            terms.append(&mut generator.university_triples(u));
+                        }
+                        terms
+                    }
+                })
+                .collect(),
+        );
+        let input_seconds = started.elapsed().as_secs_f64();
+        self.assemble(term_chunks, options, input_seconds)
+    }
+
+    /// Stages 2–5: encode shards, merge + remap, index, partition.
+    fn assemble(
+        &self,
+        term_chunks: Vec<Vec<(Term, Term, Term)>>,
+        options: &LoadOptions,
+        input_seconds: f64,
+    ) -> LoadOutput {
+        let chunks = term_chunks.len().max(1);
+
+        // Encode wave: one shard dictionary per chunk.
+        let (shards, encode_seconds) = self.runtime.run_timed_wave(
+            term_chunks
+                .into_iter()
+                .map(|terms| move || shard::encode_shard(terms))
+                .collect(),
+        );
+
+        // Merge pass (sequential over distinct terms) + parallel remap.
+        let started = Instant::now();
+        let (dictionaries, local_triples): (Vec<_>, Vec<_>) = shards
+            .into_iter()
+            .map(|s| (s.dictionary, s.triples))
+            .unzip();
+        let (dictionary, remaps) = shard::merge_dictionaries(dictionaries);
+        let remapped = self.runtime.run_wave(
+            local_triples
+                .into_iter()
+                .zip(remaps)
+                .map(|(triples, remap)| move || shard::remap_triples(&triples, &remap))
+                .collect(),
+        );
+        let merge_seconds = started.elapsed().as_secs_f64();
+
+        // Index wave: concatenate in chunk order, then one task per
+        // positional index.
+        let started = Instant::now();
+        let mut triples = Vec::with_capacity(remapped.iter().map(Vec::len).sum());
+        for chunk in remapped {
+            triples.extend(chunk);
+        }
+        let triples_ref = &triples;
+        let mut indexes = self.runtime.run_wave(
+            TriplePosition::ALL
+                .into_iter()
+                .map(|position| move || Graph::position_index(triples_ref, position))
+                .collect(),
+        );
+        let by_object = indexes.pop().expect("object index");
+        let by_property = indexes.pop().expect("property index");
+        let by_subject = indexes.pop().expect("subject index");
+        let graph =
+            Graph::from_parts_with_indexes(dictionary, triples, by_subject, by_property, by_object);
+        let index_seconds = started.elapsed().as_secs_f64();
+
+        // Partition wave(s): the Section 5.1 replicated store.
+        let started = Instant::now();
+        let store = PartitionedStore::build_with(&graph, options.nodes, &self.runtime);
+        let partition_seconds = started.elapsed().as_secs_f64();
+
+        let report = LoadReport {
+            threads: self.runtime.threads(),
+            chunks,
+            nodes: store.nodes(),
+            triples: graph.len(),
+            distinct_terms: graph.dictionary().len(),
+            input_seconds,
+            encode_seconds,
+            merge_seconds,
+            index_seconds,
+            partition_seconds,
+        };
+        LoadOutput {
+            graph,
+            store,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_rdf::ntriples;
+
+    fn sequential_baseline(text: &str, nodes: usize) -> (Graph, PartitionedStore) {
+        let graph = ntriples::parse_into_graph(text).expect("baseline parses");
+        let store = PartitionedStore::build(&graph, nodes);
+        (graph, store)
+    }
+
+    #[test]
+    fn ntriples_load_matches_sequential_path() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let text = ntriples::serialize(&graph);
+        let (expected_graph, expected_store) = sequential_baseline(&text, 4);
+        for threads in [1, 2, 8] {
+            let loader = BulkLoader::new(Runtime::with_threads(threads));
+            let output = loader
+                .load_ntriples(&text, &LoadOptions::with_nodes(4))
+                .expect("load succeeds");
+            assert_eq!(output.graph, expected_graph, "threads={threads}");
+            assert_eq!(output.store, expected_store, "threads={threads}");
+            assert_eq!(output.report.triples, expected_graph.len());
+        }
+    }
+
+    #[test]
+    fn lubm_load_matches_sequential_generate() {
+        let scale = LubmScale::tiny();
+        let expected = LubmGenerator::new(scale).generate();
+        let loader = BulkLoader::new(Runtime::with_threads(4));
+        let output = loader.load_lubm(scale, &LoadOptions::with_nodes(3));
+        assert_eq!(output.graph, expected);
+        assert_eq!(output.store, PartitionedStore::build(&expected, 3));
+        assert_eq!(output.report.chunks, scale.universities);
+    }
+
+    #[test]
+    fn lubm_load_honors_the_chunk_option() {
+        let scale = LubmScale::default(); // 3 universities
+        let expected = LubmGenerator::new(scale).generate();
+        for (chunks, expected_batches) in [(1, 1), (2, 2), (100, scale.universities)] {
+            let loader = BulkLoader::new(Runtime::with_threads(2));
+            let output = loader.load_lubm(
+                scale,
+                &LoadOptions {
+                    nodes: 3,
+                    chunks: Some(chunks),
+                },
+            );
+            assert_eq!(output.graph, expected, "chunks={chunks}");
+            assert_eq!(output.report.chunks, expected_batches, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_keep_global_line_numbers() {
+        let good = "<a> <p> <b> .\n";
+        let mut text = good.repeat(10);
+        text.push_str("broken line\n");
+        text.push_str(&good.repeat(5));
+        text.push_str("also broken\n");
+        let loader = BulkLoader::new(Runtime::with_threads(2));
+        let err = loader
+            .load_ntriples(
+                &text,
+                &LoadOptions {
+                    nodes: 2,
+                    chunks: Some(4),
+                },
+            )
+            .unwrap_err();
+        // The earliest failing line wins, exactly like a sequential parse.
+        assert_eq!(err.line, 11);
+    }
+
+    #[test]
+    fn empty_input_loads_an_empty_graph() {
+        let loader = BulkLoader::new(Runtime::with_threads(2));
+        let output = loader
+            .load_ntriples("", &LoadOptions::default())
+            .expect("empty input is fine");
+        assert!(output.graph.is_empty());
+        assert_eq!(output.report.triples, 0);
+        assert_eq!(output.report.triples_per_second(), 0.0);
+    }
+
+    #[test]
+    fn report_accounts_every_stage() {
+        let loader = BulkLoader::sequential();
+        let output = loader.load_lubm(LubmScale::tiny(), &LoadOptions::default());
+        let r = output.report;
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.chunks, 1);
+        assert_eq!(r.nodes, 7);
+        assert!(r.triples > 100);
+        assert!(r.distinct_terms > 50);
+        for stage in [
+            r.input_seconds,
+            r.encode_seconds,
+            r.merge_seconds,
+            r.index_seconds,
+            r.partition_seconds,
+        ] {
+            assert!(stage >= 0.0 && stage.is_finite());
+        }
+        assert!(r.total_seconds() > 0.0);
+        assert!(r.triples_per_second() > 0.0);
+    }
+
+    #[test]
+    fn chunk_count_is_configurable_and_harmless() {
+        let scale = LubmScale::tiny();
+        let text = ntriples::serialize(&LubmGenerator::new(scale).generate());
+        let (expected_graph, expected_store) = sequential_baseline(&text, 5);
+        for chunks in [1, 3, 17] {
+            let loader = BulkLoader::new(Runtime::with_threads(2));
+            let output = loader
+                .load_ntriples(
+                    &text,
+                    &LoadOptions {
+                        nodes: 5,
+                        chunks: Some(chunks),
+                    },
+                )
+                .expect("load succeeds");
+            assert_eq!(output.graph, expected_graph, "chunks={chunks}");
+            assert_eq!(output.store, expected_store, "chunks={chunks}");
+            assert!(output.report.chunks <= chunks.max(1));
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! Match operator for a triple pattern with a constant property only reads
 //! the files named after that property.
 
+use crate::runtime::Runtime;
 use cliquesquare_rdf::{Graph, Term, TermId, Triple, TriplePosition};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -79,7 +80,10 @@ impl PlacementStats {
 }
 
 /// The replicated, property-grouped triple store of the simulated cluster.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the full per-node file maps (each file's triples in
+/// stored order), which is what the bulk-load bit-identity tests assert.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionedStore {
     nodes: usize,
     rdf_type: Option<TermId>,
@@ -94,23 +98,87 @@ fn placement_hash(id: TermId) -> u64 {
     (u64::from(id.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Routes one slice of triples into per-node file maps (the map-side task of
+/// the parallel partition build). Appending the resulting maps in chunk
+/// order reproduces the sequential build's per-file triple order exactly.
+fn partition_chunk(
+    triples: &[Triple],
+    nodes: usize,
+    rdf_type: Option<TermId>,
+) -> Vec<HashMap<FileKey, Vec<Triple>>> {
+    let mut files: Vec<HashMap<FileKey, Vec<Triple>>> = vec![HashMap::new(); nodes];
+    for &triple in triples {
+        for placement in TriplePosition::ALL {
+            let placed_on = (placement_hash(triple.get(placement)) % nodes as u64) as usize;
+            let key = if Some(triple.property) == rdf_type {
+                FileKey::typed(placement, triple.property, triple.object)
+            } else {
+                FileKey::property(placement, triple.property)
+            };
+            files[placed_on].entry(key).or_default().push(triple);
+        }
+    }
+    files
+}
+
 impl PartitionedStore {
     /// Partitions `graph` across `nodes` compute nodes.
     pub fn build(graph: &Graph, nodes: usize) -> Self {
+        Self::build_with(graph, nodes, &Runtime::sequential())
+    }
+
+    /// Partitions `graph` across `nodes` compute nodes, building the store
+    /// on `runtime`'s task waves.
+    ///
+    /// On a parallel runtime the build runs as a miniature MapReduce job:
+    /// a *map wave* routes triple chunks into per-node file maps, and a
+    /// *reduce wave* (one task per node) concatenates each node's chunk
+    /// maps in chunk order. Because chunk order equals graph order, every
+    /// file receives its triples in exactly the sequential order and the
+    /// result is bit-identical to [`build`](Self::build) at any thread
+    /// count.
+    pub fn build_with(graph: &Graph, nodes: usize, runtime: &Runtime) -> Self {
         let nodes = nodes.max(1);
         let rdf_type = graph.lookup(&Term::iri(cliquesquare_rdf::term::vocab::RDF_TYPE));
-        let mut files: Vec<HashMap<FileKey, Vec<Triple>>> = vec![HashMap::new(); nodes];
-        for &triple in graph.triples() {
-            for placement in TriplePosition::ALL {
-                let placed_on = (placement_hash(triple.get(placement)) % nodes as u64) as usize;
-                let key = if Some(triple.property) == rdf_type {
-                    FileKey::typed(placement, triple.property, triple.object)
-                } else {
-                    FileKey::property(placement, triple.property)
-                };
-                files[placed_on].entry(key).or_default().push(triple);
+        let triples = graph.triples();
+        let files = if !runtime.is_parallel() || triples.len() < 2 {
+            partition_chunk(triples, nodes, rdf_type)
+        } else {
+            // Map wave: one routing task per chunk.
+            let chunk_size = triples.len().div_ceil(runtime.threads());
+            let chunk_maps = runtime.run_wave(
+                triples
+                    .chunks(chunk_size)
+                    .map(|chunk| move || partition_chunk(chunk, nodes, rdf_type))
+                    .collect(),
+            );
+            // Transpose chunk-major → node-major (cheap map moves).
+            let mut per_node: Vec<Vec<HashMap<FileKey, Vec<Triple>>>> = (0..nodes)
+                .map(|_| Vec::with_capacity(chunk_maps.len()))
+                .collect();
+            for chunk in chunk_maps {
+                for (node, map) in chunk.into_iter().enumerate() {
+                    per_node[node].push(map);
+                }
             }
-        }
+            // Reduce wave: one merge task per node, chunk order preserved.
+            runtime.run_wave(
+                per_node
+                    .into_iter()
+                    .map(|maps| {
+                        move || {
+                            let mut merged: HashMap<FileKey, Vec<Triple>> = HashMap::new();
+                            for map in maps {
+                                for (key, mut triples) in map {
+                                    merged.entry(key).or_default().append(&mut triples);
+                                }
+                            }
+                            merged
+                        }
+                    })
+                    .collect(),
+            )
+        };
         Self {
             nodes,
             rdf_type,
@@ -353,5 +421,30 @@ mod tests {
         for placement in TriplePosition::ALL {
             assert_eq!(a.scan(placement, None, None), b.scan(placement, None, None));
         }
+    }
+
+    /// The parallel build (map wave routing chunks + reduce wave merging
+    /// per node) is bit-identical to the sequential build: same file keys,
+    /// same triples per file, in the same stored order.
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let sequential = PartitionedStore::build(&graph, 5);
+        for threads in [1, 2, 8] {
+            let parallel = PartitionedStore::build_with(&graph, 5, &Runtime::with_threads(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+            assert_eq!(parallel.stats(), sequential.stats(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_of_tiny_graphs_is_supported() {
+        let mut graph = Graph::new();
+        graph.insert_terms(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let parallel = PartitionedStore::build_with(&graph, 3, &Runtime::with_threads(4));
+        assert_eq!(parallel, PartitionedStore::build(&graph, 3));
+        let empty = Graph::new();
+        let store = PartitionedStore::build_with(&empty, 3, &Runtime::with_threads(4));
+        assert_eq!(store.stats().stored_triples, 0);
     }
 }

@@ -27,6 +27,20 @@ pub struct Dictionary {
     index: Vec<u32>,
 }
 
+/// Two dictionaries are equal when they assign the same ids to the same
+/// terms, i.e. their id-ordered term tables are equal. The hash index is an
+/// acceleration structure whose slot layout depends on the growth history
+/// (a bulk-loaded dictionary pre-sized with [`Dictionary::with_capacity`]
+/// and an organically grown one can index the same mapping differently), so
+/// it does not participate in equality.
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Self) -> bool {
+        self.terms == other.terms
+    }
+}
+
+impl Eq for Dictionary {}
+
 /// A stable 64-bit hash of a term (FNV-1a over a kind tag plus the text),
 /// independent of the process and platform.
 fn term_hash(term: &Term) -> u64 {
@@ -45,6 +59,43 @@ impl Dictionary {
     /// Creates an empty dictionary.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a dictionary pre-sized for `capacity` distinct terms.
+    ///
+    /// The open-addressing index is allocated once at a size that keeps the
+    /// load factor below 7/8 for `capacity` terms, so a bulk load of up to
+    /// that many terms never pays a mid-load rehash (see
+    /// [`reserve`](Self::reserve) and the `reserve_avoids_rehashing` test).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut dictionary = Self {
+            terms: Vec::with_capacity(capacity),
+            index: Vec::new(),
+        };
+        dictionary.rebuild_index(Self::slots_for(capacity));
+        dictionary
+    }
+
+    /// Ensures the dictionary can take `additional` more distinct terms
+    /// without growing: the term table reserves the extra slots and the hash
+    /// index is rebuilt once at the final size (instead of paying a
+    /// rehash-per-doubling while the terms stream in).
+    pub fn reserve(&mut self, additional: usize) {
+        self.terms.reserve(additional);
+        let slots = Self::slots_for(self.terms.len() + additional);
+        if slots > self.index.len() {
+            self.rebuild_index(slots);
+        }
+    }
+
+    /// The smallest power-of-two slot count keeping `terms` entries below
+    /// the 7/8 load-factor ceiling.
+    fn slots_for(terms: usize) -> usize {
+        let mut slots = INITIAL_INDEX_CAPACITY;
+        while (terms + 1) * 8 > slots * 7 {
+            slots *= 2;
+        }
+        slots
     }
 
     /// Returns the number of distinct terms stored in the dictionary.
@@ -79,7 +130,13 @@ impl Dictionary {
 
     /// Doubles the index and re-inserts every id (terms are untouched).
     fn grow_index(&mut self) {
-        let capacity = (self.index.len() * 2).max(INITIAL_INDEX_CAPACITY);
+        self.rebuild_index((self.index.len() * 2).max(INITIAL_INDEX_CAPACITY));
+    }
+
+    /// Reallocates the index at `capacity` slots (a power of two) and
+    /// re-inserts every id (terms are untouched).
+    fn rebuild_index(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
         self.index = vec![0; capacity];
         let mask = capacity - 1;
         for (position, term) in self.terms.iter().enumerate() {
@@ -128,6 +185,16 @@ impl Dictionary {
             .iter()
             .enumerate()
             .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Consumes the dictionary and returns its id-ordered term table
+    /// (`table[id]` is the term of `TermId(id)`).
+    ///
+    /// This is the hand-off used by the bulk loader's merge pass: a shard
+    /// dictionary's terms are moved — not cloned — into the global
+    /// dictionary (see [`crate::load::merge_dictionaries`]).
+    pub fn into_terms(self) -> Vec<Term> {
+        self.terms
     }
 
     /// Estimated heap footprint in bytes: the term table (one `Term` slot
@@ -218,6 +285,71 @@ mod tests {
             ids[42]
         );
         assert_eq!(d.len(), 10_000);
+    }
+
+    /// Bulk loads size the index once: after `with_capacity(n)` (or a
+    /// matching `reserve`), encoding `n` terms never reallocates the index,
+    /// so the open-addressing table is built exactly once instead of once
+    /// per doubling.
+    #[test]
+    fn reserve_avoids_rehashing() {
+        let n = 10_000;
+        let mut presized = Dictionary::with_capacity(n);
+        let slots_before = presized.index.len();
+        for i in 0..n {
+            presized.encode(Term::iri(format!("http://example.org/{i}")));
+        }
+        assert_eq!(presized.index.len(), slots_before, "with_capacity rehashed");
+
+        let mut reserved = Dictionary::new();
+        for i in 0..100 {
+            reserved.encode(Term::iri(format!("http://example.org/{i}")));
+        }
+        reserved.reserve(n - reserved.len());
+        let slots_before = reserved.index.len();
+        for i in 0..n {
+            reserved.encode(Term::iri(format!("http://example.org/{i}")));
+        }
+        assert_eq!(reserved.index.len(), slots_before, "reserve rehashed");
+
+        // Same mapping as an organically grown dictionary.
+        let mut grown = Dictionary::new();
+        for i in 0..n {
+            grown.encode(Term::iri(format!("http://example.org/{i}")));
+        }
+        assert_eq!(presized, grown);
+        assert_eq!(reserved, grown);
+    }
+
+    #[test]
+    fn with_capacity_zero_is_usable() {
+        let mut d = Dictionary::with_capacity(0);
+        assert_eq!(d.encode(Term::iri("a")), TermId(0));
+        assert_eq!(d.lookup(&Term::iri("a")), Some(TermId(0)));
+    }
+
+    #[test]
+    fn into_terms_returns_id_ordered_table() {
+        let mut d = Dictionary::new();
+        d.encode(Term::iri("a"));
+        d.encode(Term::literal("b"));
+        d.encode(Term::iri("a"));
+        assert_eq!(d.into_terms(), vec![Term::iri("a"), Term::literal("b")]);
+    }
+
+    /// Equality is on the id → term mapping, not the index layout.
+    #[test]
+    fn equality_ignores_index_capacity() {
+        let mut organic = Dictionary::new();
+        let mut presized = Dictionary::with_capacity(4096);
+        for i in 0..100 {
+            organic.encode(Term::iri(format!("t{i}")));
+            presized.encode(Term::iri(format!("t{i}")));
+        }
+        assert_ne!(organic.index.len(), presized.index.len());
+        assert_eq!(organic, presized);
+        presized.encode(Term::iri("extra"));
+        assert_ne!(organic, presized);
     }
 
     /// Memory-footprint regression test: the term text must be stored once.

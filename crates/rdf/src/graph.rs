@@ -12,7 +12,7 @@ use std::collections::HashMap;
 /// (by subject, by property, by object). This is the "local store" view of
 /// the data; the distributed placement of triples across compute nodes is
 /// handled by the partitioner in `cliquesquare-mapreduce`.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     dictionary: Dictionary,
     triples: Vec<Triple>,
@@ -25,6 +25,79 @@ impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds a graph from an already-encoded triple list and the dictionary
+    /// that encoded it, constructing the three positional indexes here.
+    ///
+    /// This is the bulk-load constructor: inserting the same triples one by
+    /// one through [`insert`](Self::insert) yields an identical graph, but
+    /// pays three hash-map probes per triple interleaved with the encode
+    /// path. Panics if a triple references an id outside the dictionary.
+    pub fn from_parts(dictionary: Dictionary, triples: Vec<Triple>) -> Self {
+        let by_subject = Self::position_index(&triples, TriplePosition::Subject);
+        let by_property = Self::position_index(&triples, TriplePosition::Property);
+        let by_object = Self::position_index(&triples, TriplePosition::Object);
+        Self::from_parts_with_indexes(dictionary, triples, by_subject, by_property, by_object)
+    }
+
+    /// Builds the positional index of `triples` for one position: a map from
+    /// each term id occurring there to the ascending list of triple offsets.
+    ///
+    /// The three positional indexes are independent of each other, so a
+    /// parallel loader can build them on separate workers and assemble the
+    /// graph with [`from_parts_with_indexes`](Self::from_parts_with_indexes);
+    /// the result is identical to sequential insertion because offsets are
+    /// appended in triple order either way.
+    pub fn position_index(
+        triples: &[Triple],
+        position: TriplePosition,
+    ) -> HashMap<TermId, Vec<usize>> {
+        let mut index: HashMap<TermId, Vec<usize>> = HashMap::new();
+        for (offset, triple) in triples.iter().enumerate() {
+            index.entry(triple.get(position)).or_default().push(offset);
+        }
+        index
+    }
+
+    /// Assembles a graph from pre-built parts (see
+    /// [`position_index`](Self::position_index)). In debug builds the
+    /// indexes are verified against a fresh rebuild and every id against the
+    /// dictionary, so a loader bug cannot silently produce a graph that
+    /// violates the index invariants.
+    pub fn from_parts_with_indexes(
+        dictionary: Dictionary,
+        triples: Vec<Triple>,
+        by_subject: HashMap<TermId, Vec<usize>>,
+        by_property: HashMap<TermId, Vec<usize>>,
+        by_object: HashMap<TermId, Vec<usize>>,
+    ) -> Self {
+        let terms = dictionary.len() as u32;
+        assert!(
+            triples
+                .iter()
+                .all(|t| t.as_array().iter().all(|id| id.0 < terms)),
+            "triple references an id outside the dictionary"
+        );
+        debug_assert_eq!(
+            by_subject,
+            Self::position_index(&triples, TriplePosition::Subject)
+        );
+        debug_assert_eq!(
+            by_property,
+            Self::position_index(&triples, TriplePosition::Property)
+        );
+        debug_assert_eq!(
+            by_object,
+            Self::position_index(&triples, TriplePosition::Object)
+        );
+        Self {
+            dictionary,
+            triples,
+            by_subject,
+            by_property,
+            by_object,
+        }
     }
 
     /// Returns the number of triples in the graph.
@@ -260,6 +333,37 @@ mod tests {
         assert_eq!(cards.values().sum::<usize>(), 4);
         assert!(cards.values().all(|&c| c == 2));
         assert_eq!(g.distinct_properties(), 2);
+    }
+
+    #[test]
+    fn from_parts_matches_incremental_insertion() {
+        let incremental = sample_graph();
+        let rebuilt = Graph::from_parts(
+            incremental.dictionary().clone(),
+            incremental.triples().to_vec(),
+        );
+        assert_eq!(rebuilt, incremental);
+
+        let by_subject = Graph::position_index(incremental.triples(), TriplePosition::Subject);
+        let by_property = Graph::position_index(incremental.triples(), TriplePosition::Property);
+        let by_object = Graph::position_index(incremental.triples(), TriplePosition::Object);
+        let assembled = Graph::from_parts_with_indexes(
+            incremental.dictionary().clone(),
+            incremental.triples().to_vec(),
+            by_subject,
+            by_property,
+            by_object,
+        );
+        assert_eq!(assembled, incremental);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the dictionary")]
+    fn from_parts_rejects_dangling_ids() {
+        let g = sample_graph();
+        let mut triples = g.triples().to_vec();
+        triples.push(Triple::new(TermId(0), TermId(999), TermId(0)));
+        Graph::from_parts(g.dictionary().clone(), triples);
     }
 
     #[test]

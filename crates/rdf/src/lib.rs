@@ -12,7 +12,10 @@
 //!   per-property access paths,
 //! * [`ntriples`] — a minimal N-Triples style reader/writer,
 //! * [`lubm`] — a deterministic LUBM-like synthetic data generator standing
-//!   in for the LUBM10k dataset used in the paper's evaluation.
+//!   in for the LUBM10k dataset used in the paper's evaluation,
+//! * [`load`] — sharded bulk-load primitives (chunk splitting, per-shard
+//!   dictionary encoding, order-preserving merge) whose parallel
+//!   orchestration lives in `cliquesquare_mapreduce::load`.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 
 pub mod dictionary;
 pub mod graph;
+pub mod load;
 pub mod lubm;
 pub mod ntriples;
 pub mod term;

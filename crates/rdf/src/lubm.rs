@@ -11,6 +11,13 @@
 //! queries (Appendix A) are produced, so every query has a non-empty answer.
 //!
 //! The generator is fully deterministic given its [`LubmScale`] and seed.
+//! Each university is generated from its **own RNG stream** (seeded from the
+//! scale seed and the university number), which makes a university the unit
+//! of parallel generation: [`LubmGenerator::university_triples`] can run for
+//! different universities on different worker threads, and concatenating the
+//! per-university outputs in university order reproduces
+//! [`LubmGenerator::generate`] bit for bit (see
+//! `cliquesquare_mapreduce::load::BulkLoader::load_lubm`).
 
 use crate::graph::Graph;
 use crate::term::{vocab, Term};
@@ -135,8 +142,38 @@ impl LubmGenerator {
 
     /// Generates the dataset into an existing graph.
     pub fn generate_into(&self, graph: &mut Graph) {
-        let mut rng = StdRng::seed_from_u64(self.scale.seed);
+        for u in 0..self.scale.universities {
+            for (s, p, o) in self.university_triples(u) {
+                graph.insert_terms(s, p, o);
+            }
+        }
+    }
+
+    /// The RNG seed of university `u`: a splitmix64-style mix of the scale
+    /// seed and the university number, so every university draws from an
+    /// independent, platform-stable stream.
+    fn university_seed(&self, u: usize) -> u64 {
+        let mut z = self
+            .scale
+            .seed
+            .wrapping_add((u as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Generates all triples of university `u` (types, departments, faculty,
+    /// students, courses), in deterministic emission order.
+    ///
+    /// This is the unit of parallel generation: universities draw from
+    /// independent RNG streams, so any subset can be generated on any worker
+    /// and the concatenation over `u = 0..universities` equals
+    /// [`generate`](Self::generate).
+    pub fn university_triples(&self, u: usize) -> Vec<(Term, Term, Term)> {
+        let mut rng = StdRng::seed_from_u64(self.university_seed(u));
         let s = &self.scale;
+        let mut out: Vec<(Term, Term, Term)> = Vec::new();
+        let mut emit = |s: Term, p: Term, o: Term| out.push((s, p, o));
 
         let rdf_type = Term::iri(vocab::RDF_TYPE);
         let p_works_for = Term::iri(vocab::ub("worksFor"));
@@ -160,163 +197,164 @@ impl LubmGenerator {
         let c_course = Term::iri(vocab::ub("Course"));
         let c_grad_course = Term::iri(vocab::ub("GraduateCourse"));
 
-        let universities: Vec<Term> = (0..s.universities)
-            .map(|u| Term::iri(format!("http://www.University{u}.edu")))
-            .collect();
+        // University IRIs are constructed on demand from a drawn index, so
+        // generating one university stays O(its own triples) instead of
+        // allocating the full U-element IRI table per call.
+        let university_iri = |i: usize| Term::iri(format!("http://www.University{i}.edu"));
 
-        for (u, univ) in universities.iter().enumerate() {
-            graph.insert_terms(univ.clone(), rdf_type.clone(), c_university.clone());
-            graph.insert_terms(
-                univ.clone(),
+        let univ = &university_iri(u);
+        emit(univ.clone(), rdf_type.clone(), c_university.clone());
+        emit(
+            univ.clone(),
+            p_name.clone(),
+            Term::literal(format!("University{u}")),
+        );
+
+        for d in 0..s.departments_per_university {
+            let dept = Term::iri(format!("http://www.Department{d}.University{u}.edu"));
+            emit(dept.clone(), rdf_type.clone(), c_department.clone());
+            emit(dept.clone(), p_sub_org.clone(), univ.clone());
+            emit(
+                dept.clone(),
                 p_name.clone(),
-                Term::literal(format!("University{u}")),
+                Term::literal(format!("Department{d}")),
             );
 
-            for d in 0..s.departments_per_university {
-                let dept = Term::iri(format!("http://www.Department{d}.University{u}.edu"));
-                graph.insert_terms(dept.clone(), rdf_type.clone(), c_department.clone());
-                graph.insert_terms(dept.clone(), p_sub_org.clone(), univ.clone());
-                graph.insert_terms(
-                    dept.clone(),
+            // Courses.
+            let mut courses = Vec::with_capacity(s.courses);
+            for c in 0..s.courses {
+                let course = Term::iri(format!(
+                    "http://www.Department{d}.University{u}.edu/Course{c}"
+                ));
+                emit(course.clone(), rdf_type.clone(), c_course.clone());
+                emit(
+                    course.clone(),
                     p_name.clone(),
-                    Term::literal(format!("Department{d}")),
+                    Term::literal(format!("Course{c}")),
                 );
+                courses.push(course);
+            }
+            let mut grad_courses = Vec::with_capacity(s.graduate_courses);
+            for c in 0..s.graduate_courses {
+                let course = Term::iri(format!(
+                    "http://www.Department{d}.University{u}.edu/GraduateCourse{c}"
+                ));
+                emit(course.clone(), rdf_type.clone(), c_grad_course.clone());
+                emit(
+                    course.clone(),
+                    p_name.clone(),
+                    Term::literal(format!("GraduateCourse{c}")),
+                );
+                grad_courses.push(course);
+            }
 
-                // Courses.
-                let mut courses = Vec::with_capacity(s.courses);
-                for c in 0..s.courses {
-                    let course = Term::iri(format!(
-                        "http://www.Department{d}.University{u}.edu/Course{c}"
+            // Faculty: full professors, assistant professors, lecturers.
+            let mut faculty = Vec::new();
+            let mut full_professors = Vec::new();
+            let faculty_groups: [(usize, &Term, &str); 3] = [
+                (s.full_professors, &c_full_prof, "FullProfessor"),
+                (
+                    s.assistant_professors,
+                    &c_assistant_prof,
+                    "AssistantProfessor",
+                ),
+                (s.lecturers, &c_lecturer, "Lecturer"),
+            ];
+            for (count, class, label) in faculty_groups {
+                for i in 0..count {
+                    let person = Term::iri(format!(
+                        "http://www.Department{d}.University{u}.edu/{label}{i}"
                     ));
-                    graph.insert_terms(course.clone(), rdf_type.clone(), c_course.clone());
-                    graph.insert_terms(
-                        course.clone(),
+                    emit(person.clone(), rdf_type.clone(), class.clone());
+                    emit(person.clone(), p_works_for.clone(), dept.clone());
+                    emit(
+                        person.clone(),
                         p_name.clone(),
-                        Term::literal(format!("Course{c}")),
+                        Term::literal(format!("{label}{i}")),
                     );
-                    courses.push(course);
-                }
-                let mut grad_courses = Vec::with_capacity(s.graduate_courses);
-                for c in 0..s.graduate_courses {
-                    let course = Term::iri(format!(
-                        "http://www.Department{d}.University{u}.edu/GraduateCourse{c}"
-                    ));
-                    graph.insert_terms(course.clone(), rdf_type.clone(), c_grad_course.clone());
-                    graph.insert_terms(
-                        course.clone(),
-                        p_name.clone(),
-                        Term::literal(format!("GraduateCourse{c}")),
-                    );
-                    grad_courses.push(course);
-                }
-
-                // Faculty: full professors, assistant professors, lecturers.
-                let mut faculty = Vec::new();
-                let mut full_professors = Vec::new();
-                let faculty_groups: [(usize, &Term, &str); 3] = [
-                    (s.full_professors, &c_full_prof, "FullProfessor"),
-                    (
-                        s.assistant_professors,
-                        &c_assistant_prof,
-                        "AssistantProfessor",
-                    ),
-                    (s.lecturers, &c_lecturer, "Lecturer"),
-                ];
-                for (count, class, label) in faculty_groups {
-                    for i in 0..count {
-                        let person = Term::iri(format!(
-                            "http://www.Department{d}.University{u}.edu/{label}{i}"
-                        ));
-                        graph.insert_terms(person.clone(), rdf_type.clone(), class.clone());
-                        graph.insert_terms(person.clone(), p_works_for.clone(), dept.clone());
-                        graph.insert_terms(
-                            person.clone(),
-                            p_name.clone(),
-                            Term::literal(format!("{label}{i}")),
-                        );
-                        graph.insert_terms(
-                            person.clone(),
-                            p_email.clone(),
-                            Term::literal(format!("{label}{i}@Department{d}.University{u}.edu")),
-                        );
-                        let degree_univ = &universities[rng.gen_range(0..universities.len())];
-                        graph.insert_terms(person.clone(), p_doctoral.clone(), degree_univ.clone());
-                        // Each faculty member teaches one undergraduate and one
-                        // graduate course (round-robin over the department's
-                        // courses), so teacherOf joins are well populated.
-                        if !courses.is_empty() {
-                            let course = &courses[i % courses.len()];
-                            graph.insert_terms(person.clone(), p_teacher.clone(), course.clone());
-                        }
-                        if !grad_courses.is_empty() {
-                            let course = &grad_courses[i % grad_courses.len()];
-                            graph.insert_terms(person.clone(), p_teacher.clone(), course.clone());
-                        }
-                        if *class == c_full_prof {
-                            full_professors.push(person.clone());
-                        }
-                        faculty.push(person);
-                    }
-                }
-
-                // Undergraduate students.
-                for i in 0..s.undergraduate_students {
-                    let student = Term::iri(format!(
-                        "http://www.Department{d}.University{u}.edu/UndergraduateStudent{i}"
-                    ));
-                    graph.insert_terms(student.clone(), rdf_type.clone(), c_undergrad.clone());
-                    graph.insert_terms(student.clone(), p_member_of.clone(), dept.clone());
-                    graph.insert_terms(
-                        student.clone(),
-                        p_name.clone(),
-                        Term::literal(format!("UndergraduateStudent{i}")),
-                    );
-                    if !full_professors.is_empty() {
-                        let advisor = &full_professors[rng.gen_range(0..full_professors.len())];
-                        graph.insert_terms(student.clone(), p_advisor.clone(), advisor.clone());
-                    }
-                    for k in 0..s.courses_per_undergrad.min(courses.len()) {
-                        let start = rng.gen_range(0..courses.len());
-                        let course = &courses[(start + k) % courses.len()];
-                        graph.insert_terms(student.clone(), p_takes.clone(), course.clone());
-                    }
-                }
-
-                // Graduate students.
-                for i in 0..s.graduate_students {
-                    let student = Term::iri(format!(
-                        "http://www.Department{d}.University{u}.edu/GraduateStudent{i}"
-                    ));
-                    graph.insert_terms(student.clone(), rdf_type.clone(), c_grad.clone());
-                    graph.insert_terms(student.clone(), p_member_of.clone(), dept.clone());
-                    graph.insert_terms(
-                        student.clone(),
+                    emit(
+                        person.clone(),
                         p_email.clone(),
-                        Term::literal(format!(
-                            "GraduateStudent{i}@Department{d}.University{u}.edu"
-                        )),
+                        Term::literal(format!("{label}{i}@Department{d}.University{u}.edu")),
                     );
-                    // A fraction of graduate students hold their undergraduate
-                    // degree from the university of their current department,
-                    // which is what makes Q8/Q9 selective joins non-empty.
-                    let from = if rng.gen_bool(0.3) {
-                        univ.clone()
-                    } else {
-                        universities[rng.gen_range(0..universities.len())].clone()
-                    };
-                    graph.insert_terms(student.clone(), p_undergrad_from.clone(), from);
-                    if !faculty.is_empty() {
-                        let advisor = &faculty[rng.gen_range(0..faculty.len())];
-                        graph.insert_terms(student.clone(), p_advisor.clone(), advisor.clone());
+                    let degree_univ = university_iri(rng.gen_range(0..s.universities));
+                    emit(person.clone(), p_doctoral.clone(), degree_univ);
+                    // Each faculty member teaches one undergraduate and one
+                    // graduate course (round-robin over the department's
+                    // courses), so teacherOf joins are well populated.
+                    if !courses.is_empty() {
+                        let course = &courses[i % courses.len()];
+                        emit(person.clone(), p_teacher.clone(), course.clone());
                     }
-                    for k in 0..s.courses_per_grad.min(grad_courses.len()) {
-                        let start = rng.gen_range(0..grad_courses.len());
-                        let course = &grad_courses[(start + k) % grad_courses.len()];
-                        graph.insert_terms(student.clone(), p_takes.clone(), course.clone());
+                    if !grad_courses.is_empty() {
+                        let course = &grad_courses[i % grad_courses.len()];
+                        emit(person.clone(), p_teacher.clone(), course.clone());
                     }
+                    if *class == c_full_prof {
+                        full_professors.push(person.clone());
+                    }
+                    faculty.push(person);
+                }
+            }
+
+            // Undergraduate students.
+            for i in 0..s.undergraduate_students {
+                let student = Term::iri(format!(
+                    "http://www.Department{d}.University{u}.edu/UndergraduateStudent{i}"
+                ));
+                emit(student.clone(), rdf_type.clone(), c_undergrad.clone());
+                emit(student.clone(), p_member_of.clone(), dept.clone());
+                emit(
+                    student.clone(),
+                    p_name.clone(),
+                    Term::literal(format!("UndergraduateStudent{i}")),
+                );
+                if !full_professors.is_empty() {
+                    let advisor = &full_professors[rng.gen_range(0..full_professors.len())];
+                    emit(student.clone(), p_advisor.clone(), advisor.clone());
+                }
+                for k in 0..s.courses_per_undergrad.min(courses.len()) {
+                    let start = rng.gen_range(0..courses.len());
+                    let course = &courses[(start + k) % courses.len()];
+                    emit(student.clone(), p_takes.clone(), course.clone());
+                }
+            }
+
+            // Graduate students.
+            for i in 0..s.graduate_students {
+                let student = Term::iri(format!(
+                    "http://www.Department{d}.University{u}.edu/GraduateStudent{i}"
+                ));
+                emit(student.clone(), rdf_type.clone(), c_grad.clone());
+                emit(student.clone(), p_member_of.clone(), dept.clone());
+                emit(
+                    student.clone(),
+                    p_email.clone(),
+                    Term::literal(format!(
+                        "GraduateStudent{i}@Department{d}.University{u}.edu"
+                    )),
+                );
+                // A fraction of graduate students hold their undergraduate
+                // degree from the university of their current department,
+                // which is what makes Q8/Q9 selective joins non-empty.
+                let from = if rng.gen_bool(0.3) {
+                    univ.clone()
+                } else {
+                    university_iri(rng.gen_range(0..s.universities))
+                };
+                emit(student.clone(), p_undergrad_from.clone(), from);
+                if !faculty.is_empty() {
+                    let advisor = &faculty[rng.gen_range(0..faculty.len())];
+                    emit(student.clone(), p_advisor.clone(), advisor.clone());
+                }
+                for k in 0..s.courses_per_grad.min(grad_courses.len()) {
+                    let start = rng.gen_range(0..grad_courses.len());
+                    let course = &grad_courses[(start + k) % grad_courses.len()];
+                    emit(student.clone(), p_takes.clone(), course.clone());
                 }
             }
         }
+        out
     }
 }
 
@@ -331,6 +369,27 @@ mod tests {
         let g2 = LubmGenerator::new(LubmScale::tiny()).generate();
         assert_eq!(g1.len(), g2.len());
         assert_eq!(g1.triples(), g2.triples());
+    }
+
+    #[test]
+    fn university_chunks_concatenate_to_generate() {
+        let generator = LubmGenerator::new(LubmScale::default());
+        let mut chunked = Graph::new();
+        for u in 0..generator.scale().universities {
+            for (s, p, o) in generator.university_triples(u) {
+                chunked.insert_terms(s, p, o);
+            }
+        }
+        assert_eq!(chunked, generator.generate());
+    }
+
+    #[test]
+    fn universities_draw_from_distinct_streams() {
+        let generator = LubmGenerator::new(LubmScale::with_universities(2));
+        let a = generator.university_triples(0);
+        let b = generator.university_triples(1);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b);
     }
 
     #[test]

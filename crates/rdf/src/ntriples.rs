@@ -3,7 +3,9 @@
 //! The format supported is a pragmatic subset of N-Triples sufficient for the
 //! benchmark workloads: one triple per line, `<iri>` for IRIs, `"text"` for
 //! literals, terminated by an optional ` .`, `#`-prefixed comment lines and
-//! blank lines are ignored.
+//! blank lines are ignored. Literals support the N-Triples string escapes
+//! `\"`, `\\`, `\n`, `\r`, `\t` and `\uXXXX`, and the writer emits them, so
+//! any graph round-trips through [`serialize`] / [`parse`] losslessly.
 
 use crate::graph::Graph;
 use crate::term::Term;
@@ -26,18 +28,131 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Decodes the N-Triples string escapes inside a literal's raw text
+/// (the content between the quotes, escapes still encoded).
+fn unescape_literal(raw: &str, line: usize) -> Result<String, ParseError> {
+    if !raw.contains('\\') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return Err(ParseError::new(
+                        line,
+                        format!("truncated \\u escape \\u{hex}"),
+                    ));
+                }
+                if !hex.chars().all(|h| h.is_ascii_hexdigit()) {
+                    return Err(ParseError::new(
+                        line,
+                        format!("invalid hex digit in \\u escape \\u{hex}"),
+                    ));
+                }
+                let code = u32::from_str_radix(&hex, 16).expect("validated hex");
+                match char::from_u32(code) {
+                    Some(decoded) => out.push(decoded),
+                    None => {
+                        return Err(ParseError::new(
+                            line,
+                            format!("\\u{hex} is not a Unicode scalar value"),
+                        ))
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(ParseError::new(
+                    line,
+                    format!("unknown escape sequence \\{other} in literal"),
+                ))
+            }
+            None => return Err(ParseError::new(line, "trailing backslash in literal")),
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes a literal's text with the N-Triples string escapes, so the
+/// output of [`serialize`] always re-parses (`"` and `\` are escaped, and
+/// control characters cannot terminate or break a line).
+fn escape_literal(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats one term as an N-Triples token (the writer-side counterpart of
+/// [`parse`], escaping literal text).
+fn format_term(term: &Term) -> String {
+    match term {
+        Term::Iri(v) => format!("<{v}>"),
+        Term::Literal(v) => format!("\"{}\"", escape_literal(v)),
+    }
+}
+
 /// Parses a single term token (`<iri>` or `"literal"`).
 fn parse_term(token: &str, line: usize) -> Result<Term, ParseError> {
     if let Some(inner) = token.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
         Ok(Term::iri(inner))
     } else if let Some(inner) = token.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
-        Ok(Term::literal(inner))
+        Ok(Term::literal(unescape_literal(inner, line)?))
     } else {
-        Err(ParseError {
+        Err(ParseError::new(
             line,
-            message: format!("cannot parse term token {token:?}"),
-        })
+            format!("cannot parse term token {token:?}"),
+        ))
     }
+}
+
+/// The byte length of a quoted literal token at the start of `rest`
+/// (including both quotes), honouring backslash escapes. `None` when the
+/// literal never closes — including a trailing `\` right before the end.
+fn literal_token_len(rest: &str) -> Option<usize> {
+    debug_assert!(rest.starts_with('"'));
+    let mut escaped = false;
+    for (offset, c) in rest.char_indices().skip(1) {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Some(offset + 1),
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Splits an N-Triples line into its three term tokens.
@@ -58,22 +173,12 @@ fn tokenize(line: &str, line_no: usize) -> Result<Option<[String; 3]>, ParseErro
         let (token, remaining) = if rest.starts_with('<') {
             match rest.find('>') {
                 Some(pos) => (&rest[..=pos], &rest[pos + 1..]),
-                None => {
-                    return Err(ParseError {
-                        line: line_no,
-                        message: "unterminated IRI".to_string(),
-                    })
-                }
+                None => return Err(ParseError::new(line_no, "unterminated IRI")),
             }
-        } else if let Some(tail) = rest.strip_prefix('"') {
-            match tail.find('"') {
-                Some(pos) => (&rest[..pos + 2], &rest[pos + 2..]),
-                None => {
-                    return Err(ParseError {
-                        line: line_no,
-                        message: "unterminated literal".to_string(),
-                    })
-                }
+        } else if rest.starts_with('"') {
+            match literal_token_len(rest) {
+                Some(len) => (&rest[..len], &rest[len..]),
+                None => return Err(ParseError::new(line_no, "unterminated literal")),
             }
         } else {
             let pos = rest.find(char::is_whitespace).unwrap_or(rest.len());
@@ -84,19 +189,28 @@ fn tokenize(line: &str, line_no: usize) -> Result<Option<[String; 3]>, ParseErro
     }
 
     if tokens.len() != 3 {
-        return Err(ParseError {
-            line: line_no,
-            message: format!("expected 3 terms, found {}", tokens.len()),
-        });
+        return Err(ParseError::new(
+            line_no,
+            format!("expected 3 terms, found {}", tokens.len()),
+        ));
     }
     Ok(Some([tokens.remove(0), tokens.remove(0), tokens.remove(0)]))
 }
 
 /// Parses N-Triples text into a list of term triples.
 pub fn parse(text: &str) -> Result<Vec<(Term, Term, Term)>, ParseError> {
+    parse_from(text, 1)
+}
+
+/// Parses N-Triples text whose first line is line `first_line` of a larger
+/// document. This is the chunked-load entry point: the bulk loader splits a
+/// document at line boundaries (see [`crate::load::split_ntriples`]) and
+/// parses each chunk on its own worker, and errors still report the global
+/// line number of the offending line.
+pub fn parse_from(text: &str, first_line: usize) -> Result<Vec<(Term, Term, Term)>, ParseError> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
-        let line_no = i + 1;
+        let line_no = first_line + i;
         if let Some([s, p, o]) = tokenize(line, line_no)? {
             out.push((
                 parse_term(&s, line_no)?,
@@ -117,14 +231,20 @@ pub fn parse_into_graph(text: &str) -> Result<Graph, ParseError> {
     Ok(graph)
 }
 
-/// Serializes a graph back to N-Triples text (one line per triple).
+/// Serializes a graph back to N-Triples text (one line per triple, literal
+/// text escaped so the output always re-parses).
 pub fn serialize(graph: &Graph) -> String {
     let mut out = String::new();
     for triple in graph.triples() {
         let s = graph.decode(triple.subject).expect("dangling subject id");
         let p = graph.decode(triple.property).expect("dangling property id");
         let o = graph.decode(triple.object).expect("dangling object id");
-        out.push_str(&format!("{s} {p} {o} .\n"));
+        out.push_str(&format!(
+            "{} {} {} .\n",
+            format_term(s),
+            format_term(p),
+            format_term(o)
+        ));
     }
     out
 }
@@ -174,5 +294,79 @@ mod tests {
         let reparsed = parse_into_graph(&serialized).unwrap();
         assert_eq!(reparsed.len(), graph.len());
         assert_eq!(serialize(&reparsed), serialized);
+    }
+
+    #[test]
+    fn literal_escapes_decode() {
+        let triples = parse(r#"<a> <p> "say \"hi\"\n\tdone\\" ."#).unwrap();
+        assert_eq!(triples[0].2, Term::literal("say \"hi\"\n\tdone\\"));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let triples = parse(r#"<a> <p> "caf\u00E9 \u0041" ."#).unwrap();
+        assert_eq!(triples[0].2, Term::literal("café A"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_terminate_literal() {
+        // The \" must not close the literal early and swallow the rest.
+        let triples = parse(r#"<a> <p> "x\"y z" ."#).unwrap();
+        assert_eq!(triples[0].2, Term::literal("x\"y z"));
+    }
+
+    #[test]
+    fn invalid_escapes_are_rejected_with_line_numbers() {
+        let err = parse("<a> <p> <b> .\n<a> <p> \"bad\\q\" .").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown escape"), "{}", err.message);
+
+        let err = parse(r#"<a> <p> "trunc\u00G1" ."#).unwrap_err();
+        assert!(err.message.contains("\\u"), "{}", err.message);
+
+        let err = parse(r#"<a> <p> "surrogate\uD800" ."#).unwrap_err();
+        assert!(err.message.contains("scalar"), "{}", err.message);
+    }
+
+    #[test]
+    fn unterminated_literals_are_clear_errors() {
+        for text in [
+            "<a> <p> \"never closed",
+            "<a> <p> \"closed by escape\\\"",
+            "<a> <p> \"trailing backslash\\",
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(
+                err.message.contains("unterminated literal"),
+                "{text:?}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn writer_escapes_round_trip() {
+        let mut graph = Graph::new();
+        graph.insert_terms(
+            Term::iri("s"),
+            Term::iri("p"),
+            Term::literal("line1\nline2\t\"quoted\" back\\slash \u{1} café"),
+        );
+        let text = serialize(&graph);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(
+            reparsed[0].2,
+            Term::literal("line1\nline2\t\"quoted\" back\\slash \u{1} café")
+        );
+        // Control characters never appear raw in the serialized text.
+        assert!(!text.contains('\u{1}'));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn parse_from_offsets_line_numbers() {
+        let err = parse_from("<a> <p> <b> .\n<a> <p>", 100).unwrap_err();
+        assert_eq!(err.line, 101);
+        assert_eq!(parse_from("<a> <p> <b> .", 50).unwrap().len(), 1);
     }
 }

@@ -1,14 +1,24 @@
 //! Property-based tests for the RDF substrate: dictionary encoding,
-//! N-Triples round-tripping and graph index consistency.
+//! N-Triples round-tripping (including escape sequences), sharded
+//! bulk-load encoding and graph index consistency.
 
+use cliquesquare_rdf::load::{encode_shard, merge_dictionaries, remap_triples};
 use cliquesquare_rdf::{ntriples, Dictionary, Graph, Term, TriplePosition};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn term_strategy() -> impl Strategy<Value = Term> {
     prop_oneof![
         "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://example.org/{s}"))),
         "[A-Za-z0-9 ]{0,12}".prop_map(Term::literal),
     ]
+}
+
+/// Literals drawing from the characters the N-Triples escapes cover:
+/// quotes, backslashes, newlines, carriage returns, tabs, control
+/// characters and non-ASCII text.
+fn spiky_literal_strategy() -> impl Strategy<Value = Term> {
+    "[a-zA-Z\"\\\\\n\r\t\u{1}\u{7f}éλ ]{0,16}".prop_map(Term::literal)
 }
 
 proptest! {
@@ -51,6 +61,112 @@ proptest! {
         let reparsed = ntriples::parse_into_graph(&text).expect("serialized output parses");
         prop_assert_eq!(reparsed.len(), graph.len());
         prop_assert_eq!(ntriples::serialize(&reparsed), text);
+    }
+
+    /// `Graph → write_ntriples → parse_ntriples → Graph` preserves the term
+    /// set and the triple set even when literals contain every character the
+    /// escape rules cover (quotes, backslashes, newlines, tabs, control
+    /// characters, non-ASCII).
+    #[test]
+    fn graph_round_trips_through_ntriples_with_escapes(
+        triples in proptest::collection::vec(
+            ("[a-z]{1,6}", "[a-z]{1,4}", spiky_literal_strategy()),
+            1..30,
+        )
+    ) {
+        let mut graph = Graph::new();
+        for (s, p, o) in &triples {
+            graph.insert_terms(
+                Term::iri(format!("http://example.org/s/{s}")),
+                Term::iri(format!("http://example.org/p/{p}")),
+                o.clone(),
+            );
+        }
+        let text = ntriples::serialize(&graph);
+        let reparsed = ntriples::parse_into_graph(&text).expect("escaped output parses");
+
+        // Term-set equality.
+        let terms = |g: &Graph| -> BTreeSet<Term> {
+            g.dictionary().iter().map(|(_, t)| t.clone()).collect()
+        };
+        prop_assert_eq!(terms(&reparsed), terms(&graph));
+
+        // Triple-set equality (decoded, so ids don't have to match).
+        let decoded = |g: &Graph| -> Vec<(Term, Term, Term)> {
+            g.triples()
+                .iter()
+                .map(|t| {
+                    (
+                        g.decode(t.subject).unwrap().clone(),
+                        g.decode(t.property).unwrap().clone(),
+                        g.decode(t.object).unwrap().clone(),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(decoded(&reparsed), decoded(&graph));
+
+        // In fact the loader contract is stronger: same insertion order means
+        // the whole graph (ids, indexes) round-trips bit-identically.
+        prop_assert_eq!(&reparsed, &graph);
+    }
+
+    /// Sharded encoding (split → per-shard dictionaries → ordered merge →
+    /// remap) assigns exactly the ids the sequential single-dictionary
+    /// encode assigns, for every split of the input.
+    #[test]
+    fn sharded_encode_matches_sequential(
+        triples in proptest::collection::vec(
+            (term_strategy(), term_strategy(), term_strategy()),
+            1..40,
+        ),
+        splits in proptest::collection::vec(1usize..40, 0..4),
+    ) {
+        // Sequential baseline: one dictionary over the whole stream.
+        let mut sequential = Dictionary::new();
+        let sequential_triples: Vec<_> = triples
+            .iter()
+            .map(|(s, p, o)| {
+                (
+                    sequential.encode(s.clone()),
+                    sequential.encode(p.clone()),
+                    sequential.encode(o.clone()),
+                )
+            })
+            .collect();
+
+        // Sharded: split at the (sorted, deduped, clamped) positions.
+        let mut cuts: Vec<usize> = splits.iter().map(|&c| c % triples.len()).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut chunks: Vec<Vec<(Term, Term, Term)>> = Vec::new();
+        let mut rest = triples.as_slice();
+        let mut consumed = 0;
+        for cut in cuts {
+            let (head, tail) = rest.split_at(cut - consumed);
+            if !head.is_empty() {
+                chunks.push(head.to_vec());
+            }
+            rest = tail;
+            consumed = cut;
+        }
+        if !rest.is_empty() {
+            chunks.push(rest.to_vec());
+        }
+
+        let shards: Vec<_> = chunks.into_iter().map(encode_shard).collect();
+        let (dictionaries, locals): (Vec<_>, Vec<_>) =
+            shards.into_iter().map(|s| (s.dictionary, s.triples)).unzip();
+        let (merged, remaps) = merge_dictionaries(dictionaries);
+        prop_assert_eq!(&merged, &sequential);
+
+        let remapped: Vec<_> = locals
+            .iter()
+            .zip(&remaps)
+            .flat_map(|(t, r)| remap_triples(t, r))
+            .map(|t| (t.subject, t.property, t.object))
+            .collect();
+        prop_assert_eq!(remapped, sequential_triples);
     }
 
     /// Every positional index returns exactly the triples carrying the value

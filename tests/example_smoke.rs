@@ -24,6 +24,10 @@ mod lubm_workload;
 #[path = "../examples/variant_comparison.rs"]
 mod variant_comparison;
 
+#[allow(dead_code)]
+#[path = "../examples/bulk_load.rs"]
+mod bulk_load;
+
 #[test]
 fn quickstart_runs_to_completion_on_tiny_scale() {
     quickstart::run(LubmScale::tiny());
@@ -42,4 +46,9 @@ fn lubm_workload_runs_to_completion_on_tiny_scale() {
 #[test]
 fn variant_comparison_runs_to_completion() {
     variant_comparison::run();
+}
+
+#[test]
+fn bulk_load_runs_to_completion_on_tiny_scale() {
+    bulk_load::run(LubmScale::tiny());
 }
