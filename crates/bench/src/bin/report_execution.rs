@@ -16,19 +16,28 @@
 //! counters: the flat columnar layout performs **zero** per-row heap
 //! allocations on the join and shuffle paths, and the throughput column
 //! reports join output rows per wall-second of the sequential execution.
+//! The `sorts` / `elided` / `resorts` columns come from the same counters:
+//! index sorts the sequential execution performed, ordering requirements the
+//! interesting-orders pass satisfied without sorting, and join inputs that
+//! paid a column-permuted re-sort.
 //!
-//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution [-- --threads N] [--scale U] [--snapshot [PATH]]`
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution [-- --threads N] [--scale U] [--snapshot [PATH]] [--baseline [PATH]]`
 //! (`--threads auto` uses all cores; default: `CSQ_THREADS` or sequential.
 //! `--scale U` generates U LUBM universities — larger datasets amortize the
 //! per-wave thread spawn cost, which is what the speedup column measures.
 //! `--snapshot [PATH]` additionally writes the per-query wall times and
 //! totals to `PATH` — `BENCH_execution.json` by default — as the recorded
-//! perf-trajectory artifact; CI uploads it without gating on it.)
+//! perf-trajectory artifact; CI uploads it without gating on it.
+//! `--baseline [PATH]` reads a previously recorded snapshot and prints a
+//! sort-elision regression table diffing `sorts_performed` /
+//! `join_inputs_resorted` against it; run it at the scale the baseline was
+//! recorded at — the repo-root default.)
 
 use cliquesquare_baselines::BinaryPlanner;
 use cliquesquare_bench::{
-    fmt_f64, lubm_cluster, measure_seconds, report_scale, runtime_from_args, scale_from_args,
-    snapshot_path_from_args, table, write_execution_snapshot, SnapshotQuery,
+    baseline_path_from_args, fmt_f64, lubm_cluster, measure_seconds, read_execution_snapshot,
+    report_scale, runtime_from_args, scale_from_args, snapshot_path_from_args, table,
+    write_execution_snapshot, SnapshotQuery,
 };
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_engine::csq::{Csq, CsqConfig};
@@ -121,6 +130,9 @@ fn main() {
             wall_sequential_ms: wall_seq * 1e3,
             wall_parallel_ms: wall_par * 1e3,
             results: report.result_count,
+            sorts_performed: rel_stats.sorts_performed,
+            sorts_elided: rel_stats.sorts_elided,
+            join_inputs_resorted: rel_stats.join_inputs_resorted,
         });
         rows.push(vec![
             format!(
@@ -142,6 +154,9 @@ fn main() {
             fmt_f64(wall_seq / wall_par),
             fmt_f64(join_mrows_per_s),
             rel_stats.row_allocs.to_string(),
+            rel_stats.sorts_performed.to_string(),
+            rel_stats.sorts_elided.to_string(),
+            rel_stats.join_inputs_resorted.to_string(),
             report.result_count.to_string(),
         ]);
     }
@@ -161,6 +176,9 @@ fn main() {
                 "speedup",
                 "Mrow/s",
                 "row allocs",
+                "sorts",
+                "elided",
+                "resorts",
                 "|Q|",
             ],
             &rows
@@ -170,9 +188,15 @@ fn main() {
         "Columns `MSC-Best`..`linear/MSC` are simulated (cost model, thread-independent); \
          `wall *` columns are measured on this machine. `Mrow/s` is join output throughput \
          of the sequential run; `row allocs` counts per-row heap allocations on the \
-         join/shuffle paths (always 0 with the flat columnar relations)."
+         join/shuffle paths (always 0 with the flat columnar relations); `sorts`/`elided` \
+         count index sorts performed vs ordering requirements the interesting-orders pass \
+         satisfied without sorting, and `resorts` counts join inputs that paid a re-sort."
     );
     println!("Expected shape (paper): MSC plans are fastest for every query, up to ~2x vs bushy and up to ~16x vs linear.");
+
+    if let Some(path) = baseline_path_from_args(&args) {
+        print_baseline_diff(&path, &snapshot_queries);
+    }
 
     if let Some(path) = snapshot_path_from_args(&args) {
         let total: f64 = snapshot_queries.iter().map(|q| q.wall_sequential_ms).sum();
@@ -185,5 +209,83 @@ fn main() {
         )
         .expect("write bench snapshot");
         println!("\nWrote bench snapshot to {path} (total sequential wall: {total:.3} ms).");
+    }
+}
+
+/// Prints the sort-elision regression table: the current run's
+/// `sorts_performed` / `join_inputs_resorted` counters next to the committed
+/// snapshot's. Informational (non-gating in CI): a growing `Δ` column means
+/// the interesting-orders pass lost elisions somewhere.
+fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) {
+    let baseline = match read_execution_snapshot(path) {
+        Ok(queries) => queries,
+        Err(error) => {
+            println!("\n(no baseline diff: could not read {path}: {error})");
+            return;
+        }
+    };
+    let lookup = |name: &str| baseline.iter().find(|b| b.name == name);
+    let fmt_count = |value: Option<u64>| value.map_or("-".to_string(), |v| v.to_string());
+    let fmt_delta = |now: u64, then: Option<u64>| match then {
+        Some(then) => format!("{:+}", now as i64 - then as i64),
+        None => "-".to_string(),
+    };
+    let mut rows = Vec::new();
+    let (mut sorts_now, mut sorts_then) = (0u64, 0u64);
+    let (mut resorts_now, mut resorts_then) = (0u64, 0u64);
+    let mut complete = true;
+    for q in current {
+        let base = lookup(&q.name);
+        let base_sorts = base.and_then(|b| b.sorts_performed);
+        let base_resorts = base.and_then(|b| b.join_inputs_resorted);
+        sorts_now += q.sorts_performed;
+        resorts_now += q.join_inputs_resorted;
+        match (base_sorts, base_resorts) {
+            (Some(s), Some(r)) => {
+                sorts_then += s;
+                resorts_then += r;
+            }
+            _ => complete = false,
+        }
+        rows.push(vec![
+            q.name.clone(),
+            fmt_count(base_sorts),
+            q.sorts_performed.to_string(),
+            fmt_delta(q.sorts_performed, base_sorts),
+            fmt_count(base_resorts),
+            q.join_inputs_resorted.to_string(),
+            fmt_delta(q.join_inputs_resorted, base_resorts),
+            base.and_then(|b| b.wall_sequential_ms)
+                .map_or("-".to_string(), fmt_f64),
+            fmt_f64(q.wall_sequential_ms),
+        ]);
+    }
+    println!("\n== Sort-elision regression vs {path} ==");
+    println!(
+        "{}",
+        table(
+            &[
+                "Query",
+                "sorts(base)",
+                "sorts(now)",
+                "Δ",
+                "resorts(base)",
+                "resorts(now)",
+                "Δ",
+                "wall base (ms)",
+                "wall now (ms)",
+            ],
+            &rows
+        )
+    );
+    if complete {
+        println!(
+            "Totals: sorts {sorts_then} -> {sorts_now} ({:+}), join inputs resorted \
+             {resorts_then} -> {resorts_now} ({:+}).",
+            sorts_now as i64 - sorts_then as i64,
+            resorts_now as i64 - resorts_then as i64
+        );
+    } else {
+        println!("(baseline predates the sort counters for some queries: '-' entries)");
     }
 }

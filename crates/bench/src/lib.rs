@@ -169,6 +169,12 @@ pub struct SnapshotQuery {
     pub wall_parallel_ms: f64,
     /// Number of distinct answers.
     pub results: usize,
+    /// Index sorts the sequential execution actually performed.
+    pub sorts_performed: u64,
+    /// Ordering requirements satisfied without a sort.
+    pub sorts_elided: u64,
+    /// Join inputs that paid a column-permuted re-sort.
+    pub join_inputs_resorted: u64,
 }
 
 /// Minimal JSON string escaping (the snapshot only contains query names and
@@ -220,7 +226,9 @@ pub fn write_execution_snapshot(
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"patterns\": {}, \"jobs\": \"{}\", \
              \"simulated_seconds\": {:.6}, \"wall_sequential_ms\": {:.3}, \
-             \"wall_parallel_ms\": {:.3}, \"results\": {}}}{}\n",
+             \"wall_parallel_ms\": {:.3}, \"results\": {}, \
+             \"sorts_performed\": {}, \"sorts_elided\": {}, \
+             \"join_inputs_resorted\": {}}}{}\n",
             json_escape(&q.name),
             q.patterns,
             json_escape(&q.jobs),
@@ -228,11 +236,97 @@ pub fn write_execution_snapshot(
             q.wall_sequential_ms,
             q.wall_parallel_ms,
             q.results,
+            q.sorts_performed,
+            q.sorts_elided,
+            q.join_inputs_resorted,
             if index + 1 == queries.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write(path, json)
+}
+
+/// One query of a previously recorded execution snapshot, as read back by
+/// [`read_execution_snapshot`] for the sort-elision regression table. The
+/// counter fields are `None` for snapshots recorded before the
+/// interesting-orders pass existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineQuery {
+    /// Query name (`Q1` … `Q14`).
+    pub name: String,
+    /// Recorded sequential wall milliseconds.
+    pub wall_sequential_ms: Option<f64>,
+    /// Recorded `sorts_performed` counter, if the snapshot has one.
+    pub sorts_performed: Option<u64>,
+    /// Recorded `sorts_elided` counter, if the snapshot has one.
+    pub sorts_elided: Option<u64>,
+    /// Recorded `join_inputs_resorted` counter, if the snapshot has one.
+    pub join_inputs_resorted: Option<u64>,
+}
+
+/// Extracts the raw value of `"key": value` from one JSON object line
+/// (sufficient for the snapshot layout [`write_execution_snapshot`] emits:
+/// one query object per line, no nesting inside objects).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| {
+            if rest.starts_with('"') {
+                i > 0 && c == '"'
+            } else {
+                c == ',' || c == '}'
+            }
+        })
+        .map(|(i, _)| if rest.starts_with('"') { i + 1 } else { i })?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+/// Reads the per-query entries of a snapshot previously written by
+/// [`write_execution_snapshot`]. Counter fields missing from older
+/// recordings come back as `None`.
+pub fn read_execution_snapshot(path: &str) -> std::io::Result<Vec<BaselineQuery>> {
+    let contents = std::fs::read_to_string(path)?;
+    let mut queries = Vec::new();
+    for line in contents.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"name\"") {
+            continue;
+        }
+        let Some(name) = json_field(line, "name") else {
+            continue;
+        };
+        queries.push(BaselineQuery {
+            name: name.to_string(),
+            wall_sequential_ms: json_field(line, "wall_sequential_ms").and_then(|v| v.parse().ok()),
+            sorts_performed: json_field(line, "sorts_performed").and_then(|v| v.parse().ok()),
+            sorts_elided: json_field(line, "sorts_elided").and_then(|v| v.parse().ok()),
+            join_inputs_resorted: json_field(line, "join_inputs_resorted")
+                .and_then(|v| v.parse().ok()),
+        });
+    }
+    Ok(queries)
+}
+
+/// Parses the `--baseline [PATH]` flag of the regression-table mode:
+/// `Some(path)` when a baseline diff was requested (`BENCH_execution.json`
+/// when no path follows the flag).
+pub fn baseline_path_from_args(args: &[String]) -> Option<String> {
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--baseline" {
+            return Some(match iter.peek() {
+                Some(value) if !value.starts_with("--") => (*value).clone(),
+                _ => "BENCH_execution.json".to_string(),
+            });
+        }
+        if let Some(value) = arg.strip_prefix("--baseline=") {
+            return Some(value.to_string());
+        }
+    }
+    None
 }
 
 /// One pipeline stage's entry in the load bench snapshot.
@@ -365,6 +459,67 @@ mod tests {
             LubmScale::with_universities(3)
         );
         assert_eq!(scale_from_args(&args(&[]), report_scale()), report_scale());
+    }
+
+    #[test]
+    fn execution_snapshot_round_trips_through_the_reader() {
+        let queries = vec![
+            SnapshotQuery {
+                name: "Q1".to_string(),
+                patterns: 2,
+                jobs: "M".to_string(),
+                simulated_seconds: 8.5,
+                wall_sequential_ms: 0.95,
+                wall_parallel_ms: 1.2,
+                results: 42,
+                sorts_performed: 3,
+                sorts_elided: 17,
+                join_inputs_resorted: 1,
+            },
+            SnapshotQuery {
+                name: "Q2".to_string(),
+                patterns: 3,
+                jobs: "1".to_string(),
+                simulated_seconds: 9.0,
+                wall_sequential_ms: 0.5,
+                wall_parallel_ms: 0.4,
+                results: 7,
+                sorts_performed: 0,
+                sorts_elided: 20,
+                join_inputs_resorted: 0,
+            },
+        ];
+        let path = std::env::temp_dir().join("csq_snapshot_roundtrip.json");
+        let path = path.to_str().unwrap();
+        write_execution_snapshot(path, 1000, 7, 1, &queries).unwrap();
+        let read = read_execution_snapshot(path).unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0].name, "Q1");
+        assert_eq!(read[0].sorts_performed, Some(3));
+        assert_eq!(read[0].sorts_elided, Some(17));
+        assert_eq!(read[0].join_inputs_resorted, Some(1));
+        assert_eq!(read[0].wall_sequential_ms, Some(0.95));
+        assert_eq!(read[1].name, "Q2");
+        assert_eq!(read[1].sorts_performed, Some(0));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn baseline_flag_parsing() {
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(
+            baseline_path_from_args(&args(&["--baseline", "old.json"])),
+            Some("old.json".to_string())
+        );
+        assert_eq!(
+            baseline_path_from_args(&args(&["--baseline"])),
+            Some("BENCH_execution.json".to_string())
+        );
+        assert_eq!(
+            baseline_path_from_args(&args(&["--baseline=x.json"])),
+            Some("x.json".to_string())
+        );
+        assert_eq!(baseline_path_from_args(&args(&["--threads", "4"])), None);
     }
 
     #[test]

@@ -8,8 +8,20 @@
 //! its inputs across the nodes (the shuffle) and joins each partition as one
 //! reduce task per node. With `Runtime::sequential()` (the deterministic
 //! default) the tasks run inline on the driver thread; with more threads the
-//! waves execute concurrently on scoped OS threads, producing **bit-identical
-//! results** because every operator canonicalizes (sorts) its merged output.
+//! waves execute concurrently on scoped OS threads, producing
+//! **bit-identical results**: every step — scan order, hash routing, k-way
+//! merges with ties resolved by node order, and the sorts the
+//! interesting-orders pass leaves in place — is a deterministic function of
+//! the per-node inputs, which do not depend on the thread count.
+//!
+//! Operators do **not** canonicalize their outputs. Leaf scans are tagged
+//! with the index order the partitioned store already delivers, joins emit
+//! their output in the order the plan's [`crate::physical::OpOrdering`]
+//! demands (eliding the sort when their natural key order satisfies it),
+//! shuffle buckets and per-node parts are combined with k-way ordered merges
+//! that preserve the tracked order, and a single canonicalization at the
+//! final projection makes the result relation bit-identical at every thread
+//! count.
 //!
 //! Two clocks are reported: `simulated_seconds` (the Section 5.4 cost model
 //! applied to the work counters — unchanged by the thread count) and
@@ -17,7 +29,7 @@
 
 use crate::jobs::{schedule, JobSchedule};
 use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
-use crate::relation::{self, Relation};
+use crate::relation::{self, JoinOrder, Relation, SortOrder};
 use crate::translate::translate;
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_mapreduce::{
@@ -99,16 +111,16 @@ impl Intermediate {
     }
 }
 
-/// Concatenates per-node parts (same schema by construction) in node order.
+/// Combines per-node parts (same schema by construction) with one k-way
+/// merge that interleaves rows by the parts' shared tracked order (ties go
+/// to the lower node, so the result is deterministic in node order and
+/// independent of the thread count).
 fn merge_parts(parts: impl Iterator<Item = Relation>) -> Relation {
-    let mut global: Option<Relation> = None;
-    for part in parts {
-        match &mut global {
-            None => global = Some(part),
-            Some(acc) => acc.union_in_place(part),
-        }
+    let parts: Vec<Relation> = parts.collect();
+    if parts.is_empty() {
+        return Relation::empty(Vec::new());
     }
-    global.unwrap_or_else(|| Relation::empty(Vec::new()))
+    Relation::merge_ordered(parts)
 }
 
 /// Executes physical plans against a [`Cluster`] on a [`Runtime`].
@@ -176,6 +188,9 @@ impl<'a> Executor<'a> {
             Ok(value) => value.into_global(),
             Err(shared) => shared.to_global(),
         };
+        // The single canonicalization of the whole execution: elided for
+        // free when the interesting-orders pass already ordered the final
+        // projection canonically.
         results.canonicalize();
 
         // Per-job fixed counters: one map wave per job, one reduce wave for
@@ -294,30 +309,32 @@ fn spread(counters: &mut [u64], total: u64) {
 /// Hash-partitions an intermediate's rows on the join attributes into one
 /// bucket per compute node: the simulated shuffle. Each bucket's flat
 /// buffer is built directly by [`relation::hash_partition`] — no per-row
-/// heap allocation.
+/// heap allocation — and inherits its source's tracked order; the per-part
+/// buckets of a node are then combined with a k-way ordered merge, so a
+/// shuffle of key-ordered inputs hands the reduce join key-ordered buckets
+/// and the join's merge consumes them without re-sorting.
 fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -> Vec<Relation> {
     match value {
         Intermediate::Global(rel) => relation::hash_partition(rel, attributes, nodes),
         Intermediate::Local(parts) => {
-            // Route every part and concatenate each node's buckets in part
-            // order (same row order as shuffling the concatenated parts).
-            let mut buckets: Option<Vec<Relation>> = None;
+            if parts.is_empty() {
+                return (0..nodes)
+                    .map(|_| Relation::empty(value.schema().to_vec()))
+                    .collect();
+            }
+            // Route every part, then merge each node's per-part buckets by
+            // their shared tracked order (ties resolved in part order, so
+            // the result is deterministic at every thread count).
+            let mut per_node: Vec<Vec<Relation>> = (0..nodes)
+                .map(|_| Vec::with_capacity(parts.len()))
+                .collect();
             for part in parts {
                 let routed = relation::hash_partition(part, attributes, nodes);
-                match &mut buckets {
-                    None => buckets = Some(routed),
-                    Some(acc) => {
-                        for (bucket, part_bucket) in acc.iter_mut().zip(routed) {
-                            bucket.concat(part_bucket);
-                        }
-                    }
+                for (node, bucket) in routed.into_iter().enumerate() {
+                    per_node[node].push(bucket);
                 }
             }
-            buckets.unwrap_or_else(|| {
-                (0..nodes)
-                    .map(|_| Relation::empty(value.schema().to_vec()))
-                    .collect()
-            })
+            per_node.into_iter().map(Relation::merge_ordered).collect()
         }
     }
 }
@@ -377,7 +394,11 @@ impl<'a> ExecState<'a> {
     /// Scans the partition files selected by `spec` and converts the raw
     /// triples to binding rows, applying `extra_conditions` (residual
     /// constants pushed down from an enclosing Filter) and the pattern's own
-    /// repeated-variable equalities. One map task per node.
+    /// repeated-variable equalities. One map task per node. The store scans
+    /// placement-major, so each node's relation starts pre-ordered: it is
+    /// tagged with the index order the interesting-orders pass derived for
+    /// this operator (verified in debug builds), and a scan feeding a join
+    /// on the placement variable needs no re-sort at all.
     fn eval_scan(
         &mut self,
         id: PhysId,
@@ -385,14 +406,26 @@ impl<'a> ExecState<'a> {
         output: &BTreeSet<Variable>,
         extra_conditions: &[FilterCondition],
     ) -> Arc<Intermediate> {
+        let plan = self.plan;
         let store = self.cluster.store();
         let nodes = self.cluster.nodes();
         let schema: Vec<Variable> = output.iter().cloned().collect();
         let binder = TripleBinder::new(spec, &schema);
+        // Columns of the delivered index order. The pass keeps delivered
+        // orders inside the output schema, but truncate at the first missing
+        // variable anyway: a dropped order column breaks ties invisibly, so
+        // claiming the columns after it would be unsound.
+        let order_cols: Vec<usize> = plan
+            .ordering(id)
+            .delivered
+            .iter()
+            .map_while(|v| schema.iter().position(|s| s == v))
+            .collect();
         let tasks: Vec<_> = (0..nodes)
             .map(|node| {
                 let schema = schema.clone();
                 let binder = &binder;
+                let order_cols = &order_cols;
                 move || -> (Relation, u64) {
                     let triples =
                         store.scan_node(node, spec.placement, spec.property, spec.type_object);
@@ -406,9 +439,10 @@ impl<'a> ExecState<'a> {
                             }
                         }
                         if binder.bind(&triple, &mut scratch) {
-                            relation.push_row(&scratch);
+                            relation.push_row_unordered(&scratch);
                         }
                     }
+                    relation.assume_order(SortOrder::by(order_cols.iter().copied()));
                     (relation, scanned)
                 }
             })
@@ -455,7 +489,12 @@ impl<'a> ExecState<'a> {
         attributes: &BTreeSet<Variable>,
         inputs: &[PhysId],
     ) -> Arc<Intermediate> {
+        let plan = self.plan;
         let attrs: Vec<Variable> = attributes.iter().cloned().collect();
+        // The interesting-orders pass picked this operator's output order to
+        // satisfy its consumer; the join sorts only when its natural key
+        // order does not already deliver it.
+        let delivered: &[Variable] = &plan.ordering(id).delivered;
         let evaluated: Vec<Arc<Intermediate>> = inputs.iter().map(|&i| self.input(i)).collect();
         let nodes = self.cluster.nodes();
         let all_local = evaluated
@@ -466,7 +505,7 @@ impl<'a> ExecState<'a> {
             // to a cluster-wide join (well-formed translations never hit it).
             let relations: Vec<Relation> = evaluated.iter().map(|v| v.to_global()).collect();
             let refs: Vec<&Relation> = relations.iter().collect();
-            let joined = Relation::join(&refs, &attrs);
+            let joined = Relation::join_ordered(&refs, &attrs, JoinOrder::Columns(delivered));
             let produced = joined.len() as u64;
             let job = self.job_mut(id);
             job.metrics.join_output_tuples += produced;
@@ -486,7 +525,7 @@ impl<'a> ExecState<'a> {
                             Intermediate::Global(_) => unreachable!("checked above"),
                         })
                         .collect();
-                    Relation::join(&node_inputs, attrs)
+                    Relation::join_ordered(&node_inputs, attrs, JoinOrder::Columns(delivered))
                 }
             })
             .collect();
@@ -532,14 +571,19 @@ impl<'a> ExecState<'a> {
         attributes: &BTreeSet<Variable>,
         inputs: &[PhysId],
     ) -> Arc<Intermediate> {
+        let plan = self.plan;
         let attrs: Vec<Variable> = attributes.iter().cloned().collect();
+        let delivered: &[Variable] = &plan.ordering(id).delivered;
         let evaluated: Vec<Arc<Intermediate>> = inputs.iter().map(|&i| self.input(i)).collect();
         let nodes = self.cluster.nodes();
         let shuffled: u64 = evaluated.iter().map(|v| v.cardinality()).sum();
 
         let phase_started = Instant::now();
         // Shuffle: hash-partition every input's rows on the join attributes,
-        // so all rows agreeing on the key meet on the same node.
+        // so all rows agreeing on the key meet on the same node. Buckets
+        // keep their input's key order (ordered merges, no re-sorting), so
+        // inputs the pass ordered by this join's attributes arrive on the
+        // reduce side pre-sorted.
         let buckets: Vec<Vec<Relation>> = evaluated
             .iter()
             .map(|value| partition_rows(value, &attrs, nodes))
@@ -552,7 +596,7 @@ impl<'a> ExecState<'a> {
                 move || {
                     let node_inputs: Vec<&Relation> =
                         buckets.iter().map(|per_input| &per_input[node]).collect();
-                    Relation::join(&node_inputs, attrs)
+                    Relation::join_ordered(&node_inputs, attrs, JoinOrder::Columns(delivered))
                 }
             })
             .collect();
@@ -571,9 +615,13 @@ impl<'a> ExecState<'a> {
             job.reduce_out[node] += part.len() as u64;
             produced += part.len() as u64;
         }
-        // Merge in node order and canonicalize: identical at every thread
-        // count, and identical to a cluster-wide join of the inputs (a hash
-        // partition on the key never separates joinable rows).
+        // K-way merge of the per-node join outputs by their shared delivered
+        // order (the hash partition gives the nodes disjoint key sets, so
+        // the merge interleaves whole key groups). Deterministic in node
+        // order, so identical at every thread count — and identical to a
+        // cluster-wide join of the inputs (a hash partition on the key never
+        // separates joinable rows). No canonicalization here: the root
+        // performs the single final sort.
         let joined = merge_parts(parts.into_iter());
         job.reduce_wall += phase_started.elapsed().as_secs_f64();
         job.metrics.tuples_shuffled += shuffled;
@@ -887,5 +935,53 @@ mod tests {
         let mut sorted = output.results.clone();
         sorted.canonicalize();
         assert_eq!(sorted, output.results);
+    }
+
+    /// Leaf scans start pre-ordered: a first-level join consumes every scan
+    /// through the tracked-order fast path, so a map-only plan re-sorts no
+    /// join input at all.
+    #[test]
+    fn map_only_plans_resort_no_join_input() {
+        use crate::relation::stats;
+        let cluster = cluster();
+        let query = "SELECT ?x ?d ?e WHERE { ?x ub:worksFor ?d . ?x ub:emailAddress ?e . ?x rdf:type ub:FullProfessor }";
+        let q = parse_query(query).unwrap();
+        let result = Optimizer::with_variant(Variant::Msc).optimize(&q);
+        let logical = result.flattest_plans()[0].clone();
+        let physical = translate(&logical, cluster.graph());
+        assert_eq!(physical.reduce_join_count(), 0, "star query is map-only");
+        stats::reset();
+        let output = Executor::sequential(&cluster).execute(&physical);
+        let after = stats::snapshot();
+        assert!(output.distinct_count() > 0);
+        assert_eq!(
+            after.join_inputs_resorted, 0,
+            "every scan of a first-level join starts in key order"
+        );
+        assert!(after.join_inputs_presorted > 0);
+    }
+
+    /// The interesting-orders pass elides sorts end to end: over the whole
+    /// execution of a two-level plan, requirements satisfied by tracked
+    /// orders outnumber the sorts that actually run.
+    #[test]
+    fn order_propagation_elides_more_sorts_than_it_performs() {
+        use crate::relation::stats;
+        let cluster = cluster();
+        let query = "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }";
+        let q = parse_query(query).unwrap();
+        let result = Optimizer::with_variant(Variant::Msc).optimize(&q);
+        let logical = result.flattest_plans()[0].clone();
+        let physical = translate(&logical, cluster.graph());
+        stats::reset();
+        let output = Executor::sequential(&cluster).execute(&physical);
+        let after = stats::snapshot();
+        assert!(output.distinct_count() > 0);
+        assert!(
+            after.sorts_elided > after.sorts_performed,
+            "elided {} vs performed {}",
+            after.sorts_elided,
+            after.sorts_performed
+        );
     }
 }

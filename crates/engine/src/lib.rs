@@ -51,6 +51,6 @@ pub mod translate;
 pub use cost::{CostEstimate, MapReduceCostModel};
 pub use csq::{Csq, CsqConfig, CsqReport};
 pub use executor::{ExecutionOutput, Executor};
-pub use physical::{PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
-pub use relation::{hash_partition, Relation};
-pub use translate::translate;
+pub use physical::{OpOrdering, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
+pub use relation::{hash_partition, JoinOrder, Relation, SortOrder};
+pub use translate::{interesting_orders, translate};

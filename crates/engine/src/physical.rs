@@ -1,4 +1,9 @@
-//! Physical MapReduce operators and plans (Section 5.2).
+//! Physical MapReduce operators and plans (Section 5.2), plus the ordering
+//! properties attached to every operator by the interesting-orders pass
+//! ([`crate::translate::interesting_orders`]): what ordering each operator's
+//! consumer *requires* and what ordering the operator's output *delivers*.
+//! The executor uses the delivered orders to skip re-sorts between
+//! operators; a sort runs only where required and delivered disagree.
 
 use cliquesquare_rdf::{TermId, TriplePosition};
 use cliquesquare_sparql::{TriplePattern, Variable};
@@ -145,32 +150,79 @@ impl PhysicalOp {
     }
 }
 
-/// A physical plan: a rooted DAG of physical operators.
+/// The ordering properties of one operator's output, computed by the
+/// interesting-orders pass ([`crate::translate::interesting_orders`]).
+///
+/// Orderings are variable sequences: rows sorted lexicographically by the
+/// listed variables' columns, in sequence (the plan-level counterpart of the
+/// relation layer's `SortOrder`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpOrdering {
+    /// The ordering this operator's consumer wants its output in: the
+    /// consuming join's attributes (so the join can merge without
+    /// re-sorting) or the final projection's variable order (so the root
+    /// canonicalization is free). Empty when no consumer cares.
+    pub required: Vec<Variable>,
+    /// The ordering this operator's output actually delivers: the required
+    /// order when the operator has to (or can cheaply) produce it, or its
+    /// natural order — index order for scans, join-key order for joins —
+    /// when that already satisfies the requirement.
+    pub delivered: Vec<Variable>,
+}
+
+impl OpOrdering {
+    /// Returns `true` when the delivered order satisfies the requirement
+    /// (the required variables are a prefix of the delivered sequence).
+    pub fn is_satisfied(&self) -> bool {
+        self.required.len() <= self.delivered.len()
+            && self.delivered[..self.required.len()] == self.required[..]
+    }
+}
+
+/// A physical plan: a rooted DAG of physical operators, each carrying the
+/// ordering properties assigned by the interesting-orders pass.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhysicalPlan {
     ops: Vec<PhysicalOp>,
     root: PhysId,
+    /// Per-operator ordering properties, indexed like `ops`.
+    orders: Vec<OpOrdering>,
 }
 
 impl PhysicalPlan {
-    /// Creates a plan from an operator arena and root id.
+    /// Creates a plan from an operator arena and root id, running the
+    /// interesting-orders pass to attach ordering properties to every
+    /// operator.
     ///
     /// # Panics
     ///
-    /// Panics if any referenced operator id is out of bounds.
+    /// Panics if any referenced operator id is out of bounds, or if the
+    /// arena is not bottom-up (every input must have a smaller id than its
+    /// consumer — the order the executor and the interesting-orders pass
+    /// rely on).
     pub fn new(ops: Vec<PhysicalOp>, root: PhysId) -> Self {
         assert!(root.index() < ops.len(), "root out of bounds");
-        for op in &ops {
+        for (index, op) in ops.iter().enumerate() {
             for input in op.inputs() {
-                assert!(input.index() < ops.len(), "input out of bounds");
+                assert!(
+                    input.index() < index,
+                    "arena not bottom-up: operator {index} consumes input {}",
+                    input.index()
+                );
             }
         }
-        Self { ops, root }
+        let orders = crate::translate::interesting_orders(&ops);
+        Self { ops, root, orders }
     }
 
     /// The root operator id.
     pub fn root(&self) -> PhysId {
         self.root
+    }
+
+    /// The ordering properties of the operator with the given id.
+    pub fn ordering(&self, id: PhysId) -> &OpOrdering {
+        &self.orders[id.index()]
     }
 
     /// The operator with the given id.
@@ -224,21 +276,31 @@ impl PhysicalPlan {
         let indent = "  ".repeat(depth);
         let op = self.op(id);
         let attrs: Vec<String> = op.output().iter().map(ToString::to_string).collect();
+        let ordering = self.ordering(id);
+        let order_note = if ordering.delivered.is_empty() {
+            String::new()
+        } else {
+            let delivered: Vec<String> =
+                ordering.delivered.iter().map(ToString::to_string).collect();
+            format!(" sorted[{}]", delivered.join(","))
+        };
         match op {
             PhysicalOp::MapScan { spec, .. } => {
                 out.push_str(&format!(
-                    "{indent}MapScan t{} [{} placement, {}] -> ({})\n",
+                    "{indent}MapScan t{} [{} placement, {}] -> ({}){}\n",
                     spec.pattern_index,
                     spec.placement,
                     spec.pattern,
-                    attrs.join(",")
+                    attrs.join(","),
+                    order_note
                 ));
             }
             other => {
                 out.push_str(&format!(
-                    "{indent}{} -> ({})\n",
+                    "{indent}{} -> ({}){}\n",
                     other.name(),
-                    attrs.join(",")
+                    attrs.join(","),
+                    order_note
                 ));
                 for input in other.inputs() {
                     self.render_into(input, depth + 1, out);

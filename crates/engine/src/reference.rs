@@ -7,6 +7,12 @@
 //! current binding table over a [`Runtime`]'s OS threads — chunk outputs are
 //! concatenated in chunk order, making the result **bit-identical** to the
 //! sequential evaluation at any thread count.
+//!
+//! The binding table is built with `push_row_unordered` (no per-push order
+//! bookkeeping — intermediate binding order is scan order, which the final
+//! `distinct` re-sorts anyway); the executor's order-elided pipeline is
+//! differentially tested against this evaluator precisely because the two
+//! take entirely different ordering paths to the same answer set.
 
 use crate::relation::Relation;
 use cliquesquare_mapreduce::Runtime;
@@ -70,7 +76,10 @@ impl PatternEval<'_> {
                 .iter()
                 .all(|&(position, slot)| triple.get(position) == scratch[slot]);
             if consistent {
-                out.push_row(scratch);
+                // The binding table is consumed row-at-a-time (and the final
+                // projection re-sorts anyway), so skip the per-push ordering
+                // bookkeeping of `push_row`.
+                out.push_row_unordered(scratch);
             }
         }
     }

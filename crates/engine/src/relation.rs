@@ -7,16 +7,22 @@
 //! joining perform no per-row heap allocation — the [`stats`] counters make
 //! that measurable.
 //!
-//! Relations track whether their rows are in *canonical* (lexicographically
-//! sorted) order. Canonical form is what makes the parallel runtime's output
-//! bit-identical to sequential execution: operators that merge per-node or
-//! per-partition results canonicalize, and downstream consumers
-//! ([`Relation::sorted`], [`Relation::distinct`], [`Relation::union_in_place`])
-//! skip the redundant re-sort when their inputs are already canonical. The
-//! n-ary [`Relation::join`] cashes the same invariant in: inputs whose join
-//! attributes are the leading columns of an already-canonical relation are
-//! merged in place, and every other input pays one column-permuted index
-//! sort — never a hash table, never a key `Vec` per row.
+//! Relations track the ordering their rows are known to satisfy as an
+//! explicit [`SortOrder`] descriptor: the column permutation the rows are
+//! currently sorted by. *Canonical* order (sorted by all columns in schema
+//! order) is the special case used to compare results and deduplicate; the
+//! interesting-orders machinery in `translate`/`executor` mostly works with
+//! **partial** orders — a join only needs its inputs sorted by the key
+//! columns, and a shuffle bucket of a key-ordered input is still key-ordered.
+//! Every consumer of an ordering goes through [`Relation::sort_by_columns`]
+//! (or [`Relation::canonicalize`]), which elides the sort whenever the
+//! tracked order — or a linear verification pass — proves the rows already
+//! ordered; the `sorts_performed` / `sorts_elided` counters in [`stats`]
+//! record which way each requirement went. The n-ary [`Relation::join`]
+//! cashes the same invariant in: inputs whose tracked order has the join
+//! attributes as a prefix are merged in place, and every other input pays
+//! one column-permuted index sort — never a hash table, never a key `Vec`
+//! per row.
 
 use cliquesquare_rdf::TermId;
 use cliquesquare_sparql::Variable;
@@ -24,12 +30,13 @@ use std::cmp::Ordering;
 
 /// Thread-local allocation and throughput counters for the relation layer.
 ///
-/// The counters exist so the flat-buffer claim is *measured*, not asserted:
-/// `row_allocs` counts heap allocations made for an individual row (zero on
-/// every engine path since the columnar refactor), `buffer_allocs` counts
-/// whole-buffer allocations (bounded by the operator count, not the row
-/// count), and the join counters record output volume and which of the two
-/// sort-merge paths each input took.
+/// The counters exist so the flat-buffer and sort-elision claims are
+/// *measured*, not asserted: `row_allocs` counts heap allocations made for
+/// an individual row (zero on every engine path since the columnar
+/// refactor), `buffer_allocs` counts whole-buffer allocations (bounded by
+/// the operator count, not the row count), the join counters record output
+/// volume and which of the two sort-merge paths each input took, and the
+/// `sorts_*` counters record how every ordering requirement was met.
 pub mod stats {
     use std::cell::Cell;
 
@@ -44,11 +51,20 @@ pub mod stats {
         pub buffer_allocs: u64,
         /// Rows produced by [`super::Relation::join`].
         pub join_rows_out: u64,
-        /// Join inputs consumed through the sorted-leading-columns fast path
-        /// (no re-sort needed).
+        /// Join inputs consumed through the tracked-order fast path (the
+        /// join attributes are a prefix of the input's [`super::SortOrder`];
+        /// no re-sort needed).
         pub join_inputs_presorted: u64,
         /// Join inputs that paid the one-shot column-permuted index sort.
         pub join_inputs_resorted: u64,
+        /// Index sorts actually performed: [`super::Relation::canonicalize`]
+        /// / [`super::Relation::sort_by_columns`] calls that had to permute
+        /// rows, plus join-input re-sorts.
+        pub sorts_performed: u64,
+        /// Ordering requirements satisfied *without* sorting: the tracked
+        /// [`super::SortOrder`] (or a linear verification pass) proved the
+        /// rows already ordered.
+        pub sorts_elided: u64,
     }
 
     thread_local! {
@@ -58,6 +74,8 @@ pub mod stats {
             join_rows_out: 0,
             join_inputs_presorted: 0,
             join_inputs_resorted: 0,
+            sorts_performed: 0,
+            sorts_elided: 0,
         }) };
     }
 
@@ -100,6 +118,99 @@ pub mod stats {
             }
         });
     }
+
+    pub(crate) fn count_sort(performed: bool) {
+        update(|s| {
+            if performed {
+                s.sorts_performed += 1;
+            } else {
+                s.sorts_elided += 1;
+            }
+        });
+    }
+}
+
+/// The ordering a relation's rows are known to satisfy: rows are sorted
+/// lexicographically by the listed columns, in sequence. Rows that tie on
+/// every listed column appear in a deterministic but unspecified relative
+/// order, so a descriptor listing **all** columns means equal rows are
+/// adjacent, and the identity permutation means *canonical* order.
+///
+/// An empty descriptor claims nothing ([`SortOrder::none`]); it is always a
+/// safe value — it only costs a re-sort later.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortOrder(Vec<usize>);
+
+impl SortOrder {
+    /// The empty descriptor: no ordering is claimed.
+    pub fn none() -> Self {
+        Self(Vec::new())
+    }
+
+    /// An ordering by the given column sequence. Repeated columns are
+    /// dropped (ordering by an already-listed column adds nothing).
+    pub fn by(columns: impl IntoIterator<Item = usize>) -> Self {
+        let mut cols: Vec<usize> = Vec::new();
+        for c in columns {
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        Self(cols)
+    }
+
+    /// Canonical order: every column in schema position order.
+    pub fn canonical(arity: usize) -> Self {
+        Self((0..arity).collect())
+    }
+
+    /// The column sequence of the descriptor.
+    pub fn columns(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns `true` when no ordering is claimed.
+    pub fn is_none(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns `true` when this is the canonical order of an `arity`-column
+    /// relation (the identity permutation over all columns).
+    pub fn is_canonical(&self, arity: usize) -> bool {
+        self.0.len() == arity && self.0.iter().enumerate().all(|(i, &c)| c == i)
+    }
+
+    /// Returns `true` when rows sorted by this descriptor are also sorted by
+    /// `columns`: the requirement (ignoring columns this order has already
+    /// pinned earlier) must be a prefix of the tracked sequence.
+    pub fn satisfies(&self, columns: &[usize]) -> bool {
+        let mut position = 0usize;
+        for &c in columns {
+            if self.0[..position].contains(&c) {
+                // Already pinned by an earlier column of the requirement:
+                // rows tying up to `position` are equal on `c` too.
+                continue;
+            }
+            if position < self.0.len() && self.0[position] == c {
+                position += 1;
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The longest common prefix of two descriptors (the order a merge of
+    /// two relations can preserve).
+    pub fn shared_prefix<'a>(&'a self, other: &SortOrder) -> &'a [usize] {
+        let n = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .take_while(|(a, b)| a == b)
+            .count();
+        &self.0[..n]
+    }
 }
 
 /// A relation over query variables: a schema plus dictionary-encoded rows in
@@ -114,13 +225,13 @@ pub struct Relation {
     /// Number of rows, tracked explicitly because the arity can be zero
     /// (a relation over no variables still distinguishes 0 rows from 1).
     rows: usize,
-    /// `true` when the rows are known to be lexicographically sorted. Kept
-    /// up to date cheaply on `push_row`/`union_in_place`; `false` is always
-    /// a safe value (it only costs a re-sort later).
-    canonical: bool,
+    /// The ordering the rows are known to satisfy. Kept up to date cheaply
+    /// on `push_row`/`union_in_place`; [`SortOrder::none`] is always a safe
+    /// value (it only costs a re-sort later).
+    order: SortOrder,
 }
 
-/// Equality compares schema and rows; the `canonical` bookkeeping flag is
+/// Equality compares schema and rows; the `order` bookkeeping descriptor is
 /// derived state and must not influence it.
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
@@ -130,7 +241,38 @@ impl PartialEq for Relation {
 
 impl Eq for Relation {}
 
-/// One linear pass checking that a flat buffer's rows are sorted.
+/// Compares two rows by the given column sequence.
+fn cmp_by_columns(a: &[TermId], b: &[TermId], columns: &[usize]) -> Ordering {
+    for &c in columns {
+        match a[c].cmp(&b[c]) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// One linear pass checking that a flat buffer's rows are sorted by the
+/// given column sequence.
+fn sorted_by(data: &[TermId], arity: usize, columns: &[usize]) -> bool {
+    if arity == 0 || columns.is_empty() {
+        return true;
+    }
+    let mut chunks = data.chunks_exact(arity);
+    let Some(mut previous) = chunks.next() else {
+        return true;
+    };
+    for row in chunks {
+        if cmp_by_columns(previous, row, columns) == Ordering::Greater {
+            return false;
+        }
+        previous = row;
+    }
+    true
+}
+
+/// One linear pass checking that a flat buffer's rows are in canonical
+/// (full lexicographic) order.
 fn flat_sorted(data: &[TermId], arity: usize) -> bool {
     if arity == 0 {
         return true;
@@ -177,14 +319,31 @@ impl<'a> Iterator for Rows<'a> {
 
 impl ExactSizeIterator for Rows<'_> {}
 
+/// The output-order requirement of [`Relation::join_ordered`]: what the
+/// join's consumer needs the output sorted by.
+#[derive(Debug, Clone, Copy)]
+pub enum JoinOrder<'a> {
+    /// Fully canonicalize the output (sort by all columns in schema order).
+    /// This is the pre-interesting-orders behaviour and what
+    /// [`Relation::join`] requests.
+    Canonical,
+    /// Keep the natural key-grouped order: the output is sorted by the join
+    /// attributes (in attribute order) and left otherwise untouched.
+    Natural,
+    /// Sort the output by the given variable sequence, eliding the sort when
+    /// the natural key order already delivers it.
+    Columns(&'a [Variable]),
+}
+
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn empty(schema: Vec<Variable>) -> Self {
+        let order = SortOrder::canonical(schema.len());
         Self {
             schema,
             data: Vec::new(),
             rows: 0,
-            canonical: true,
+            order,
         }
     }
 
@@ -195,7 +354,7 @@ impl Relation {
             schema: Vec::new(),
             data: Vec::new(),
             rows: 1,
-            canonical: true,
+            order: SortOrder::canonical(0),
         }
     }
 
@@ -224,8 +383,8 @@ impl Relation {
 
     /// Creates a relation directly from a flat row-major buffer.
     ///
-    /// The canonical flag is computed with one linear pass so downstream
-    /// consumers can still skip redundant sorts.
+    /// The ordering descriptor is computed with one linear canonical-order
+    /// check so downstream consumers can still skip redundant sorts.
     ///
     /// # Panics
     ///
@@ -244,12 +403,16 @@ impl Relation {
             );
             data.len() / arity
         };
-        let canonical = flat_sorted(&data, arity);
+        let order = if flat_sorted(&data, arity) {
+            SortOrder::canonical(arity)
+        } else {
+            SortOrder::none()
+        };
         Self {
             schema,
             data,
             rows,
-            canonical,
+            order,
         }
     }
 
@@ -300,15 +463,32 @@ impl Relation {
         self.rows == 0
     }
 
+    /// The ordering the rows are known to satisfy.
+    pub fn order(&self) -> &SortOrder {
+        &self.order
+    }
+
     /// Returns `true` if the rows are known to be in canonical (sorted)
     /// order.
     pub fn is_canonical(&self) -> bool {
-        self.canonical
+        self.order.is_canonical(self.schema.len())
+    }
+
+    /// Declares the ordering the rows are known to satisfy. The caller
+    /// guarantees the claim (a producer that emitted rows in a known order,
+    /// e.g. an index scan); it is verified in debug builds.
+    pub fn assume_order(&mut self, order: SortOrder) {
+        debug_assert!(
+            sorted_by(&self.data, self.schema.len(), order.columns()),
+            "assumed order {:?} not satisfied",
+            order
+        );
+        self.order = order;
     }
 
     /// Appends a row by copying it into the flat buffer, keeping the
-    /// canonical flag accurate: appending a row that is `>=` the current
-    /// last row preserves sortedness.
+    /// ordering descriptor accurate: appending a row that compares `>=` the
+    /// current last row under the tracked order preserves it.
     ///
     /// # Panics
     ///
@@ -316,11 +496,29 @@ impl Relation {
     pub fn push_row(&mut self, row: &[TermId]) {
         let arity = self.schema.len();
         assert_eq!(row.len(), arity, "row arity mismatch");
-        if self.canonical && self.rows > 0 {
+        if self.rows > 0 && !self.order.is_none() {
             let last = &self.data[(self.rows - 1) * arity..];
-            if last > row {
-                self.canonical = false;
+            if cmp_by_columns(last, row, self.order.columns()) == Ordering::Greater {
+                self.order = SortOrder::none();
             }
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Appends a row *without* maintaining the ordering descriptor (the
+    /// relation's order becomes [`SortOrder::none`]). Producers that emit
+    /// rows in an order they already know — index scans, the reference
+    /// evaluator's chunk loop — use this to skip the per-push comparison and
+    /// re-establish the descriptor once with [`Relation::assume_order`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the schema's.
+    pub fn push_row_unordered(&mut self, row: &[TermId]) {
+        assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+        if !self.order.is_none() {
+            self.order = SortOrder::none();
         }
         self.data.extend_from_slice(row);
         self.rows += 1;
@@ -331,28 +529,18 @@ impl Relation {
         self.schema.iter().position(|v| v == variable)
     }
 
-    /// Sorts the rows into canonical order (no-op when already canonical;
-    /// one verification pass rescues almost-sorted buffers from the sort).
+    /// Sorts the rows into canonical order (elided when the tracked order is
+    /// already canonical; one verification pass rescues almost-sorted
+    /// buffers from the sort).
     pub fn canonicalize(&mut self) {
         let arity = self.schema.len();
-        if !self.canonical {
-            if flat_sorted(&self.data, arity) {
-                self.canonical = true;
-            } else {
-                // Index sort + one permuted copy: two buffer allocations,
-                // zero per-row allocations.
-                assert!(self.rows <= u32::MAX as usize, "relation too large");
-                stats::count_buffer_alloc();
-                let mut order: Vec<u32> = (0..self.rows as u32).collect();
-                order.sort_unstable_by(|&a, &b| self.row(a as usize).cmp(self.row(b as usize)));
-                stats::count_buffer_alloc();
-                let mut sorted: Vec<TermId> = Vec::with_capacity(self.data.len());
-                for &i in &order {
-                    sorted.extend_from_slice(self.row(i as usize));
-                }
-                self.data = sorted;
-                self.canonical = true;
-            }
+        if self.order.is_canonical(arity) {
+            stats::count_sort(false);
+        } else if flat_sorted(&self.data, arity) {
+            self.order = SortOrder::canonical(arity);
+            stats::count_sort(false);
+        } else {
+            self.sort_now(SortOrder::canonical(arity));
         }
         debug_assert!(
             flat_sorted(&self.data, arity),
@@ -360,11 +548,49 @@ impl Relation {
         );
     }
 
+    /// Ensures the rows are sorted by the given column sequence, eliding the
+    /// sort when the tracked order (or a linear verification pass) proves
+    /// them already ordered. The outcome is recorded in the
+    /// `sorts_performed` / `sorts_elided` counters of [`stats`].
+    pub fn sort_by_columns(&mut self, columns: &[usize]) {
+        let order = SortOrder::by(columns.iter().copied());
+        if self.order.satisfies(order.columns()) {
+            stats::count_sort(false);
+            return;
+        }
+        if sorted_by(&self.data, self.schema.len(), order.columns()) {
+            self.order = order;
+            stats::count_sort(false);
+            return;
+        }
+        self.sort_now(order);
+    }
+
+    /// Index sort + one permuted copy by the given order: two buffer
+    /// allocations, zero per-row allocations.
+    fn sort_now(&mut self, order: SortOrder) {
+        assert!(self.rows <= u32::MAX as usize, "relation too large");
+        stats::count_buffer_alloc();
+        let mut permutation: Vec<u32> = (0..self.rows as u32).collect();
+        permutation.sort_unstable_by(|&a, &b| {
+            cmp_by_columns(self.row(a as usize), self.row(b as usize), order.columns())
+        });
+        stats::count_buffer_alloc();
+        let mut sorted: Vec<TermId> = Vec::with_capacity(self.data.len());
+        for &i in &permutation {
+            sorted.extend_from_slice(self.row(i as usize));
+        }
+        self.data = sorted;
+        self.order = order;
+        stats::count_sort(true);
+    }
+
     /// Combines another relation with the *same schema* into this one.
     ///
-    /// When both sides are canonical the flat buffers are merged (linear
-    /// time) and the result stays canonical; otherwise the buffers are
-    /// concatenated and the result is marked non-canonical.
+    /// When the two orders share a prefix, the flat buffers are merged by
+    /// that prefix (linear time, ties go to `self`'s rows) and the result
+    /// stays ordered by it; otherwise the buffers are concatenated and the
+    /// result's order is dropped.
     ///
     /// # Panics
     ///
@@ -374,51 +600,85 @@ impl Relation {
         if self.rows == 0 {
             self.data = other.data;
             self.rows = other.rows;
-            self.canonical = other.canonical;
+            self.order = other.order;
             return;
         }
         if other.rows == 0 {
             return;
         }
         let arity = self.schema.len();
-        if self.canonical && other.canonical {
-            if arity == 0 {
-                self.rows += other.rows;
-                return;
-            }
-            let left = std::mem::take(&mut self.data);
-            let right = other.data;
-            stats::count_buffer_alloc();
-            let mut merged: Vec<TermId> = Vec::with_capacity(left.len() + right.len());
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < left.len() && j < right.len() {
-                if left[i..i + arity] <= right[j..j + arity] {
-                    merged.extend_from_slice(&left[i..i + arity]);
-                    i += arity;
-                } else {
-                    merged.extend_from_slice(&right[j..j + arity]);
-                    j += arity;
-                }
-            }
-            merged.extend_from_slice(&left[i..]);
-            merged.extend_from_slice(&right[j..]);
-            debug_assert!(
-                flat_sorted(&merged, arity),
-                "merge of canonical inputs not canonical"
-            );
-            self.data = merged;
+        if arity == 0 {
             self.rows += other.rows;
-        } else {
+            return;
+        }
+        let shared = self.order.shared_prefix(&other.order);
+        if shared.is_empty() {
             self.data.extend_from_slice(&other.data);
             self.rows += other.rows;
-            self.canonical = false;
+            self.order = SortOrder::none();
+            return;
         }
+        let shared = shared.to_vec();
+        let left = std::mem::take(&mut self.data);
+        let right = other.data;
+        stats::count_buffer_alloc();
+        let mut merged: Vec<TermId> = Vec::with_capacity(left.len() + right.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            if cmp_by_columns(&left[i..i + arity], &right[j..j + arity], &shared)
+                != Ordering::Greater
+            {
+                merged.extend_from_slice(&left[i..i + arity]);
+                i += arity;
+            } else {
+                merged.extend_from_slice(&right[j..j + arity]);
+                j += arity;
+            }
+        }
+        merged.extend_from_slice(&left[i..]);
+        merged.extend_from_slice(&right[j..]);
+        debug_assert!(
+            sorted_by(&merged, arity, &shared),
+            "merge of ordered inputs lost the shared order"
+        );
+        self.data = merged;
+        self.rows += other.rows;
+        self.order = SortOrder::by(shared);
+    }
+
+    /// Merges relations with identical schemas into one, interleaving rows
+    /// by the ordering prefixes the inputs share: a k-way ordered merge,
+    /// implemented as a balanced tree of two-way [`Relation::union_in_place`]
+    /// merges (`⌈log₂ k⌉` linear passes — one comparison per row per level,
+    /// instead of `k` comparisons per row for a naive k-way scan). Ties are
+    /// resolved toward the earliest input and rows of one input keep their
+    /// relative order, so the result is deterministic in the input order;
+    /// inputs sharing no order are concatenated. This is how the executor
+    /// combines per-node parts and shuffle buckets without re-sorting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the schemas differ.
+    pub fn merge_ordered(mut parts: Vec<Relation>) -> Relation {
+        assert!(!parts.is_empty(), "merge_ordered needs at least one input");
+        while parts.len() > 1 {
+            let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+            let mut iter = parts.into_iter();
+            while let Some(mut first) = iter.next() {
+                if let Some(second) = iter.next() {
+                    first.union_in_place(second);
+                }
+                next.push(first);
+            }
+            parts = next;
+        }
+        parts.pop().expect("at least one part")
     }
 
     /// Appends another relation's rows (same schema) in concatenation
-    /// order, without the sorted merge of [`Relation::union_in_place`].
-    /// The canonical flag stays exact: the result is canonical only when
-    /// both inputs are and the boundary rows are ordered.
+    /// order, without the ordered merge of [`Relation::union_in_place`].
+    /// The ordering descriptor stays exact: the result keeps the orders'
+    /// shared prefix only when the boundary rows are ordered by it.
     ///
     /// # Panics
     ///
@@ -431,15 +691,28 @@ impl Relation {
         if self.rows == 0 {
             self.data = other.data;
             self.rows = other.rows;
-            self.canonical = other.canonical;
+            self.order = other.order;
             return;
         }
         let arity = self.schema.len();
-        self.canonical = self.canonical
-            && other.canonical
-            && (arity == 0 || self.data[(self.rows - 1) * arity..] <= other.data[..arity]);
+        if arity == 0 {
+            self.rows += other.rows;
+            return;
+        }
+        let shared = self.order.shared_prefix(&other.order).to_vec();
+        let ordered = !shared.is_empty()
+            && cmp_by_columns(
+                &self.data[(self.rows - 1) * arity..],
+                &other.data[..arity],
+                &shared,
+            ) != Ordering::Greater;
         self.data.extend_from_slice(&other.data);
         self.rows += other.rows;
+        self.order = if ordered {
+            SortOrder::by(shared)
+        } else {
+            SortOrder::none()
+        };
     }
 
     /// Projects the relation onto `variables` (dropping duplicates of rows is
@@ -454,27 +727,32 @@ impl Relation {
         let arity = kept.len();
         stats::count_buffer_alloc();
         let mut data: Vec<TermId> = Vec::with_capacity(arity * self.rows);
-        // Projection drops / reorders columns, so sortedness of the input
-        // does not carry over in general; track it while emitting so that
-        // downstream `distinct` calls can skip their sort.
-        let mut canonical = true;
-        for (index, row) in self.rows().enumerate() {
+        for row in self.rows() {
             for &c in &columns {
                 data.push(row[c]);
             }
-            if canonical && index > 0 {
-                let here = (index) * arity;
-                if data[here - arity..here] > data[here..] {
-                    canonical = false;
-                }
+        }
+        // Ordering survives projection as the longest prefix of the tracked
+        // order whose columns are all kept (a dropped column breaks ties in
+        // a way the output can no longer see).
+        let mut order_columns: Vec<usize> = Vec::new();
+        for &c in self.order.columns() {
+            match columns.iter().position(|&kept_col| kept_col == c) {
+                Some(out_col) => order_columns.push(out_col),
+                None => break,
             }
         }
-        Relation {
+        let out = Relation {
             schema: kept,
             data,
             rows: self.rows,
-            canonical,
-        }
+            order: SortOrder::by(order_columns),
+        };
+        debug_assert!(
+            sorted_by(&out.data, arity, out.order.columns()),
+            "projection lost the inherited order"
+        );
+        out
     }
 
     /// Sorts rows lexicographically (used to compare results in tests).
@@ -515,16 +793,17 @@ impl Relation {
     }
 
     /// Number of distinct rows, without consuming or cloning the relation
-    /// when it is already canonical.
+    /// when its tracked order covers every column (any full column
+    /// permutation puts equal rows next to each other).
     pub fn distinct_len(&self) -> usize {
         let arity = self.schema.len();
         if arity == 0 {
             return self.rows.min(1);
         }
-        if self.canonical {
+        if self.order.columns().len() == arity {
             debug_assert!(
-                flat_sorted(&self.data, arity),
-                "canonical relation not sorted"
+                sorted_by(&self.data, arity, self.order.columns()),
+                "tracked order not satisfied"
             );
             let duplicates = (1..self.rows)
                 .filter(|&i| {
@@ -537,21 +816,37 @@ impl Relation {
         }
     }
 
+    /// N-ary **sort-merge** join of `inputs` on the shared `attributes`,
+    /// with the output fully canonicalized. Equivalent to
+    /// [`Relation::join_ordered`] with [`JoinOrder::Canonical`].
+    pub fn join(inputs: &[&Relation], attributes: &[Variable]) -> Relation {
+        Self::join_ordered(inputs, attributes, JoinOrder::Canonical)
+    }
+
     /// N-ary **sort-merge** join of `inputs` on the shared `attributes`.
     ///
     /// The output schema is the union of the input schemas in input order
     /// (join attributes appear once). This mirrors the logical `J_A`
     /// operator: every input must contain every join attribute.
     ///
-    /// Each input is walked in key order: an already-canonical input whose
-    /// join attributes are its leading columns (in attribute order) is
-    /// consumed as-is, and any other input pays one column-permuted index
-    /// sort — no hash table and no per-row key allocation on either path.
-    /// Matching key groups are combined with a cross product that writes
-    /// into one reused scratch row, rejecting combinations that disagree on
-    /// shared non-join attributes. The output is canonicalized (sorted), so
-    /// join results are deterministic and bit-identical at any thread count.
-    pub fn join(inputs: &[&Relation], attributes: &[Variable]) -> Relation {
+    /// Each input is walked in key order: an input whose tracked
+    /// [`SortOrder`] has the join attributes as a prefix is consumed as-is,
+    /// and any other input pays one column-permuted index sort — no hash
+    /// table and no per-row key allocation on either path. Matching key
+    /// groups are combined with a cross product that writes into one reused
+    /// scratch row, rejecting combinations that disagree on shared non-join
+    /// attributes.
+    ///
+    /// The merge emits key groups in ascending key order, so the raw output
+    /// is sorted by the join attributes; `output_order` then decides how
+    /// much more ordering the consumer needs — sorting is elided whenever
+    /// the natural key order already satisfies it. All paths are
+    /// deterministic, so join results are bit-identical at any thread count.
+    pub fn join_ordered(
+        inputs: &[&Relation],
+        attributes: &[Variable],
+        output_order: JoinOrder<'_>,
+    ) -> Relation {
         assert!(!inputs.is_empty(), "join needs at least one input");
         // Output schema: union of schemas, first occurrence wins.
         let mut schema: Vec<Variable> = Vec::new();
@@ -563,15 +858,16 @@ impl Relation {
             }
         }
         if inputs.len() == 1 {
-            // Single input: the join is the identity (canonicalized).
+            // Single input: the join is the identity (finalized to the
+            // requested order).
             stats::count_buffer_alloc();
             let mut out = Relation {
                 schema,
                 data: inputs[0].data.clone(),
                 rows: inputs[0].rows,
-                canonical: inputs[0].canonical,
+                order: inputs[0].order.clone(),
             };
-            out.canonicalize();
+            finalize_join_order(&mut out, output_order);
             stats::count_join_rows(out.rows as u64);
             return out;
         }
@@ -675,9 +971,29 @@ impl Relation {
                 break 'merge;
             }
         }
-        out.canonicalize();
+        // Key groups were emitted in ascending key order: the output is
+        // sorted by the join attributes' output columns.
+        let natural = SortOrder::by(
+            attributes
+                .iter()
+                .map(|a| out.column(a).expect("join attribute in output schema")),
+        );
+        out.assume_order(natural);
+        finalize_join_order(&mut out, output_order);
         stats::count_join_rows(out.rows as u64);
         out
+    }
+}
+
+/// Applies a [`JoinOrder`] requirement to a finished join output.
+fn finalize_join_order(out: &mut Relation, output_order: JoinOrder<'_>) {
+    match output_order {
+        JoinOrder::Canonical => out.canonicalize(),
+        JoinOrder::Natural => {}
+        JoinOrder::Columns(variables) => {
+            let columns: Vec<usize> = variables.iter().filter_map(|v| out.column(v)).collect();
+            out.sort_by_columns(&columns);
+        }
     }
 }
 
@@ -686,9 +1002,9 @@ struct InputView<'r> {
     rel: &'r Relation,
     /// Column of each join attribute in the input's schema.
     key_cols: Vec<usize>,
-    /// Row visit order: `None` when the relation is canonical and the join
-    /// attributes are its leading columns (rows are already key-sorted);
-    /// otherwise the one-shot column-permuted index sort.
+    /// Row visit order: `None` when the relation's tracked order has the
+    /// join attributes as a prefix (rows are already key-sorted); otherwise
+    /// the one-shot column-permuted index sort.
     order: Option<Vec<u32>>,
 }
 
@@ -701,12 +1017,9 @@ impl<'r> InputView<'r> {
                     .unwrap_or_else(|| panic!("join attribute {a} missing from input"))
             })
             .collect();
-        let presorted = rel.is_canonical()
-            && key_cols
-                .iter()
-                .enumerate()
-                .all(|(position, &column)| column == position);
+        let presorted = rel.order().satisfies(&key_cols);
         stats::count_join_input(presorted);
+        stats::count_sort(!presorted);
         let order = if presorted {
             None
         } else {
@@ -760,7 +1073,8 @@ fn cmp_keys(a: &InputView<'_>, apos: usize, b: &InputView<'_>, bpos: usize) -> O
 /// Emits the cross product of the aligned key groups `[cursors[i], ends[i])`
 /// into `out`, writing every combination into the single reused `scratch`
 /// row. Combinations that disagree on a shared non-join attribute are
-/// rejected before recursing further.
+/// rejected before recursing further. Rows are appended to the raw buffer;
+/// the caller re-establishes the output's ordering descriptor afterwards.
 #[allow(clippy::too_many_arguments)]
 fn emit_groups(
     views: &[InputView<'_>],
@@ -775,7 +1089,6 @@ fn emit_groups(
     if depth == views.len() {
         out.data.extend_from_slice(scratch);
         out.rows += 1;
-        out.canonical = false;
         return;
     }
     'rows: for pos in cursors[depth]..ends[depth] {
@@ -803,18 +1116,22 @@ fn emit_groups(
 
 /// Hash-partitions a relation's rows into `nodes` buckets on the given
 /// attributes (the simulated shuffle's routing step), building each bucket's
-/// flat buffer directly — zero per-row heap allocations.
+/// flat buffer directly — zero per-row heap allocations. Each bucket is
+/// reserved at the expected per-node share of the input rows up front, so
+/// routing does not grow buckets incrementally from zero.
 ///
 /// The hash is deterministic (FNV-1a over the key columns), so rows are
 /// routed identically on every run and at every thread count. Rows are
 /// appended to their bucket in input order, which preserves the relative
-/// order (and thus sortedness) of any sorted input.
+/// order of the input — every bucket inherits the input's tracked
+/// [`SortOrder`].
 ///
 /// # Panics
 ///
 /// Panics if an attribute is missing from the relation's schema.
 pub fn hash_partition(relation: &Relation, attributes: &[Variable], nodes: usize) -> Vec<Relation> {
     let nodes = nodes.max(1);
+    let arity = relation.arity();
     let columns: Vec<usize> = attributes
         .iter()
         .map(|a| {
@@ -823,7 +1140,16 @@ pub fn hash_partition(relation: &Relation, attributes: &[Variable], nodes: usize
                 .unwrap_or_else(|| panic!("shuffle attribute {a} missing from input"))
         })
         .collect();
-    let mut buffers: Vec<Vec<TermId>> = (0..nodes).map(|_| Vec::new()).collect();
+    // Reserve each bucket at the expected share of the input rows (hash
+    // routing is close to uniform, so this removes almost all growth
+    // reallocations without over-committing memory on skew).
+    let expected = relation.len().div_ceil(nodes) * arity;
+    let mut buffers: Vec<Vec<TermId>> = (0..nodes)
+        .map(|_| {
+            stats::count_buffer_alloc();
+            Vec::with_capacity(expected)
+        })
+        .collect();
     // Row counts are tracked explicitly so zero-arity rows (empty key, empty
     // payload) are routed like any other row instead of vanishing.
     let mut counts = vec![0usize; nodes];
@@ -836,14 +1162,17 @@ pub fn hash_partition(relation: &Relation, attributes: &[Variable], nodes: usize
         .into_iter()
         .zip(counts)
         .map(|(data, rows)| {
-            stats::count_buffer_alloc();
-            let canonical = flat_sorted(&data, relation.arity());
-            Relation {
+            let out = Relation {
                 schema: relation.schema().to_vec(),
                 data,
                 rows,
-                canonical,
-            }
+                order: relation.order.clone(),
+            };
+            debug_assert!(
+                sorted_by(out.data(), arity, out.order.columns()),
+                "bucket lost the input's order"
+            );
+            out
         })
         .collect()
 }
@@ -936,6 +1265,84 @@ mod tests {
     }
 
     #[test]
+    fn sort_order_prefix_reasoning() {
+        let order = SortOrder::by([2, 0, 1]);
+        assert!(order.satisfies(&[]));
+        assert!(order.satisfies(&[2]));
+        assert!(order.satisfies(&[2, 0]));
+        assert!(order.satisfies(&[2, 0, 1]));
+        assert!(!order.satisfies(&[0]));
+        assert!(!order.satisfies(&[2, 1]));
+        // A column the order already pinned earlier is skipped.
+        assert!(order.satisfies(&[2, 2, 0]));
+        assert!(order.satisfies(&[2, 0, 2, 1]));
+        // Requirements longer than the tracked order fail.
+        assert!(!SortOrder::by([2]).satisfies(&[2, 0]));
+        // Canonical checks.
+        assert!(SortOrder::canonical(3).is_canonical(3));
+        assert!(!SortOrder::by([0, 1]).is_canonical(3));
+        assert!(!SortOrder::by([1, 0, 2]).is_canonical(3));
+        assert!(SortOrder::none().is_none());
+        // Shared prefixes.
+        assert_eq!(
+            SortOrder::by([2, 0, 1]).shared_prefix(&SortOrder::by([2, 0])),
+            &[2, 0]
+        );
+        assert_eq!(
+            SortOrder::by([1, 0]).shared_prefix(&SortOrder::by([0, 1])),
+            &[] as &[usize]
+        );
+        // `by` deduplicates.
+        assert_eq!(SortOrder::by([1, 1, 0, 1]).columns(), &[1, 0]);
+    }
+
+    #[test]
+    fn sort_by_columns_elides_satisfied_requirements() {
+        let mut r = rel(&["a", "b"], &[&[1, 9], &[2, 5], &[3, 7]]);
+        assert!(r.is_canonical());
+        stats::reset();
+        r.sort_by_columns(&[0]);
+        assert_eq!(stats::snapshot().sorts_elided, 1);
+        assert_eq!(stats::snapshot().sorts_performed, 0);
+        // Sorting by b permutes the rows and retags the order.
+        r.sort_by_columns(&[1]);
+        assert_eq!(stats::snapshot().sorts_performed, 1);
+        assert_eq!(r.order().columns(), &[1]);
+        assert!(!r.is_canonical());
+        let b_values: Vec<u32> = r.rows().map(|row| row[1].0).collect();
+        assert_eq!(b_values, vec![5, 7, 9]);
+        // The new order now satisfies a [1]-prefix requirement.
+        r.sort_by_columns(&[1]);
+        assert_eq!(stats::snapshot().sorts_performed, 1);
+        assert_eq!(stats::snapshot().sorts_elided, 2);
+    }
+
+    #[test]
+    fn sort_by_columns_rescues_accidentally_ordered_rows() {
+        // Built unordered (descending pushes), but ascending on column 1.
+        let mut r = Relation::empty(vec![v("a"), v("b")]);
+        r.push_row(&[t(9), t(1)]);
+        r.push_row(&[t(5), t(2)]);
+        assert!(r.order().is_none());
+        stats::reset();
+        r.sort_by_columns(&[1]);
+        assert_eq!(stats::snapshot().sorts_elided, 1);
+        assert_eq!(stats::snapshot().sorts_performed, 0);
+        assert_eq!(r.order().columns(), &[1]);
+    }
+
+    #[test]
+    fn assume_order_and_unordered_pushes() {
+        let mut r = Relation::empty(vec![v("a"), v("b")]);
+        // Rows ascending on column 1, not on column 0.
+        r.push_row_unordered(&[t(9), t(1)]);
+        r.push_row_unordered(&[t(5), t(2)]);
+        assert!(r.order().is_none());
+        r.assume_order(SortOrder::by([1]));
+        assert!(r.order().satisfies(&[1]));
+    }
+
+    #[test]
     fn binary_join_on_one_attribute() {
         let left = rel(&["a", "x"], &[&[1, 10], &[2, 20], &[3, 10]]);
         let right = rel(&["x", "b"], &[&[10, 100], &[20, 200], &[30, 300]]);
@@ -1011,6 +1418,45 @@ mod tests {
     }
 
     #[test]
+    fn join_ordered_natural_keeps_key_order() {
+        let left = rel(&["a", "x"], &[&[9, 10], &[2, 20], &[3, 10]]);
+        let right = rel(&["x", "b"], &[&[10, 100], &[20, 200]]);
+        let joined = Relation::join_ordered(&[&left, &right], &[v("x")], JoinOrder::Natural);
+        // Output schema [a, x, b]: sorted by the key column x (= column 1),
+        // not canonicalized.
+        assert_eq!(joined.order().columns(), &[1]);
+        assert!(joined.order().satisfies(&[1]));
+        let keys: Vec<u32> = joined.rows().map(|row| row[1].0).collect();
+        assert_eq!(keys, vec![10, 10, 20]);
+        // Same rows as the canonical join, different order.
+        let canonical = Relation::join(&[&left, &right], &[v("x")]);
+        assert_eq!(joined.sorted(), canonical);
+    }
+
+    #[test]
+    fn join_ordered_columns_sorts_by_the_requirement() {
+        let left = rel(&["a", "x"], &[&[9, 10], &[2, 20], &[3, 10]]);
+        let right = rel(&["x", "b"], &[&[10, 100], &[20, 200]]);
+        stats::reset();
+        let joined =
+            Relation::join_ordered(&[&left, &right], &[v("x")], JoinOrder::Columns(&[v("a")]));
+        let a_values: Vec<u32> = joined.rows().map(|row| row[0].0).collect();
+        assert_eq!(a_values, vec![2, 3, 9]);
+        assert!(joined.order().satisfies(&[0]));
+
+        // A requirement the natural key order already satisfies is elided.
+        stats::reset();
+        let by_key =
+            Relation::join_ordered(&[&left, &right], &[v("x")], JoinOrder::Columns(&[v("x")]));
+        assert!(by_key.order().satisfies(&[1]));
+        let after = stats::snapshot();
+        assert_eq!(
+            after.sorts_performed, 1,
+            "only the left input's key re-sort runs; the output sort is elided"
+        );
+    }
+
+    #[test]
     fn join_with_no_attributes_is_a_cross_product() {
         let left = rel(&["a"], &[&[1], &[2]]);
         let right = rel(&["b"], &[&[7], &[8], &[9]]);
@@ -1040,6 +1486,24 @@ mod tests {
         let after = stats::snapshot();
         assert_eq!(after.join_inputs_presorted, 1);
         assert_eq!(after.join_inputs_resorted, 1);
+    }
+
+    #[test]
+    fn join_accepts_any_tracked_key_prefix_order() {
+        // Key `x` trailing in the schema, but the rows are *tracked* as
+        // sorted by x — the fast path must accept them without a re-sort.
+        let mut left = Relation::empty(vec![v("a"), v("x")]);
+        left.push_row_unordered(&[t(30), t(1)]);
+        left.push_row_unordered(&[t(10), t(2)]);
+        left.assume_order(SortOrder::by([1]));
+        let right = rel(&["x", "b"], &[&[1, 5], &[2, 6]]);
+        stats::reset();
+        let joined = Relation::join_ordered(&[&left, &right], &[v("x")], JoinOrder::Natural);
+        assert_eq!(joined.len(), 2);
+        let after = stats::snapshot();
+        assert_eq!(after.join_inputs_presorted, 2);
+        assert_eq!(after.join_inputs_resorted, 0);
+        assert_eq!(after.sorts_performed, 0);
     }
 
     #[test]
@@ -1097,6 +1561,53 @@ mod tests {
     }
 
     #[test]
+    fn hash_partition_buckets_inherit_partial_orders() {
+        // Tracked order [1] (sorted by x in trailing position).
+        let mut r = Relation::empty(vec![v("a"), v("x")]);
+        for i in 0..16u32 {
+            r.push_row_unordered(&[t(100 - i), t(i)]);
+        }
+        r.assume_order(SortOrder::by([1]));
+        for bucket in hash_partition(&r, &[v("x")], 4) {
+            assert_eq!(bucket.order().columns(), &[1]);
+        }
+    }
+
+    #[test]
+    fn merge_ordered_interleaves_by_the_shared_order() {
+        // Every part is sorted by x only (column 0), not canonically.
+        let part = |rows: &[[u32; 2]]| {
+            let mut r = Relation::empty(vec![v("x"), v("p")]);
+            for row in rows {
+                r.push_row_unordered(&[t(row[0]), t(row[1])]);
+            }
+            r.assume_order(SortOrder::by([0]));
+            r
+        };
+        let a = part(&[[1, 9], [4, 2]]);
+        let b = part(&[[2, 1], [3, 8]]);
+        let c = part(&[[4, 1]]);
+        let merged = Relation::merge_ordered(vec![a, b, c]);
+        assert_eq!(merged.order().columns(), &[0]);
+        let xs: Vec<u32> = merged.rows().map(|row| row[0].0).collect();
+        assert_eq!(xs, vec![1, 2, 3, 4, 4]);
+        // Ties on the shared order go to the earlier input.
+        assert_eq!(merged.row(3), &[t(4), t(2)]);
+        assert_eq!(merged.row(4), &[t(4), t(1)]);
+    }
+
+    #[test]
+    fn merge_ordered_concatenates_unrelated_orders() {
+        let a = rel(&["x"], &[&[3], &[1]]); // unordered
+        let b = rel(&["x"], &[&[2], &[4]]);
+        assert!(a.order().is_none());
+        let merged = Relation::merge_ordered(vec![a, b]);
+        assert!(merged.order().is_none());
+        let xs: Vec<u32> = merged.rows().map(|row| row[0].0).collect();
+        assert_eq!(xs, vec![3, 1, 2, 4]);
+    }
+
+    #[test]
     fn project_and_distinct() {
         let r = rel(&["a", "b", "c"], &[&[1, 2, 3], &[1, 2, 4], &[5, 6, 7]]);
         let projected = r.project(&[v("a"), v("b")]);
@@ -1106,6 +1617,24 @@ mod tests {
         // Projecting onto an absent variable silently drops it.
         let narrowed = r.project(&[v("a"), v("z")]);
         assert_eq!(narrowed.schema(), &[v("a")]);
+    }
+
+    #[test]
+    fn project_inherits_the_surviving_order_prefix() {
+        let r = rel(&["a", "b", "c"], &[&[1, 2, 3], &[1, 2, 4], &[5, 6, 7]]);
+        assert!(r.is_canonical());
+        // Keeping a leading prefix keeps canonical order.
+        let leading = r.project(&[v("a"), v("b")]);
+        assert!(leading.is_canonical());
+        // Reordering the kept columns yields a full (but non-canonical)
+        // permutation order — distinct_len can still count in place.
+        let reordered = r.project(&[v("b"), v("a")]);
+        assert_eq!(reordered.order().columns(), &[1, 0]);
+        assert!(!reordered.is_canonical());
+        assert_eq!(reordered.distinct_len(), 2);
+        // Dropping the first order column severs the inherited order.
+        let severed = r.project(&[v("b"), v("c")]);
+        assert!(severed.order().is_none());
     }
 
     #[test]
@@ -1134,6 +1663,26 @@ mod tests {
         assert!(a.is_canonical());
         let values: Vec<u32> = a.rows().map(|r| r[0].0).collect();
         assert_eq!(values, vec![1, 2, 4, 4, 7, 9]);
+    }
+
+    #[test]
+    fn union_merges_by_the_shared_order_prefix() {
+        // Both sides sorted by the trailing column only.
+        let mut a = Relation::empty(vec![v("a"), v("x")]);
+        a.push_row_unordered(&[t(9), t(1)]);
+        a.push_row_unordered(&[t(1), t(5)]);
+        a.assume_order(SortOrder::by([1]));
+        let mut b = Relation::empty(vec![v("a"), v("x")]);
+        b.push_row_unordered(&[t(7), t(2)]);
+        b.push_row_unordered(&[t(2), t(5)]);
+        b.assume_order(SortOrder::by([1]));
+        a.union_in_place(b);
+        assert_eq!(a.order().columns(), &[1]);
+        let xs: Vec<u32> = a.rows().map(|row| row[1].0).collect();
+        assert_eq!(xs, vec![1, 2, 5, 5]);
+        // The tie on x = 5 keeps `self`'s row first.
+        assert_eq!(a.row(2), &[t(1), t(5)]);
+        assert_eq!(a.row(3), &[t(2), t(5)]);
     }
 
     #[test]
@@ -1173,11 +1722,12 @@ mod tests {
     }
 
     #[test]
-    fn equality_ignores_canonical_flag() {
+    fn equality_ignores_the_order_descriptor() {
         let sorted = rel(&["x"], &[&[1], &[2]]);
         let mut pushed = Relation::empty(vec![v("x")]);
-        pushed.push_row(&[t(1)]);
-        pushed.push_row(&[t(2)]);
+        pushed.push_row_unordered(&[t(1)]);
+        pushed.push_row_unordered(&[t(2)]);
+        assert!(pushed.order().is_none());
         assert_eq!(sorted, pushed);
     }
 

@@ -1,4 +1,5 @@
-//! Logical → physical plan translation (Section 5.2).
+//! Logical → physical plan translation (Section 5.2), plus the
+//! interesting-orders pass attaching ordering properties to the plan.
 //!
 //! * Every *edge* out of a logical Match operator becomes its own MapScan
 //!   (plus a Filter for residual subject/object constants), reading the
@@ -9,12 +10,17 @@
 //!   of inputs that are themselves ReduceJoins (a reduce join cannot consume
 //!   another reduce join's output directly).
 //! * Select maps to Filter and Project maps to the physical projection.
+//! * [`interesting_orders`] (run by [`PhysicalPlan::new`]) propagates each
+//!   consumer's *required* ordering down the plan and each operator's
+//!   *delivered* ordering up, so the executor only sorts where the two
+//!   disagree — the classic interesting-orders reasoning applied to the
+//!   sort-merge execution stack.
 
-use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
+use crate::physical::{FilterCondition, OpOrdering, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
 use cliquesquare_core::{LogicalOp, LogicalPlan, OpId};
 use cliquesquare_rdf::term::vocab;
 use cliquesquare_rdf::{Graph, Term, TermId, TriplePosition};
-use cliquesquare_sparql::{TriplePattern, Variable};
+use cliquesquare_sparql::{PatternTerm, TriplePattern, Variable};
 use std::collections::BTreeSet;
 
 /// Sentinel id used for constants that do not occur in the dictionary: no
@@ -110,7 +116,150 @@ fn build_scan(
     }
 }
 
-/// Translates a logical plan into a physical MapReduce plan.
+/// The ordering a MapScan's output rows satisfy, as a variable sequence.
+///
+/// [`cliquesquare_mapreduce::PartitionedStore::scan_node`] delivers triples
+/// placement-major (`scan_order`: the placement position's value first, then
+/// subject, property, object), and the executor converts triples to binding
+/// rows in that order. Translated to columns: positions bound to constants
+/// are equal on every scanned row (the property file restriction, the
+/// `rdf:type` object file, and the fused Filter's residual constants) and
+/// contribute nothing; a position repeating an already-listed variable is
+/// equal to it by the binder's repeated-variable check and is skipped; and a
+/// variable the output schema drops ends the claim — later positions only
+/// order rows *within* ties of the dropped value, which the output can no
+/// longer see.
+fn scan_delivered_order(spec: &ScanSpec, output: &BTreeSet<Variable>) -> Vec<Variable> {
+    let mut delivered: Vec<Variable> = Vec::new();
+    for position in cliquesquare_mapreduce::scan_order(spec.placement) {
+        let term = match position {
+            TriplePosition::Subject => &spec.pattern.subject,
+            TriplePosition::Property => &spec.pattern.property,
+            TriplePosition::Object => &spec.pattern.object,
+        };
+        match term {
+            PatternTerm::Constant(_) => continue,
+            PatternTerm::Variable(v) => {
+                if delivered.contains(v) {
+                    continue;
+                }
+                if !output.contains(v) {
+                    break;
+                }
+                delivered.push(v.clone());
+            }
+        }
+    }
+    delivered
+}
+
+/// Truncates a delivered ordering to the variables an operator's output
+/// keeps: the first dropped variable ends the claim (it broke ties in a way
+/// the narrower output can no longer observe).
+fn truncate_order(order: &[Variable], output: &BTreeSet<Variable>) -> Vec<Variable> {
+    order
+        .iter()
+        .take_while(|v| output.contains(*v))
+        .cloned()
+        .collect()
+}
+
+/// The **interesting-orders pass**: assigns every operator of a physical
+/// plan arena its [`OpOrdering`] — the ordering its consumer requires and
+/// the ordering its output delivers.
+///
+/// The pass runs in two sweeps over the bottom-up arena (inputs always
+/// precede consumers):
+///
+/// 1. **Requirements, top-down** (descending ids): a join requires each of
+///    its inputs ordered by its join attributes (so the sort-merge can
+///    consume them without re-sorting), a projection requires its input
+///    ordered by the projected variable sequence (so the final
+///    canonicalization at the root is free), and pass-through operators
+///    (Filter, MapShuffler) forward their own requirement to their input.
+///    When an operator feeds several consumers (DAG plans), the first
+///    requirement claimed wins; the other consumers re-sort at their own
+///    inputs — correctness never depends on the choice because the executor
+///    consults the *actual* tracked order of every relation.
+/// 2. **Delivered orders, bottom-up** (ascending ids): scans deliver their
+///    index order ([`scan_delivered_order`]), joins deliver their natural
+///    key order when it satisfies the requirement and otherwise sort their
+///    output into the required order, pass-throughs forward their input's
+///    order, and projections keep the longest delivered prefix whose
+///    variables survive the projection.
+pub fn interesting_orders(ops: &[PhysicalOp]) -> Vec<OpOrdering> {
+    let n = ops.len();
+
+    // Sweep 1: requirements flow from consumers (higher ids) to inputs.
+    let mut required: Vec<Option<Vec<Variable>>> = vec![None; n];
+    let claim = |required: &mut [Option<Vec<Variable>>], id: PhysId, order: Vec<Variable>| {
+        let slot = &mut required[id.index()];
+        if slot.is_none() {
+            *slot = Some(order);
+        }
+    };
+    for index in (0..n).rev() {
+        let own = required[index].clone().unwrap_or_default();
+        match &ops[index] {
+            PhysicalOp::Project { variables, input } => {
+                claim(&mut required, *input, variables.clone());
+            }
+            PhysicalOp::Filter { input, .. } | PhysicalOp::MapShuffler { input, .. } => {
+                claim(&mut required, *input, own);
+            }
+            PhysicalOp::MapJoin {
+                attributes, inputs, ..
+            }
+            | PhysicalOp::ReduceJoin {
+                attributes, inputs, ..
+            } => {
+                let attrs: Vec<Variable> = attributes.iter().cloned().collect();
+                for &input in inputs {
+                    claim(&mut required, input, attrs.clone());
+                }
+            }
+            PhysicalOp::MapScan { .. } => {}
+        }
+    }
+
+    // Sweep 2: delivered orders flow from inputs to consumers.
+    let mut orders: Vec<OpOrdering> = Vec::with_capacity(n);
+    for index in 0..n {
+        let required_order = required[index].clone().unwrap_or_default();
+        let delivered = match &ops[index] {
+            PhysicalOp::MapScan { spec, output } => scan_delivered_order(spec, output),
+            PhysicalOp::Filter { input, output, .. }
+            | PhysicalOp::MapShuffler { input, output, .. } => {
+                truncate_order(&orders[input.index()].delivered, output)
+            }
+            PhysicalOp::MapJoin { attributes, .. } | PhysicalOp::ReduceJoin { attributes, .. } => {
+                let natural: Vec<Variable> = attributes.iter().cloned().collect();
+                let satisfied = required_order.len() <= natural.len()
+                    && natural[..required_order.len()] == required_order[..];
+                if required_order.is_empty() || satisfied {
+                    natural
+                } else {
+                    required_order.clone()
+                }
+            }
+            PhysicalOp::Project { variables, input } => orders[input.index()]
+                .delivered
+                .iter()
+                .take_while(|v| variables.contains(v))
+                .cloned()
+                .collect(),
+        };
+        orders.push(OpOrdering {
+            required: required_order,
+            delivered,
+        });
+    }
+    orders
+}
+
+/// Translates a logical plan into a physical MapReduce plan. The returned
+/// plan carries the ordering properties of [`interesting_orders`], which
+/// [`crate::executor`] uses to elide redundant sorts.
 pub fn translate(plan: &LogicalPlan, graph: &Graph) -> PhysicalPlan {
     let mut ops: Vec<PhysicalOp> = Vec::new();
     // Physical id of each translated non-Match logical operator.
@@ -346,6 +495,162 @@ mod tests {
             // At least one scan per pattern; shared patterns may scan twice.
             assert!(scans.len() >= q.len());
             assert!(physical.ops().len() >= logical.len());
+        }
+    }
+
+    /// Every scan's delivered order starts with its placement variable (when
+    /// that variable is in the output): the store scans placement-major.
+    #[test]
+    fn scans_deliver_their_placement_variable_first() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        for id in physical.ops_where(|op| matches!(op, PhysicalOp::MapScan { .. })) {
+            let PhysicalOp::MapScan { spec, output } = physical.op(id) else {
+                unreachable!()
+            };
+            let ordering = physical.ordering(id);
+            assert!(!ordering.delivered.is_empty(), "scan delivers an order");
+            let placement_var = match spec.placement {
+                TriplePosition::Subject => spec.pattern.subject.as_variable(),
+                TriplePosition::Property => spec.pattern.property.as_variable(),
+                TriplePosition::Object => spec.pattern.object.as_variable(),
+            };
+            if let Some(var) = placement_var {
+                if output.contains(var) {
+                    assert_eq!(&ordering.delivered[0], var);
+                }
+            }
+        }
+    }
+
+    /// Joins require their inputs ordered by the join attributes, and the
+    /// scans feeding a first-level join deliver exactly that prefix.
+    #[test]
+    fn join_inputs_are_required_in_key_order_and_scans_satisfy_it() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        let joins = physical.ops_where(|op| {
+            matches!(
+                op,
+                PhysicalOp::MapJoin { .. } | PhysicalOp::ReduceJoin { .. }
+            )
+        });
+        assert!(!joins.is_empty());
+        for id in joins {
+            let attrs: Vec<Variable> = match physical.op(id) {
+                PhysicalOp::MapJoin { attributes, .. }
+                | PhysicalOp::ReduceJoin { attributes, .. } => attributes.iter().cloned().collect(),
+                _ => unreachable!(),
+            };
+            for input in physical.op(id).inputs() {
+                let ordering = physical.ordering(input);
+                assert_eq!(
+                    ordering.required, attrs,
+                    "a join input must be required in the join's key order"
+                );
+                assert!(
+                    ordering.is_satisfied(),
+                    "a first-level scan input delivers the required prefix: {ordering:?}"
+                );
+            }
+        }
+    }
+
+    /// A join below a projection delivers the projection's variable order
+    /// (so the final canonicalization is free), unless its natural key order
+    /// already satisfies it.
+    #[test]
+    fn the_projection_requirement_reaches_the_root_join() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?p WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        let PhysicalOp::Project { variables, input } = physical.op(physical.root()) else {
+            panic!("root must be a projection");
+        };
+        // The requirement flows through pass-through operators down to the
+        // first order-producing operator.
+        let mut id = *input;
+        loop {
+            assert_eq!(&physical.ordering(id).required, variables);
+            match physical.op(id) {
+                PhysicalOp::Filter { input, .. } | PhysicalOp::MapShuffler { input, .. } => {
+                    id = *input;
+                }
+                _ => break,
+            }
+        }
+        let delivered = &physical.ordering(id).delivered;
+        assert!(
+            delivered.len() >= variables.len() && delivered[..variables.len()] == variables[..],
+            "the root join delivers the projection's order: {delivered:?} vs {variables:?}"
+        );
+        // The projection therefore delivers its own variables in order — the
+        // plan-level statement that the final canonicalization is elided.
+        assert_eq!(&physical.ordering(physical.root()).delivered, variables);
+    }
+
+    /// A shuffler forwards its consumer's requirement to the reduce join
+    /// below it, which then delivers that order: the multi-job sort elision.
+    #[test]
+    fn stacked_reduce_joins_propagate_orders_through_the_shuffler() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?a WHERE { ?a ub:p1 ?b . ?b ub:p2 ?c . ?c ub:p3 ?d . ?d ub:p4 ?e . ?e ub:p5 ?f . ?f ub:p6 ?g }",
+            Variant::Mxc,
+        );
+        let physical = translate(&logical, &graph);
+        let shufflers = physical.ops_where(|op| matches!(op, PhysicalOp::MapShuffler { .. }));
+        if shufflers.is_empty() {
+            return; // this optimizer variant found a flatter plan
+        }
+        for id in shufflers {
+            let PhysicalOp::MapShuffler { input, .. } = physical.op(id) else {
+                unreachable!()
+            };
+            let own = physical.ordering(id);
+            let below = physical.ordering(*input);
+            assert_eq!(own.required, below.required, "requirement passes through");
+            assert!(
+                below.is_satisfied(),
+                "the reduce join below the shuffler adopts (or naturally \
+                 satisfies) the requirement: {below:?}"
+            );
+            assert!(
+                own.is_satisfied(),
+                "the shuffler forwards a satisfied order"
+            );
+        }
+    }
+
+    /// The pass on a hand-built arena: requirements flow top-down, delivered
+    /// orders bottom-up, and an unconstrained join keeps its natural order.
+    #[test]
+    fn interesting_orders_on_a_hand_built_arena() {
+        let graph = lubm_graph();
+        let logical = best_plan(
+            "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z . ?z ub:subOrganizationOf ?u }",
+            Variant::Msc,
+        );
+        let physical = translate(&logical, &graph);
+        let orders = interesting_orders(physical.ops());
+        assert_eq!(orders.len(), physical.len());
+        for (index, ordering) in orders.iter().enumerate() {
+            assert_eq!(physical.ordering(PhysId(index)), ordering);
+            // Delivered orders never repeat a variable.
+            for (i, v) in ordering.delivered.iter().enumerate() {
+                assert!(!ordering.delivered[..i].contains(v));
+            }
         }
     }
 

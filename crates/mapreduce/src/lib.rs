@@ -43,5 +43,5 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use job::{JobExecution, JobKind, JobLog, TaskExecution};
 pub use load::{BulkLoader, LoadOptions, LoadOutput, LoadReport};
 pub use metrics::{CostParameters, ExecutionMetrics};
-pub use partition::{FileKey, PartitionedStore, PlacementStats};
+pub use partition::{scan_order, FileKey, PartitionedStore, PlacementStats};
 pub use runtime::{Runtime, THREADS_ENV};

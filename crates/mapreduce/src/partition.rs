@@ -98,6 +98,24 @@ fn placement_hash(id: TermId) -> u64 {
     (u64::from(id.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// The index order [`PartitionedStore::scan_node`] delivers triples in for a
+/// replica of `placement`: the placement position first (the value the
+/// partition is grouped by), then the remaining positions in subject,
+/// property, object order. Later positions repeat the placement position
+/// harmlessly — ordering by an already-ordered position adds nothing.
+///
+/// The engine's interesting-orders pass reads this to tag leaf-scan outputs
+/// with the ordering they already satisfy, so scans feeding a join on the
+/// placement variable start pre-ordered for free.
+pub fn scan_order(placement: TriplePosition) -> [TriplePosition; 4] {
+    [
+        placement,
+        TriplePosition::Subject,
+        TriplePosition::Property,
+        TriplePosition::Object,
+    ]
+}
+
 /// Routes one slice of triples into per-node file maps (the map-side task of
 /// the parallel partition build). Appending the resulting maps in chunk
 /// order reproduces the sequential build's per-file triple order exactly.
@@ -217,7 +235,8 @@ impl PartitionedStore {
     ///   the file of class `c`.
     ///
     /// Returns one vector of triples per compute node, preserving locality
-    /// information for the co-located first-level joins.
+    /// information for the co-located first-level joins. Each node's triples
+    /// come back in the replica's index order — see [`scan_order`].
     pub fn scan(
         &self,
         placement: TriplePosition,
@@ -231,6 +250,12 @@ impl PartitionedStore {
 
     /// Scans the matching files of a single compute node (the per-node unit
     /// of work of a map task wave). See [`scan`](Self::scan).
+    ///
+    /// Triples are returned sorted placement-major — by the value of the
+    /// `placement` position first, then by `(subject, property, object)` —
+    /// i.e. in [`scan_order`]. This is the natural order of the replica (its
+    /// files group triples by the placement attribute), and it is what lets
+    /// a scan feeding a join on the placement variable start pre-ordered.
     pub fn scan_node(
         &self,
         node: usize,
@@ -258,7 +283,12 @@ impl PartitionedStore {
             }
             out.extend_from_slice(triples);
         }
-        out.sort_unstable();
+        if placement == TriplePosition::Subject {
+            // Subject-major equals plain triple order.
+            out.sort_unstable();
+        } else {
+            out.sort_unstable_by_key(|triple| (triple.get(placement), *triple));
+        }
         out
     }
 
@@ -411,6 +441,25 @@ mod tests {
         let (graph, store) = store(1);
         assert_eq!(store.nodes(), 1);
         assert_eq!(store.stats().stored_triples, graph.len() * 3);
+    }
+
+    /// `scan_node` delivers triples placement-major: sorted by the value at
+    /// the replica's placement position first, then by the full triple.
+    #[test]
+    fn scan_node_delivers_placement_major_order() {
+        let (_, store) = store(3);
+        for placement in TriplePosition::ALL {
+            assert_eq!(scan_order(placement)[0], placement);
+            for node in 0..store.nodes() {
+                let triples = store.scan_node(node, placement, None, None);
+                assert!(
+                    triples
+                        .windows(2)
+                        .all(|w| (w[0].get(placement), w[0]) <= (w[1].get(placement), w[1])),
+                    "node {node} scan of {placement} replica not placement-major sorted"
+                );
+            }
+        }
     }
 
     #[test]
