@@ -63,7 +63,7 @@ fn main() {
     let csq = Csq::new(cluster.clone(), CsqConfig::default());
     let planner = BinaryPlanner::new(cluster.graph());
     let executor = Executor::sequential(&cluster);
-    let parallel_executor = Executor::with_runtime(&cluster, runtime);
+    let parallel_executor = Executor::with_runtime(&cluster, runtime.clone());
 
     let mut rows = Vec::new();
     let mut snapshot_queries: Vec<SnapshotQuery> = Vec::new();
@@ -121,6 +121,14 @@ fn main() {
         std::hint::black_box(executor.execute(&physical));
         let rel_stats = relation_stats::snapshot();
         let join_mrows_per_s = rel_stats.join_rows_out as f64 / wall_seq / 1e6;
+        // Since the shared-consumer order splitting in interesting_orders, no
+        // LUBM query re-sorts any join input. Gate on it staying that way.
+        assert_eq!(
+            rel_stats.join_inputs_resorted,
+            0,
+            "{}: join input paid a re-sort (interesting-orders regression)",
+            query.name()
+        );
 
         snapshot_queries.push(SnapshotQuery {
             name: query.name().to_string(),

@@ -62,7 +62,7 @@ fn main() {
     let options = LoadOptions::with_nodes(nodes);
 
     let sequential = BulkLoader::sequential();
-    let parallel = BulkLoader::new(runtime);
+    let parallel = BulkLoader::new(runtime.clone());
 
     // Correctness gate: the parallel load must be bit-identical to the
     // sequential one (same TermIds, same indexes, same file placement).

@@ -1,0 +1,185 @@
+//! Closed-loop concurrent-serving benchmark: N client threads fire the LUBM
+//! query mix at one shared [`QueryService`] (one persistent multi-job
+//! scheduler over one immutable store snapshot) and we record p50/p99
+//! latency and queries/s at each client count. This is the serving
+//! trajectory headline: throughput must scale with client threads while
+//! every answer stays bit-identical to the solo single-job path.
+//!
+//! ```text
+//! report_serving [--threads N|auto] [--scale U] [--clients 1,2,4,8]
+//!                [--rounds R] [--smoke] [--snapshot [PATH]]
+//! ```
+//!
+//! `--threads` sets the serving scheduler's worker count (default 4;
+//! submitting clients also help drain their own job, so throughput scales
+//! with clients even on a small pool). `--smoke` shrinks everything for CI:
+//! tiny dataset, client levels {1, 2}, one round.
+
+use cliquesquare_bench::{
+    lubm_cluster, percentile_ms, scale_from_args, snapshot_path_with_default, table,
+    write_serving_snapshot, ServingLevel,
+};
+use cliquesquare_mapreduce::Runtime;
+use cliquesquare_querygen::lubm_queries::lubm_queries;
+use cliquesquare_rdf::LubmScale;
+use cliquesquare_server::{QueryAnswer, QueryService};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return iter.next().map(String::as_str);
+        }
+        if let Some(value) = arg.strip_prefix(flag).and_then(|v| v.strip_prefix('=')) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// Strips the fields that legitimately vary run to run (wall clock), leaving
+/// everything that must be bit-identical across concurrency levels.
+fn stable_answer(answer: &QueryAnswer) -> (String, Vec<String>, Vec<Vec<String>>, usize, String) {
+    (
+        answer.query.clone(),
+        answer.variables.clone(),
+        answer.rows.clone(),
+        answer.total_rows,
+        answer.job_descriptor.clone(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let worker_threads =
+        match Runtime::try_from_option(flag_value(&args, "--threads").unwrap_or("4")) {
+            Ok(runtime) => runtime.threads(),
+            Err(error) => {
+                eprintln!("error: invalid --threads: {error}");
+                std::process::exit(2);
+            }
+        };
+    let scale = if smoke {
+        LubmScale::tiny()
+    } else {
+        scale_from_args(&args, LubmScale::with_universities(5))
+    };
+    let client_levels: Vec<usize> = match flag_value(&args, "--clients") {
+        Some(list) => list
+            .split(',')
+            .map(|v| v.trim().parse().expect("--clients takes e.g. 1,2,4,8"))
+            .filter(|&c| c >= 1)
+            .collect(),
+        None if smoke => vec![1, 2],
+        None => vec![1, 2, 4, 8],
+    };
+    let rounds: usize = flag_value(&args, "--rounds")
+        .map(|v| v.parse().expect("--rounds takes a positive integer"))
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+
+    let cluster = lubm_cluster(scale);
+    let service = Arc::new(QueryService::new(
+        cluster.clone(),
+        Runtime::serving(worker_threads),
+    ));
+    let queries = lubm_queries();
+    println!(
+        "== Concurrent serving: closed-loop LUBM mix on a shared scheduler ==\n\
+         dataset: {} triples on {} nodes; {} worker thread(s); \
+         {} queries x {} round(s) per client\n",
+        cluster.graph().len(),
+        cluster.nodes(),
+        worker_threads,
+        queries.len(),
+        rounds
+    );
+
+    // The oracle: each query's answer served solo, before any concurrency.
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|query| stable_answer(&service.run(query).expect("solo run serves")))
+        .collect();
+
+    let mut levels = Vec::new();
+    for &clients in &client_levels {
+        let started = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|client| {
+                let service = Arc::clone(&service);
+                let queries = queries.clone();
+                let reference = reference.clone();
+                std::thread::spawn(move || {
+                    let mut latencies_ms = Vec::with_capacity(queries.len() * rounds);
+                    for round in 0..rounds {
+                        // Offset each client's walk through the mix so the
+                        // scheduler really interleaves different plans.
+                        for step in 0..queries.len() {
+                            let index = (client + round + step) % queries.len();
+                            let begun = Instant::now();
+                            let answer = service.run(&queries[index]).expect("mix query serves");
+                            latencies_ms.push(begun.elapsed().as_secs_f64() * 1e3);
+                            assert_eq!(
+                                stable_answer(&answer),
+                                reference[index],
+                                "{}: interleaved answer diverged from the solo path",
+                                queries[index].name()
+                            );
+                        }
+                    }
+                    latencies_ms
+                })
+            })
+            .collect();
+        let mut latencies_ms: Vec<f64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect();
+        let elapsed = started.elapsed().as_secs_f64();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        levels.push(ServingLevel {
+            clients,
+            queries: latencies_ms.len(),
+            p50_ms: percentile_ms(&latencies_ms, 0.5),
+            p99_ms: percentile_ms(&latencies_ms, 0.99),
+            queries_per_s: latencies_ms.len() as f64 / elapsed.max(1e-9),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = levels
+        .iter()
+        .map(|level| {
+            vec![
+                level.clients.to_string(),
+                level.queries.to_string(),
+                format!("{:.2}", level.p50_ms),
+                format!("{:.2}", level.p99_ms),
+                format!("{:.1}", level.queries_per_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["clients", "queries", "p50 ms", "p99 ms", "queries/s"],
+            &rows
+        )
+    );
+    println!("every interleaved answer matched the solo single-job path bit for bit");
+
+    if let Some(path) = snapshot_path_with_default(&args, "BENCH_serving.json") {
+        write_serving_snapshot(
+            &path,
+            "LUBM Q1-Q14 closed-loop mix",
+            cluster.graph().len(),
+            cluster.nodes(),
+            worker_threads,
+            &levels,
+        )
+        .expect("write serving snapshot");
+        println!("snapshot written to {path}");
+    }
+}

@@ -33,12 +33,17 @@ pub fn lubm_cluster(scale: LubmScale) -> Cluster {
 }
 
 /// Resolves the execution runtime of a report binary: an explicit
-/// `--threads N` argument wins (also accepting `auto` / `0` for the
-/// machine's available parallelism), then the `CSQ_THREADS` environment
-/// variable, then the deterministic sequential default.
+/// `--threads N` argument wins (also accepting `auto` for the machine's
+/// available parallelism), then the `CSQ_THREADS` environment variable,
+/// then the deterministic sequential default. A malformed `--threads`
+/// value (zero, negative, garbage) prints the parse error and exits with
+/// status 2 instead of panicking.
 pub fn runtime_from_args(args: &[String]) -> Runtime {
     match flag_value(args, "--threads") {
-        Some(value) => Runtime::from_option(value),
+        Some(value) => Runtime::try_from_option(value).unwrap_or_else(|error| {
+            eprintln!("error: invalid --threads: {error}");
+            std::process::exit(2);
+        }),
         None => Runtime::from_env(),
     }
 }
@@ -402,6 +407,66 @@ pub fn write_load_snapshot(
     std::fs::write(path, json)
 }
 
+/// One concurrency level's measurements in the serving bench snapshot.
+#[derive(Debug, Clone)]
+pub struct ServingLevel {
+    /// Number of closed-loop client threads.
+    pub clients: usize,
+    /// Total queries completed at this level.
+    pub queries: usize,
+    /// Median per-query latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query latency in milliseconds.
+    pub p99_ms: f64,
+    /// Completed queries per wall-clock second.
+    pub queries_per_s: f64,
+}
+
+/// The `q`-quantile (0.0–1.0) of a latency sample by nearest-rank on the
+/// sorted data; `0.0` for an empty sample.
+pub fn percentile_ms(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Writes the closed-loop serving snapshot as `BENCH_serving.json`: p50/p99
+/// latency and queries/s at each client-thread count. Hand-rolled JSON for
+/// the same reason as [`write_execution_snapshot`].
+pub fn write_serving_snapshot(
+    path: &str,
+    workload: &str,
+    dataset_triples: usize,
+    nodes: usize,
+    worker_threads: usize,
+    levels: &[ServingLevel],
+) -> std::io::Result<()> {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"serving\",\n");
+    json.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(workload)));
+    json.push_str(&format!("  \"dataset_triples\": {dataset_triples},\n"));
+    json.push_str(&format!("  \"nodes\": {nodes},\n"));
+    json.push_str(&format!("  \"worker_threads\": {worker_threads},\n"));
+    json.push_str("  \"levels\": [\n");
+    for (index, level) in levels.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"queries\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"queries_per_s\": {:.1}}}{}\n",
+            level.clients,
+            level.queries,
+            level.p50_ms,
+            level.p99_ms,
+            level.queries_per_s,
+            if index + 1 == levels.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +585,15 @@ mod tests {
             Some("x.json".to_string())
         );
         assert_eq!(baseline_path_from_args(&args(&["--threads", "4"])), None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_data() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile_ms(&sorted, 0.5), 3.0);
+        assert_eq!(percentile_ms(&sorted, 0.99), 100.0);
+        assert_eq!(percentile_ms(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
     }
 
     #[test]

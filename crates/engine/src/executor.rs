@@ -124,33 +124,43 @@ fn merge_parts(parts: impl Iterator<Item = Relation>) -> Relation {
 }
 
 /// Executes physical plans against a [`Cluster`] on a [`Runtime`].
+///
+/// The executor holds an owned [`Cluster`] handle (two `Arc` bumps — the
+/// graph and the store stay shared) rather than a borrow, and its task
+/// waves capture `Arc` snapshots of everything they touch. That makes every
+/// wave `'static`: on a [`Runtime::serving`] runtime the waves go to the
+/// persistent multi-job scheduler and interleave with concurrently running
+/// queries, with results bit-identical to a solo run.
 #[derive(Debug, Clone)]
-pub struct Executor<'a> {
-    cluster: &'a Cluster,
+pub struct Executor {
+    cluster: Cluster,
     runtime: Runtime,
 }
 
-impl<'a> Executor<'a> {
+impl Executor {
     /// Creates an executor over the given cluster. The runtime is taken from
     /// the `CSQ_THREADS` environment variable (sequential when unset), so
     /// results are bit-identical either way.
-    pub fn new(cluster: &'a Cluster) -> Self {
+    pub fn new(cluster: &Cluster) -> Self {
         Self::with_runtime(cluster, Runtime::from_env())
     }
 
     /// Creates a sequential (single-threaded) executor.
-    pub fn sequential(cluster: &'a Cluster) -> Self {
+    pub fn sequential(cluster: &Cluster) -> Self {
         Self::with_runtime(cluster, Runtime::sequential())
     }
 
     /// Creates an executor with an explicit task runtime.
-    pub fn with_runtime(cluster: &'a Cluster, runtime: Runtime) -> Self {
-        Self { cluster, runtime }
+    pub fn with_runtime(cluster: &Cluster, runtime: Runtime) -> Self {
+        Self {
+            cluster: cluster.clone(),
+            runtime,
+        }
     }
 
     /// The task runtime executing the job waves.
     pub fn runtime(&self) -> Runtime {
-        self.runtime
+        self.runtime.clone()
     }
 
     /// Translates a logical plan and executes it.
@@ -166,9 +176,10 @@ impl<'a> Executor<'a> {
         let nodes = self.cluster.nodes();
         let mut state = ExecState {
             plan,
-            cluster: self.cluster,
+            cluster: &self.cluster,
             schedule: &sched,
             runtime: &self.runtime,
+            job_id: self.runtime.begin_job(),
             jobs: (0..sched.job_count).map(|_| JobState::new(nodes)).collect(),
             memo: vec![None; plan.len()],
         };
@@ -313,9 +324,22 @@ fn spread(counters: &mut [u64], total: u64) {
 /// buckets of a node are then combined with a k-way ordered merge, so a
 /// shuffle of key-ordered inputs hands the reduce join key-ordered buckets
 /// and the join's merge consumes them without re-sorting.
+///
+/// When the source does **not** arrive in key order — a producer shared by
+/// consumers with incompatible requirements serves one group, and this
+/// consumer carries the residual (see `translate::resolve_claims`) — the
+/// shuffle establishes the key order here, sorting each routed bucket
+/// *before* the per-node merge: a planned local sort on the smallest pieces,
+/// not a join-input re-sort on the assembled bucket.
 fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -> Vec<Relation> {
     match value {
-        Intermediate::Global(rel) => relation::hash_partition(rel, attributes, nodes),
+        Intermediate::Global(rel) => {
+            let mut buckets = relation::hash_partition(rel, attributes, nodes);
+            for bucket in &mut buckets {
+                establish_key_order(bucket, attributes);
+            }
+            buckets
+        }
         Intermediate::Local(parts) => {
             if parts.is_empty() {
                 return (0..nodes)
@@ -330,12 +354,31 @@ fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -
                 .collect();
             for part in parts {
                 let routed = relation::hash_partition(part, attributes, nodes);
-                for (node, bucket) in routed.into_iter().enumerate() {
+                for (node, mut bucket) in routed.into_iter().enumerate() {
+                    establish_key_order(&mut bucket, attributes);
                     per_node[node].push(bucket);
                 }
             }
             per_node.into_iter().map(Relation::merge_ordered).collect()
         }
+    }
+}
+
+/// Sorts a shuffle bucket into join-key order when its tracked order does
+/// not already deliver it. No-op (and no counter traffic) on the planned
+/// path where the interesting-orders pass ordered the producer by this key.
+/// Buckets of at most one row adopt the key descriptor outright (every
+/// ordering holds on them), so a node's per-part buckets keep a shared
+/// order and their k-way merge stays key-ordered.
+fn establish_key_order(bucket: &mut Relation, attributes: &[Variable]) {
+    let key_cols: Vec<usize> = attributes.iter().filter_map(|a| bucket.column(a)).collect();
+    if key_cols.len() < attributes.len() || bucket.order().satisfies(&key_cols) {
+        return;
+    }
+    if bucket.len() <= 1 {
+        bucket.assume_order(SortOrder::by(key_cols.iter().copied()));
+    } else {
+        bucket.sort_by_columns(&key_cols);
     }
 }
 
@@ -345,6 +388,8 @@ struct ExecState<'a> {
     cluster: &'a Cluster,
     schedule: &'a JobSchedule,
     runtime: &'a Runtime,
+    /// This execution's job identity on the (shared, multi-job) scheduler.
+    job_id: cliquesquare_mapreduce::JobId,
     jobs: Vec<JobState>,
     memo: Vec<Option<Arc<Intermediate>>>,
 }
@@ -407,10 +452,8 @@ impl<'a> ExecState<'a> {
         extra_conditions: &[FilterCondition],
     ) -> Arc<Intermediate> {
         let plan = self.plan;
-        let store = self.cluster.store();
         let nodes = self.cluster.nodes();
         let schema: Vec<Variable> = output.iter().cloned().collect();
-        let binder = TripleBinder::new(spec, &schema);
         // Columns of the delivered index order. The pass keeps delivered
         // orders inside the output schema, but truncate at the first missing
         // variable anyway: a dropped order column breaks ties invisibly, so
@@ -421,33 +464,43 @@ impl<'a> ExecState<'a> {
             .iter()
             .map_while(|v| schema.iter().position(|s| s == v))
             .collect();
+        // One `'static` snapshot shared by the wave's tasks: the store stays
+        // behind its `Arc`, everything else is this scan's own small state.
+        let ctx = Arc::new(ScanWave {
+            store: self.cluster.store_arc(),
+            spec: spec.clone(),
+            binder: TripleBinder::new(spec, &schema),
+            schema,
+            order_cols,
+            extra_conditions: extra_conditions.to_vec(),
+        });
         let tasks: Vec<_> = (0..nodes)
             .map(|node| {
-                let schema = schema.clone();
-                let binder = &binder;
-                let order_cols = &order_cols;
+                let ctx = Arc::clone(&ctx);
                 move || -> (Relation, u64) {
+                    let spec = &ctx.spec;
                     let triples =
-                        store.scan_node(node, spec.placement, spec.property, spec.type_object);
+                        ctx.store
+                            .scan_node(node, spec.placement, spec.property, spec.type_object);
                     let scanned = triples.len() as u64;
-                    let mut relation = Relation::empty(schema);
-                    let mut scratch = vec![TermId(0); binder.arity()];
+                    let mut relation = Relation::empty(ctx.schema.clone());
+                    let mut scratch = vec![TermId(0); ctx.binder.arity()];
                     'triples: for triple in triples {
-                        for condition in extra_conditions {
+                        for condition in &ctx.extra_conditions {
                             if triple.get(condition.position) != condition.constant {
                                 continue 'triples;
                             }
                         }
-                        if binder.bind(&triple, &mut scratch) {
+                        if ctx.binder.bind(&triple, &mut scratch) {
                             relation.push_row_unordered(&scratch);
                         }
                     }
-                    relation.assume_order(SortOrder::by(order_cols.iter().copied()));
+                    relation.assume_order(SortOrder::by(ctx.order_cols.iter().copied()));
                     (relation, scanned)
                 }
             })
             .collect();
-        let (results, wall) = self.runtime.run_timed_wave(tasks);
+        let (results, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
 
         let checks = (extra_conditions.len() as u64).max(1);
         let mut scanned_total: u64 = 0;
@@ -513,23 +566,34 @@ impl<'a> ExecState<'a> {
             spread(&mut job.map_out, produced);
             return Arc::new(Intermediate::Global(joined));
         }
+        // `'static` wave context: the inputs' `Arc`s plus this join's key
+        // and output order.
+        let ctx = Arc::new(JoinWave {
+            attrs,
+            delivered: delivered.to_vec(),
+            evaluated,
+        });
         let tasks: Vec<_> = (0..nodes)
             .map(|node| {
-                let attrs = &attrs;
-                let evaluated = &evaluated;
+                let ctx = Arc::clone(&ctx);
                 move || {
-                    let node_inputs: Vec<&Relation> = evaluated
+                    let node_inputs: Vec<&Relation> = ctx
+                        .evaluated
                         .iter()
                         .map(|value| match &**value {
                             Intermediate::Local(parts) => &parts[node],
                             Intermediate::Global(_) => unreachable!("checked above"),
                         })
                         .collect();
-                    Relation::join_ordered(&node_inputs, attrs, JoinOrder::Columns(delivered))
+                    Relation::join_ordered(
+                        &node_inputs,
+                        &ctx.attrs,
+                        JoinOrder::Columns(&ctx.delivered),
+                    )
                 }
             })
             .collect();
-        let (parts, wall) = self.runtime.run_timed_wave(tasks);
+        let (parts, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
         let mut produced: u64 = 0;
         let job = self.job_mut(id);
         job.map_wall += wall;
@@ -588,21 +652,34 @@ impl<'a> ExecState<'a> {
             .iter()
             .map(|value| partition_rows(value, &attrs, nodes))
             .collect();
-        // One reduce task per node joins the co-partitioned buckets.
+        // One reduce task per node joins the co-partitioned buckets; the
+        // `'static` wave shares the shuffled buckets behind one `Arc`.
+        let ctx = Arc::new(ReduceWave {
+            attrs,
+            delivered: delivered.to_vec(),
+            buckets,
+        });
         let tasks: Vec<_> = (0..nodes)
             .map(|node| {
-                let attrs = &attrs;
-                let buckets = &buckets;
+                let ctx = Arc::clone(&ctx);
                 move || {
-                    let node_inputs: Vec<&Relation> =
-                        buckets.iter().map(|per_input| &per_input[node]).collect();
-                    Relation::join_ordered(&node_inputs, attrs, JoinOrder::Columns(delivered))
+                    let node_inputs: Vec<&Relation> = ctx
+                        .buckets
+                        .iter()
+                        .map(|per_input| &per_input[node])
+                        .collect();
+                    Relation::join_ordered(
+                        &node_inputs,
+                        &ctx.attrs,
+                        JoinOrder::Columns(&ctx.delivered),
+                    )
                 }
             })
             .collect();
         // `phase_started` spans shuffle + join wave + merge, so the plain
         // (untimed) wave is enough here.
-        let parts = self.runtime.run_wave(tasks);
+        let parts = self.runtime.run_job_wave(self.job_id, tasks);
+        let buckets = &ctx.buckets;
 
         let mut produced: u64 = 0;
         let job = self.job_mut(id);
@@ -640,11 +717,18 @@ impl<'a> ExecState<'a> {
         let rows = value.cardinality();
         match &*value {
             Intermediate::Local(parts) => {
-                let tasks: Vec<_> = parts
-                    .iter()
-                    .map(|part| move || part.project(variables))
+                let vars = Arc::new(variables.to_vec());
+                let tasks: Vec<_> = (0..parts.len())
+                    .map(|index| {
+                        let value = Arc::clone(&value);
+                        let vars = Arc::clone(&vars);
+                        move || match &*value {
+                            Intermediate::Local(parts) => parts[index].project(&vars),
+                            Intermediate::Global(_) => unreachable!("matched Local above"),
+                        }
+                    })
                     .collect();
-                let (projected, wall) = self.runtime.run_timed_wave(tasks);
+                let (projected, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
                 let job = self.job_mut(id);
                 job.map_wall += wall;
                 job.metrics.comparisons += rows;
@@ -657,6 +741,33 @@ impl<'a> ExecState<'a> {
             }
         }
     }
+}
+
+/// The shared `'static` context of one scan wave: the store snapshot plus
+/// this scan's own small state, behind a single `Arc`.
+struct ScanWave {
+    store: Arc<cliquesquare_mapreduce::PartitionedStore>,
+    spec: ScanSpec,
+    binder: TripleBinder,
+    schema: Vec<Variable>,
+    order_cols: Vec<usize>,
+    extra_conditions: Vec<FilterCondition>,
+}
+
+/// The shared `'static` context of one map-join wave: the evaluated inputs'
+/// `Arc`s plus the join key and output order.
+struct JoinWave {
+    attrs: Vec<Variable>,
+    delivered: Vec<Variable>,
+    evaluated: Vec<Arc<Intermediate>>,
+}
+
+/// The shared `'static` context of one reduce-join wave: the shuffled
+/// per-input, per-node buckets plus the join key and output order.
+struct ReduceWave {
+    attrs: Vec<Variable>,
+    delivered: Vec<Variable>,
+    buckets: Vec<Vec<Relation>>,
 }
 
 /// Converts raw triples matched by a scan spec into binding rows over a

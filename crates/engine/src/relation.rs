@@ -554,6 +554,12 @@ impl Relation {
     /// `sorts_performed` / `sorts_elided` counters of [`stats`].
     pub fn sort_by_columns(&mut self, columns: &[usize]) {
         let order = SortOrder::by(columns.iter().copied());
+        if self.rows <= 1 {
+            // At most one row: every ordering holds, adopt the claim as-is.
+            self.order = order;
+            stats::count_sort(false);
+            return;
+        }
         if self.order.satisfies(order.columns()) {
             stats::count_sort(false);
             return;
@@ -882,6 +888,9 @@ impl Relation {
 
         let mut out = Relation::empty(schema);
         if views.iter().any(|view| view.len() == 0) {
+            // An empty output satisfies any ordering: adopt the requested
+            // one so downstream consumers see the order the plan promised.
+            finalize_join_order(&mut out, output_order);
             stats::count_join_rows(0);
             return out;
         }
@@ -1017,7 +1026,11 @@ impl<'r> InputView<'r> {
                     .unwrap_or_else(|| panic!("join attribute {a} missing from input"))
             })
             .collect();
-        let presorted = rel.order().satisfies(&key_cols);
+        // A relation with at most one row satisfies *every* ordering: empty
+        // shuffle buckets (and singleton groups) must not be counted — or
+        // paid for — as re-sorts just because their tracked descriptor was
+        // claimed for a different column sequence.
+        let presorted = rel.len() <= 1 || rel.order().satisfies(&key_cols);
         stats::count_join_input(presorted);
         stats::count_sort(!presorted);
         let order = if presorted {

@@ -177,10 +177,15 @@ fn truncate_order(order: &[Variable], output: &BTreeSet<Variable>) -> Vec<Variab
 ///    ordered by the projected variable sequence (so the final
 ///    canonicalization at the root is free), and pass-through operators
 ///    (Filter, MapShuffler) forward their own requirement to their input.
-///    When an operator feeds several consumers (DAG plans), the first
-///    requirement claimed wins; the other consumers re-sort at their own
-///    inputs — correctness never depends on the choice because the executor
-///    consults the *actual* tracked order of every relation.
+///    When an operator feeds several consumers (DAG plans), their claims are
+///    *split* into prefix-compatible groups ([`resolve_claims`]): each
+///    consumer's requirement decomposes into the prefix the producer can
+///    serve for the whole group plus a residual the consumer re-sorts
+///    locally, and the group satisfying the most consumers wins (ties go to
+///    the earliest claimant, which keeps tree-shaped plans byte-identical to
+///    the historical first-claim-wins rule). Correctness never depends on
+///    the choice because the executor consults the *actual* tracked order of
+///    every relation.
 /// 2. **Delivered orders, bottom-up** (ascending ids): scans deliver their
 ///    index order ([`scan_delivered_order`]), joins deliver their natural
 ///    key order when it satisfies the requirement and otherwise sort their
@@ -191,21 +196,20 @@ pub fn interesting_orders(ops: &[PhysicalOp]) -> Vec<OpOrdering> {
     let n = ops.len();
 
     // Sweep 1: requirements flow from consumers (higher ids) to inputs.
-    let mut required: Vec<Option<Vec<Variable>>> = vec![None; n];
-    let claim = |required: &mut [Option<Vec<Variable>>], id: PhysId, order: Vec<Variable>| {
-        let slot = &mut required[id.index()];
-        if slot.is_none() {
-            *slot = Some(order);
-        }
-    };
+    // Every consumer's claim is recorded; shared producers resolve the set
+    // with [`resolve_claims`]. An operator's own requirement is final by the
+    // time the sweep reaches it (all consumers have larger ids).
+    let mut claims: Vec<Vec<Vec<Variable>>> = vec![Vec::new(); n];
+    let mut required: Vec<Vec<Variable>> = vec![Vec::new(); n];
     for index in (0..n).rev() {
-        let own = required[index].clone().unwrap_or_default();
+        required[index] = resolve_claims(&claims[index]);
+        let own = required[index].clone();
         match &ops[index] {
             PhysicalOp::Project { variables, input } => {
-                claim(&mut required, *input, variables.clone());
+                claims[input.index()].push(variables.clone());
             }
             PhysicalOp::Filter { input, .. } | PhysicalOp::MapShuffler { input, .. } => {
-                claim(&mut required, *input, own);
+                claims[input.index()].push(own);
             }
             PhysicalOp::MapJoin {
                 attributes, inputs, ..
@@ -215,7 +219,7 @@ pub fn interesting_orders(ops: &[PhysicalOp]) -> Vec<OpOrdering> {
             } => {
                 let attrs: Vec<Variable> = attributes.iter().cloned().collect();
                 for &input in inputs {
-                    claim(&mut required, input, attrs.clone());
+                    claims[input.index()].push(attrs.clone());
                 }
             }
             PhysicalOp::MapScan { .. } => {}
@@ -225,7 +229,7 @@ pub fn interesting_orders(ops: &[PhysicalOp]) -> Vec<OpOrdering> {
     // Sweep 2: delivered orders flow from inputs to consumers.
     let mut orders: Vec<OpOrdering> = Vec::with_capacity(n);
     for index in 0..n {
-        let required_order = required[index].clone().unwrap_or_default();
+        let required_order = required[index].clone();
         let delivered = match &ops[index] {
             PhysicalOp::MapScan { spec, output } => scan_delivered_order(spec, output),
             PhysicalOp::Filter { input, output, .. }
@@ -255,6 +259,47 @@ pub fn interesting_orders(ops: &[PhysicalOp]) -> Vec<OpOrdering> {
         });
     }
     orders
+}
+
+/// Resolves the order claims of an operator's consumers into the single
+/// ordering the operator should deliver.
+///
+/// Claims are greedily grouped by *prefix compatibility* (two orders are
+/// compatible when one is a prefix of the other; the group keeps the longer
+/// one, which serves every member — each consumer that asked for the shorter
+/// prefix still sees its requirement satisfied). The group with the most
+/// claimants wins; ties go to the earliest-formed group, so an operator with
+/// a single consumer — every tree-shaped plan — resolves exactly as the
+/// historical first-claim-wins rule did. Consumers outside the winning group
+/// re-sort locally, which the executor detects through the tracked order on
+/// the relation itself.
+fn resolve_claims(claims: &[Vec<Variable>]) -> Vec<Variable> {
+    // (representative order, claimant count) per prefix-compatible group.
+    let mut groups: Vec<(Vec<Variable>, usize)> = Vec::new();
+    for claim in claims {
+        if claim.is_empty() {
+            continue;
+        }
+        match groups.iter_mut().find(|(order, _)| {
+            let shared = order.len().min(claim.len());
+            order[..shared] == claim[..shared]
+        }) {
+            Some((order, count)) => {
+                if claim.len() > order.len() {
+                    *order = claim.clone();
+                }
+                *count += 1;
+            }
+            None => groups.push((claim.clone(), 1)),
+        }
+    }
+    // Earliest group wins ties, so scan in reverse and let `>=` overwrite.
+    groups
+        .into_iter()
+        .rev()
+        .max_by(|a, b| a.1.cmp(&b.1))
+        .map(|(order, _)| order)
+        .unwrap_or_default()
 }
 
 /// Translates a logical plan into a physical MapReduce plan. The returned
@@ -666,5 +711,36 @@ mod tests {
             physical.op(physical.root()),
             PhysicalOp::Project { .. }
         ));
+    }
+
+    /// [`resolve_claims`] groups prefix-compatible orders, keeps the longest
+    /// representative, lets the largest group win, and breaks ties toward
+    /// the earliest claimant (the historical first-claim-wins behaviour).
+    #[test]
+    fn resolve_claims_prefers_the_largest_prefix_compatible_group() {
+        let v = |name: &str| Variable::new(name);
+        // Single claim: returned as-is.
+        assert_eq!(resolve_claims(&[vec![v("a")]]), vec![v("a")]);
+        // Empty claim set (or all-empty claims): no requirement.
+        assert!(resolve_claims(&[]).is_empty());
+        assert!(resolve_claims(&[vec![], vec![]]).is_empty());
+        // Prefix-compatible claims merge and keep the longest order.
+        assert_eq!(
+            resolve_claims(&[vec![v("a")], vec![v("a"), v("b")]]),
+            vec![v("a"), v("b")]
+        );
+        // Two claimants of [a]-prefixed orders beat one claimant of [c].
+        assert_eq!(
+            resolve_claims(&[vec![v("c")], vec![v("a"), v("b")], vec![v("a")]]),
+            vec![v("a"), v("b")]
+        );
+        // A tie goes to the earliest claimant.
+        assert_eq!(resolve_claims(&[vec![v("x")], vec![v("y")]]), vec![v("x")]);
+        // Incompatible at the first column → separate groups even if the
+        // tails agree.
+        assert_eq!(
+            resolve_claims(&[vec![v("x"), v("k")], vec![v("y"), v("k")]]),
+            vec![v("x"), v("k")]
+        );
     }
 }

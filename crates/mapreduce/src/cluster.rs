@@ -74,6 +74,18 @@ impl Cluster {
     pub fn store(&self) -> &PartitionedStore {
         &self.store
     }
+
+    /// An owned snapshot handle to the (immutable) source graph: what
+    /// concurrent queries and `'static` task waves hold instead of a
+    /// borrow. Cloning bumps a reference count.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// An owned snapshot handle to the (immutable) partitioned store.
+    pub fn store_arc(&self) -> Arc<PartitionedStore> {
+        Arc::clone(&self.store)
+    }
 }
 
 #[cfg(test)]

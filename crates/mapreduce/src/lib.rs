@@ -19,6 +19,10 @@
 //! * **A parallel task runtime** ([`runtime`]): per-node map and reduce
 //!   tasks of a job wave execute concurrently on scoped OS threads, so the
 //!   engine reports *measured* wall-clock times next to the simulated ones.
+//! * **A persistent multi-job scheduler** ([`scheduler`]): for concurrent
+//!   query serving, a fixed worker pool drains task waves from many jobs at
+//!   once, round-robin across per-job queues, with worker panics contained
+//!   and re-raised on the submitting thread.
 //! * **A parallel bulk loader** ([`load`]): raw triples (N-Triples text or
 //!   the LUBM generator) are parsed, dictionary-encoded through per-thread
 //!   shard dictionaries, merged, indexed and partitioned as task waves on
@@ -38,6 +42,7 @@ pub mod load;
 pub mod metrics;
 pub mod partition;
 pub mod runtime;
+pub mod scheduler;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use job::{JobExecution, JobKind, JobLog, TaskExecution};
@@ -45,3 +50,4 @@ pub use load::{BulkLoader, LoadOptions, LoadOutput, LoadReport};
 pub use metrics::{CostParameters, ExecutionMetrics};
 pub use partition::{scan_order, FileKey, PartitionedStore, PlacementStats};
 pub use runtime::{Runtime, THREADS_ENV};
+pub use scheduler::{JobId, Scheduler, SchedulerStats};

@@ -132,7 +132,7 @@ pub struct LoadOutput {
 }
 
 /// The parallel bulk loader (see the module docs for the pipeline).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BulkLoader {
     runtime: Runtime,
 }
@@ -151,7 +151,7 @@ impl BulkLoader {
 
     /// The loader's runtime.
     pub fn runtime(&self) -> Runtime {
-        self.runtime
+        self.runtime.clone()
     }
 
     /// The number of input chunks a load will use.

@@ -19,13 +19,14 @@
 //!    wall-clock span, which the engine surfaces next to the simulated
 //!    seconds of the cost model.
 
+use crate::scheduler::{JobId, Scheduler};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
 /// Environment variable overriding the default thread count
-/// (`0` or `auto` selects the machine's available parallelism).
+/// (`auto` selects the machine's available parallelism).
 pub const THREADS_ENV: &str = "CSQ_THREADS";
 
 /// A task-wave executor with a fixed degree of parallelism.
@@ -33,11 +34,28 @@ pub const THREADS_ENV: &str = "CSQ_THREADS";
 /// `threads == 1` is the *sequential* runtime: every task runs inline on the
 /// caller's thread, which keeps the default execution path deterministic,
 /// allocation-light and easy to debug. Any larger count spawns that many
-/// scoped OS threads per wave.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// scoped OS threads per wave — unless the runtime is *serving*-backed
+/// ([`Runtime::serving`]), in which case `'static` waves run on the
+/// persistent multi-job [`Scheduler`] shared by every clone of the runtime,
+/// interleaved with the waves of concurrently running queries.
+#[derive(Debug, Clone)]
 pub struct Runtime {
     threads: usize,
+    scheduler: Option<Arc<Scheduler>>,
 }
+
+impl PartialEq for Runtime {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+            && match (&self.scheduler, &other.scheduler) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for Runtime {}
 
 impl Default for Runtime {
     fn default() -> Self {
@@ -48,13 +66,29 @@ impl Default for Runtime {
 impl Runtime {
     /// The sequential runtime: tasks run inline on the caller's thread.
     pub fn sequential() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            scheduler: None,
+        }
     }
 
     /// A runtime with the given degree of parallelism (`0` is clamped to 1).
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            scheduler: None,
+        }
+    }
+
+    /// A runtime backed by a persistent multi-job [`Scheduler`] with
+    /// `threads` workers. Clones share the scheduler, so queries executed on
+    /// the clones interleave their task waves on the one worker pool. Use
+    /// [`Runtime::begin_job`] + [`Runtime::run_job_wave`] to submit work.
+    pub fn serving(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self {
+            threads,
+            scheduler: Some(Arc::new(Scheduler::new(threads))),
         }
     }
 
@@ -68,28 +102,52 @@ impl Runtime {
     }
 
     /// Reads the thread count from the `CSQ_THREADS` environment variable:
-    /// a number selects that many threads, `0` or `auto` selects the
-    /// machine's available parallelism, and an unset/invalid value keeps the
+    /// a positive number selects that many threads, `auto` selects the
+    /// machine's available parallelism, and an unset variable keeps the
     /// deterministic sequential default.
+    ///
+    /// # Panics
+    /// Panics with a clear message when the variable is set to `0` or
+    /// unparseable garbage — a misconfigured thread count should stop the
+    /// process, not silently degrade to one thread.
     pub fn from_env() -> Self {
         match std::env::var(THREADS_ENV) {
-            Ok(value) => Self::from_option(&value),
+            Ok(value) => match Self::try_from_option(&value) {
+                Ok(runtime) => runtime,
+                Err(error) => panic!("invalid {THREADS_ENV}: {error}"),
+            },
             Err(_) => Self::sequential(),
         }
     }
 
     /// Parses a user-supplied thread-count option (CLI flag or env value):
-    /// `"0"` or `"auto"` selects the available parallelism, a number selects
-    /// that many threads, anything else falls back to sequential.
-    pub fn from_option(value: &str) -> Self {
+    /// `"auto"` selects the available parallelism and a positive number
+    /// selects that many threads. `"0"` and anything unparseable are
+    /// rejected with a message naming the offending value.
+    pub fn try_from_option(value: &str) -> Result<Self, String> {
         let value = value.trim();
         if value.eq_ignore_ascii_case("auto") {
-            return Self::available();
+            return Ok(Self::available());
         }
         match value.parse::<usize>() {
-            Ok(0) => Self::available(),
-            Ok(n) => Self::with_threads(n),
-            Err(_) => Self::sequential(),
+            Ok(0) => Err(format!(
+                "thread count must be at least 1 (got \"{value}\"; use \"auto\" for all cores)"
+            )),
+            Ok(n) => Ok(Self::with_threads(n)),
+            Err(_) => Err(format!(
+                "thread count must be a positive integer or \"auto\" (got \"{value}\")"
+            )),
+        }
+    }
+
+    /// Parses like [`Runtime::try_from_option`].
+    ///
+    /// # Panics
+    /// Panics with the parse error on invalid input (`0`, garbage).
+    pub fn from_option(value: &str) -> Self {
+        match Self::try_from_option(value) {
+            Ok(runtime) => runtime,
+            Err(error) => panic!("invalid thread count: {error}"),
         }
     }
 
@@ -101,6 +159,50 @@ impl Runtime {
     /// Returns `true` when waves run on more than one OS thread.
     pub fn is_parallel(&self) -> bool {
         self.threads > 1
+    }
+
+    /// The persistent scheduler behind a [`Runtime::serving`] runtime.
+    pub fn scheduler(&self) -> Option<&Arc<Scheduler>> {
+        self.scheduler.as_ref()
+    }
+
+    /// Registers a new job with the persistent scheduler. On non-serving
+    /// runtimes every wave belongs to the single implicit [`JobId::SOLO`]
+    /// job.
+    pub fn begin_job(&self) -> JobId {
+        match &self.scheduler {
+            Some(scheduler) => scheduler.begin_job(),
+            None => JobId::SOLO,
+        }
+    }
+
+    /// Runs one wave of `'static` tasks under `job` and returns the results
+    /// in submission order. On a serving runtime the wave is drained by the
+    /// shared worker pool, interleaved with other jobs' waves; otherwise it
+    /// falls back to [`Runtime::run_wave`]. Results are bit-identical either
+    /// way: waves are keyed by task index, and every task is a pure function
+    /// of its inputs.
+    pub fn run_job_wave<T, F>(&self, job: JobId, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        match &self.scheduler {
+            Some(scheduler) => scheduler.run_wave(job, tasks),
+            None => self.run_wave(tasks),
+        }
+    }
+
+    /// Runs one `'static` wave under `job` and additionally reports its
+    /// wall-clock span in seconds.
+    pub fn run_job_timed_wave<T, F>(&self, job: JobId, tasks: Vec<F>) -> (Vec<T>, f64)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let started = Instant::now();
+        let results = self.run_job_wave(job, tasks);
+        (results, started.elapsed().as_secs_f64())
     }
 
     /// Runs one wave of tasks and returns their results in task order.
@@ -230,16 +332,62 @@ mod tests {
 
     #[test]
     fn zero_threads_clamps_to_sequential() {
+        // The *programmatic* constructor clamps; the user-facing parsers
+        // reject (see below).
         assert_eq!(Runtime::with_threads(0).threads(), 1);
     }
 
     #[test]
-    fn option_parsing() {
+    fn option_parsing_accepts_positive_counts_and_auto() {
         assert_eq!(Runtime::from_option("3").threads(), 3);
         assert_eq!(Runtime::from_option(" 5 ").threads(), 5);
         assert!(Runtime::from_option("auto").threads() >= 1);
-        assert!(Runtime::from_option("0").threads() >= 1);
-        assert_eq!(Runtime::from_option("bogus").threads(), 1);
+        assert!(Runtime::from_option("AUTO").threads() >= 1);
+    }
+
+    /// Regression test: `0` and garbage used to silently select "auto" and
+    /// "sequential" respectively; both must now be rejected with an error
+    /// naming the offending value.
+    #[test]
+    fn option_parsing_rejects_zero_and_garbage() {
+        let zero = Runtime::try_from_option("0").unwrap_err();
+        assert!(zero.contains("at least 1"), "unhelpful error: {zero}");
+        assert!(zero.contains('0'), "error must name the value: {zero}");
+        let garbage = Runtime::try_from_option("bogus").unwrap_err();
+        assert!(
+            garbage.contains("bogus"),
+            "error must name the value: {garbage}"
+        );
+        assert!(Runtime::try_from_option("-2").is_err());
+        assert!(Runtime::try_from_option("").is_err());
+        assert!(Runtime::try_from_option("2.5").is_err());
+        // The panicking wrapper carries the same message.
+        let panic = std::panic::catch_unwind(|| Runtime::from_option("0"));
+        assert!(panic.is_err());
+    }
+
+    #[test]
+    fn serving_runtime_runs_job_waves_on_the_shared_scheduler() {
+        let runtime = Runtime::serving(2);
+        assert!(runtime.scheduler().is_some());
+        let clone = runtime.clone();
+        assert_eq!(runtime, clone, "clones share the scheduler");
+        let job = clone.begin_job();
+        let results =
+            clone.run_job_wave(job, (0..9usize).map(|i| move || i * 3).collect::<Vec<_>>());
+        assert_eq!(results, (0..9usize).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(runtime.scheduler().unwrap().stats().waves, 1);
+    }
+
+    #[test]
+    fn job_waves_fall_back_to_scoped_waves_without_a_scheduler() {
+        let runtime = Runtime::with_threads(4);
+        assert!(runtime.scheduler().is_none());
+        let job = runtime.begin_job();
+        let (results, seconds) =
+            runtime.run_job_timed_wave(job, (0..5usize).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(results, vec![1, 2, 3, 4, 5]);
+        assert!(seconds >= 0.0);
     }
 
     #[test]
@@ -261,11 +409,11 @@ mod tests {
     #[test]
     fn panicking_task_panics_the_wave() {
         let runtime = Runtime::with_threads(2);
-        let result = std::panic::catch_unwind(|| {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
                 vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
             runtime.run_wave(tasks)
-        });
+        }));
         assert!(result.is_err());
     }
 }

@@ -1,0 +1,69 @@
+//! `csq_server` — serve SPARQL over HTTP against a generated LUBM cluster.
+//!
+//! ```text
+//! csq_server [--addr HOST:PORT] [--threads N|auto] [--scale U]
+//! ```
+//!
+//! Loads a LUBM graph at `--scale U` universities onto a 7-node simulated
+//! cluster, starts a persistent serving scheduler with `--threads` workers,
+//! and answers until killed:
+//!
+//! ```text
+//! curl 'http://127.0.0.1:7878/query?name=Q4'
+//! curl -d 'SELECT ?x ?y WHERE { ?x ub:advisor ?y }' http://127.0.0.1:7878/sparql
+//! ```
+
+use cliquesquare_mapreduce::{Cluster, ClusterConfig, Runtime};
+use cliquesquare_rdf::{LubmGenerator, LubmScale};
+use cliquesquare_server::{HttpServer, QueryService, ServerConfig};
+use std::sync::Arc;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return iter.next().map(String::as_str);
+        }
+        if let Some(value) = arg.strip_prefix(flag).and_then(|v| v.strip_prefix('=')) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7878");
+    let threads = match Runtime::try_from_option(flag_value(&args, "--threads").unwrap_or("auto")) {
+        Ok(runtime) => runtime.threads(),
+        Err(error) => {
+            eprintln!("error: invalid --threads: {error}");
+            std::process::exit(2);
+        }
+    };
+    let universities = flag_value(&args, "--scale")
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+
+    eprintln!("loading LUBM ({universities} universities) onto 7 nodes …");
+    let graph = LubmGenerator::new(LubmScale::with_universities(universities)).generate();
+    let triples = graph.len();
+    let cluster = Cluster::load(graph, ClusterConfig::default());
+    let service = Arc::new(QueryService::new(cluster, Runtime::serving(threads)));
+
+    let server = HttpServer::bind(Arc::clone(&service), addr, ServerConfig::default())
+        .unwrap_or_else(|error| {
+            eprintln!("error: cannot bind {addr}: {error}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "serving {triples} triples on http://{} ({threads} worker thread(s)); \
+         GET /health, GET /query?name=Q4, POST /sparql",
+        server.local_addr().expect("bound address")
+    );
+    if let Err(error) = server.serve() {
+        eprintln!("error: accept loop failed: {error}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,430 @@
+//! A minimal HTTP/1.1 SPARQL endpoint on `std::net::TcpListener`.
+//!
+//! Routes:
+//!
+//! * `GET /health` — liveness plus serving counters.
+//! * `POST /sparql` — the request body is the SPARQL text.
+//! * `GET /sparql?query=…` — percent-encoded SPARQL text in the URL.
+//! * `GET /query?name=Q4` — a named query from the LUBM catalog.
+//!
+//! Every error is a structured JSON body with the status the
+//! [`ServeError`] maps to (400 malformed query, 404 unknown name or route,
+//! 413 oversized request, 500 contained execution panic). Each connection is
+//! handled on its own thread; the actual query work all funnels into the
+//! service's shared serving runtime.
+
+use crate::service::{QueryAnswer, QueryService, ServeError};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Configuration of the HTTP front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum accepted request size (headers + body) in bytes; anything
+    /// larger is rejected with 413 before being read in full.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_request_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// The accept loop around a [`QueryService`].
+#[derive(Debug)]
+pub struct HttpServer {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Stops a running [`HttpServer`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Signals the accept loop to exit (waking it with one local connect).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl HttpServer {
+    /// Binds the endpoint to `addr` (use port 0 to pick a free port).
+    pub fn bind(
+        service: Arc<QueryService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            service,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops [`serve`](Self::serve) from another thread.
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            addr: self.listener.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Runs the accept loop until [`ShutdownHandle::stop`] is called. Each
+    /// connection gets a short-lived handler thread; a handler that fails
+    /// mid-write only loses its own connection.
+    pub fn serve(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&self.service);
+            let config = self.config;
+            thread::spawn(move || {
+                let _ = handle_connection(&service, stream, config);
+            });
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    service: &QueryService,
+    mut stream: TcpStream,
+    config: ServerConfig,
+) -> io::Result<()> {
+    let response = match read_request(&mut stream, config.max_request_bytes) {
+        Ok(request) => route(service, &request),
+        Err(RequestError::Serve(error)) => error_response(&error),
+        Err(RequestError::Io(error)) => return Err(error),
+    };
+    write_response(&mut stream, &response)
+}
+
+/// A parsed (enough) HTTP request.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    /// Path without the query string.
+    path: String,
+    /// Raw query string (no leading `?`), possibly empty.
+    query_string: String,
+    body: String,
+}
+
+enum RequestError {
+    Serve(ServeError),
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(error: io::Error) -> Self {
+        RequestError::Io(error)
+    }
+}
+
+fn read_request(stream: &mut TcpStream, max_bytes: usize) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || target.is_empty() {
+        return Err(RequestError::Serve(ServeError::BadQuery(
+            "empty or malformed request line".to_string(),
+        )));
+    }
+
+    let mut content_length = 0usize;
+    let mut header_bytes = request_line.len();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        header_bytes += line.len();
+        if header_bytes > max_bytes {
+            return Err(RequestError::Serve(ServeError::TooLarge {
+                limit: max_bytes,
+                actual: header_bytes,
+            }));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(value) = header_value(line, "content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                RequestError::Serve(ServeError::BadQuery(format!(
+                    "unparseable Content-Length: {value:?}"
+                )))
+            })?;
+        }
+    }
+
+    if header_bytes + content_length > max_bytes {
+        // Drain the (bounded) oversized body before responding, so closing
+        // the socket doesn't RST the client mid-read. Truly unbounded
+        // declarations are abandoned and the connection dropped.
+        const DRAIN_CAP: usize = 1 << 20;
+        if content_length <= DRAIN_CAP {
+            io::copy(
+                &mut reader.by_ref().take(content_length as u64),
+                &mut io::sink(),
+            )?;
+        }
+        return Err(RequestError::Serve(ServeError::TooLarge {
+            limit: max_bytes,
+            actual: header_bytes + content_length,
+        }));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+
+    let (path, query_string) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query_string,
+        body,
+    })
+}
+
+/// The value of `name: value` if `line` is that header (case-insensitive).
+fn header_value<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let (key, value) = line.split_once(':')?;
+    key.trim().eq_ignore_ascii_case(name).then(|| value.trim())
+}
+
+/// The decoded value of `key=…` in a query string.
+fn query_param(query_string: &str, key: &str) -> Option<String> {
+    query_string.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| percent_decode(v))
+    })
+}
+
+/// Percent-decoding (plus `+` as space), tolerant of malformed escapes.
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|hex| std::str::from_utf8(hex).ok())
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+                {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            byte => out.push(byte),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A rendered response: status, reason, JSON body.
+struct Response {
+    status: u16,
+    reason: &'static str,
+    body: String,
+}
+
+fn route(service: &QueryService, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") | ("GET", "/") => {
+            let (served, failed) = service.counters();
+            ok_body(format!(
+                "{{\"status\": \"ok\", \"threads\": {}, \"served\": {served}, \"failed\": {failed}}}\n",
+                service.threads()
+            ))
+        }
+        ("POST", "/sparql") => answer(service.execute_text(&request.body)),
+        ("GET", "/sparql") => match query_param(&request.query_string, "query") {
+            Some(text) => answer(service.execute_text(&text)),
+            None => error_response(&ServeError::BadQuery(
+                "missing ?query= parameter".to_string(),
+            )),
+        },
+        ("GET", "/query") => match query_param(&request.query_string, "name") {
+            Some(name) => answer(service.execute_named(&name)),
+            None => error_response(&ServeError::BadQuery(
+                "missing ?name= parameter".to_string(),
+            )),
+        },
+        (_, path) => error_response(&ServeError::UnknownQuery(path.to_string())),
+    }
+}
+
+fn answer(result: Result<QueryAnswer, ServeError>) -> Response {
+    match result {
+        Ok(answer) => ok_body(render_answer(&answer)),
+        Err(error) => error_response(&error),
+    }
+}
+
+fn ok_body(body: String) -> Response {
+    Response {
+        status: 200,
+        reason: "OK",
+        body,
+    }
+}
+
+fn error_response(error: &ServeError) -> Response {
+    Response {
+        status: error.status(),
+        reason: error.reason(),
+        body: format!(
+            "{{\"error\": \"{}\", \"status\": {}}}\n",
+            json_escape(&error.to_string()),
+            error.status()
+        ),
+    }
+}
+
+fn render_answer(answer: &QueryAnswer) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"query\": \"{}\",\n",
+        json_escape(&answer.query)
+    ));
+    json.push_str(&format!(
+        "  \"variables\": [{}],\n",
+        answer
+            .variables
+            .iter()
+            .map(|v| format!("\"{}\"", json_escape(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"total_rows\": {},\n", answer.total_rows));
+    json.push_str(&format!("  \"truncated\": {},\n", answer.truncated));
+    json.push_str(&format!(
+        "  \"jobs\": \"{}\",\n",
+        json_escape(&answer.job_descriptor)
+    ));
+    json.push_str(&format!(
+        "  \"simulated_seconds\": {:.6},\n",
+        answer.simulated_seconds
+    ));
+    json.push_str(&format!(
+        "  \"wall_seconds\": {:.6},\n",
+        answer.wall_seconds
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (index, row) in answer.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    [{}]{}\n",
+            row.iter()
+                .map(|cell| format!("\"{}\"", json_escape(cell)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if index + 1 == answer.rows.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.reason,
+        response.body.len(),
+        response.body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_escapes_plus_and_garbage() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%3Fx"), "?x");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn query_params_are_extracted_by_key() {
+        assert_eq!(query_param("name=Q4&x=1", "name").as_deref(), Some("Q4"));
+        assert_eq!(query_param("x=1", "name"), None);
+        assert_eq!(
+            query_param("query=SELECT%20%3Fx", "query").as_deref(),
+            Some("SELECT ?x")
+        );
+    }
+
+    #[test]
+    fn header_values_are_case_insensitive() {
+        assert_eq!(
+            header_value("Content-Length: 42", "content-length"),
+            Some("42")
+        );
+        assert_eq!(header_value("Host: x", "content-length"), None);
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

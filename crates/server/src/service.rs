@@ -1,0 +1,335 @@
+//! The serving boundary: SPARQL text in, structured answers or errors out.
+
+use cliquesquare_engine::{translate, Csq, CsqConfig, Executor};
+use cliquesquare_mapreduce::{Cluster, Runtime};
+use cliquesquare_querygen::lubm_queries::lubm_queries;
+use cliquesquare_sparql::parser::parse_query;
+use cliquesquare_sparql::BgpQuery;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default cap on the number of result rows decoded into one answer, so a
+/// single huge query cannot balloon an HTTP response without bound. The full
+/// distinct count is always reported.
+pub const DEFAULT_MAX_ROWS: usize = 1_000;
+
+/// A structured serving error. Nothing else crosses the serving boundary:
+/// worker panics are caught, the job's wave is cancelled on the scheduler,
+/// and the failure surfaces here as [`ServeError::Internal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request text is not a well-formed BGP query (HTTP 400).
+    BadQuery(String),
+    /// The request asked for a named query the service does not know
+    /// (HTTP 404).
+    UnknownQuery(String),
+    /// The request body exceeds the configured size limit (HTTP 413).
+    TooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+        /// The size the request declared or reached.
+        actual: usize,
+    },
+    /// Query execution panicked; the job was cancelled and the worker pool
+    /// survived (HTTP 500).
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadQuery(_) => 400,
+            ServeError::UnknownQuery(_) => 404,
+            ServeError::TooLarge { .. } => 413,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// The HTTP reason phrase for [`status`](Self::status).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ServeError::BadQuery(_) => "Bad Request",
+            ServeError::UnknownQuery(_) => "Not Found",
+            ServeError::TooLarge { .. } => "Payload Too Large",
+            ServeError::Internal(_) => "Internal Server Error",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadQuery(message) => write!(f, "malformed query: {message}"),
+            ServeError::UnknownQuery(name) => write!(f, "unknown query name: {name:?}"),
+            ServeError::TooLarge { limit, actual } => {
+                write!(
+                    f,
+                    "request of {actual} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            ServeError::Internal(message) => write!(f, "query execution failed: {message}"),
+        }
+    }
+}
+
+/// One served query's answer: the decoded distinct bindings plus the
+/// execution facts a client needs to reason about them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The query's name (empty for ad-hoc SPARQL text).
+    pub query: String,
+    /// The projected variables, in schema order (`?x`, `?y`, …).
+    pub variables: Vec<String>,
+    /// Decoded distinct rows in canonical order, capped at the service's
+    /// row limit.
+    pub rows: Vec<Vec<String>>,
+    /// The full distinct answer count (may exceed `rows.len()`).
+    pub total_rows: usize,
+    /// Whether `rows` was truncated to the row limit.
+    pub truncated: bool,
+    /// Paper-style job descriptor of the executed plan (`"M"`, `"1"`, …).
+    pub job_descriptor: String,
+    /// Simulated response time on the modeled cluster, in seconds.
+    pub simulated_seconds: f64,
+    /// Measured wall-clock execution time, in seconds.
+    pub wall_seconds: f64,
+}
+
+/// A shared, thread-safe query service over one loaded cluster.
+///
+/// The cluster's graph and partitioned store are immutable `Arc` snapshots:
+/// every in-flight query reads the same loaded data with no copies and no
+/// locks. All queries execute through one [`Runtime`] — pass a
+/// [`Runtime::serving`] runtime to interleave their task waves on a shared
+/// worker pool.
+#[derive(Debug)]
+pub struct QueryService {
+    csq: Csq,
+    executor: Executor,
+    named: BTreeMap<String, BgpQuery>,
+    max_rows: usize,
+    served: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl QueryService {
+    /// Creates a service over `cluster` executing on `runtime`. The named
+    /// query catalog is the LUBM mix (`Q1` … `Q14`).
+    pub fn new(cluster: Cluster, runtime: Runtime) -> Self {
+        let named = lubm_queries()
+            .into_iter()
+            .map(|q| (q.name().to_string(), q))
+            .collect();
+        Self {
+            executor: Executor::with_runtime(&cluster, runtime),
+            csq: Csq::new(cluster, CsqConfig::default()),
+            named,
+            max_rows: DEFAULT_MAX_ROWS,
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    /// This service with a different result-row cap.
+    pub fn with_max_rows(mut self, max_rows: usize) -> Self {
+        self.max_rows = max_rows.max(1);
+        self
+    }
+
+    /// The names of the catalog queries, in order.
+    pub fn query_names(&self) -> Vec<String> {
+        self.named.keys().cloned().collect()
+    }
+
+    /// Number of worker threads the serving runtime uses.
+    pub fn threads(&self) -> usize {
+        self.executor.runtime().threads()
+    }
+
+    /// `(served, failed)` request counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.served.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Parses and executes ad-hoc SPARQL text.
+    pub fn execute_text(&self, text: &str) -> Result<QueryAnswer, ServeError> {
+        let query = match parse_query(text) {
+            Ok(query) => query,
+            Err(error) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::BadQuery(error.to_string()));
+            }
+        };
+        self.run(&query)
+    }
+
+    /// Executes a catalog query by name (`Q1` … `Q14`).
+    pub fn execute_named(&self, name: &str) -> Result<QueryAnswer, ServeError> {
+        let Some(query) = self.named.get(name).cloned() else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::UnknownQuery(name.to_string()));
+        };
+        self.run(&query)
+    }
+
+    /// Plans and executes one parsed query, catching any panic at the
+    /// boundary. A worker-thread panic cancels the job's remaining tasks on
+    /// the scheduler, re-raises on this (submitting) thread, and is caught
+    /// here — the worker pool keeps serving other jobs throughout.
+    pub fn run(&self, query: &BgpQuery) -> Result<QueryAnswer, ServeError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.run_unguarded(query)));
+        match outcome {
+            Ok(answer) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                Ok(answer)
+            }
+            Err(payload) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Internal(panic_message(payload.as_ref())))
+            }
+        }
+    }
+
+    fn run_unguarded(&self, query: &BgpQuery) -> QueryAnswer {
+        let (_, chosen, _) = self.csq.plan(query);
+        let physical = translate(&chosen, self.csq.cluster().graph());
+        let output = self.executor.execute(&physical);
+        let results = output.results.distinct();
+        let graph = self.csq.cluster().graph();
+        let total_rows = results.len();
+        let truncated = total_rows > self.max_rows;
+        let rows = results
+            .rows()
+            .take(self.max_rows)
+            .map(|row| {
+                row.iter()
+                    .map(|&id| match graph.decode(id) {
+                        Some(term) => term.to_string(),
+                        None => format!("#{id}"),
+                    })
+                    .collect()
+            })
+            .collect();
+        QueryAnswer {
+            query: query.name().to_string(),
+            variables: results.schema().iter().map(|v| v.to_string()).collect(),
+            rows,
+            total_rows,
+            truncated,
+            job_descriptor: output.job_log.descriptor(),
+            simulated_seconds: output.simulated_seconds,
+            wall_seconds: output.wall_seconds,
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads cover
+/// every `panic!`/`assert!` in the workspace).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "query worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_mapreduce::ClusterConfig;
+    use cliquesquare_rdf::{LubmGenerator, LubmScale};
+    use std::sync::Arc;
+
+    fn service() -> QueryService {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
+        QueryService::new(cluster, Runtime::serving(2))
+    }
+
+    #[test]
+    fn named_query_answers_match_the_single_job_path() {
+        let svc = service();
+        let answer = svc.execute_named("Q1").expect("Q1 serves");
+        let report = svc.csq.run(&svc.named["Q1"]);
+        assert_eq!(answer.total_rows, report.result_count);
+        assert_eq!(answer.job_descriptor, report.job_descriptor);
+        assert_eq!(svc.counters().0, 1);
+    }
+
+    #[test]
+    fn malformed_sparql_is_a_400() {
+        let svc = service();
+        let error = svc.execute_text("SELECT WHERE oops {").unwrap_err();
+        assert_eq!(error.status(), 400);
+        assert!(matches!(error, ServeError::BadQuery(_)));
+        assert_eq!(svc.counters(), (0, 1));
+    }
+
+    #[test]
+    fn unknown_query_name_is_a_404() {
+        let svc = service();
+        let error = svc.execute_named("Q99").unwrap_err();
+        assert_eq!(error.status(), 404);
+        assert_eq!(error.to_string(), "unknown query name: \"Q99\"");
+    }
+
+    #[test]
+    fn planner_panic_is_contained_and_the_pool_survives() {
+        let svc = service();
+        // A disconnected BGP makes the planner panic ("no plan found"); the
+        // serving boundary must turn that into a 500 and keep serving.
+        let error = svc
+            .execute_text("SELECT ?a WHERE { ?a ub:p ?b . ?x ub:q ?y }")
+            .unwrap_err();
+        assert_eq!(error.status(), 500);
+        assert!(error.to_string().contains("no plan found"));
+        assert!(svc.execute_named("Q2").is_ok());
+    }
+
+    #[test]
+    fn row_cap_truncates_but_reports_the_full_count() {
+        let svc = service().with_max_rows(1);
+        let answer = svc
+            .execute_text("SELECT ?x ?y WHERE { ?x ub:advisor ?y }")
+            .expect("advisor query serves");
+        assert!(answer.total_rows > 1);
+        assert_eq!(answer.rows.len(), 1);
+        assert!(answer.truncated);
+    }
+
+    #[test]
+    fn concurrent_clients_get_bit_identical_answers() {
+        let svc = Arc::new(service());
+        let solo: Vec<QueryAnswer> = ["Q1", "Q2", "Q4", "Q14"]
+            .iter()
+            .map(|name| svc.execute_named(name).unwrap())
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    ["Q1", "Q2", "Q4", "Q14"]
+                        .iter()
+                        .map(|name| svc.execute_named(name).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let interleaved = handle.join().unwrap();
+            for (a, b) in solo.iter().zip(&interleaved) {
+                assert_eq!(a.rows, b.rows);
+                assert_eq!(a.total_rows, b.total_rows);
+                assert_eq!(a.job_descriptor, b.job_descriptor);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Live-socket tests of the HTTP SPARQL endpoint: every status code the
+//! serving boundary promises (200/400/404/413/500), plus concurrent clients
+//! getting bit-identical answers.
+
+use cliquesquare_mapreduce::{Cluster, ClusterConfig, Runtime};
+use cliquesquare_rdf::{LubmGenerator, LubmScale};
+use cliquesquare_server::{HttpServer, QueryService, ServerConfig, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+struct LiveServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.handle.stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn start_server(config: ServerConfig) -> LiveServer {
+    let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+    let cluster = Cluster::load(graph, ClusterConfig::with_nodes(4));
+    let service = Arc::new(QueryService::new(cluster, Runtime::serving(2)));
+    let server = HttpServer::bind(service, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || {
+        server.serve().expect("serve");
+    });
+    LiveServer {
+        addr,
+        handle,
+        thread: Some(thread),
+    }
+}
+
+/// Sends one raw HTTP request and returns `(status, body)`.
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post_sparql(addr: SocketAddr, query: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST /sparql HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            query.len(),
+            query
+        ),
+    )
+}
+
+#[test]
+fn the_endpoint_serves_every_promised_status_code() {
+    let server = start_server(ServerConfig {
+        max_request_bytes: 4096,
+    });
+    let addr = server.addr;
+
+    // 200: liveness.
+    let (status, body) = get(addr, "/health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""));
+
+    // 200: a named catalog query.
+    let (status, body) = get(addr, "/query?name=Q1");
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"query\": \"Q1\""));
+    assert!(body.contains("\"total_rows\""));
+
+    // 200: ad-hoc SPARQL via POST.
+    let (status, body) = post_sparql(
+        addr,
+        "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"rows\""));
+
+    // 200: ad-hoc SPARQL percent-encoded in the URL.
+    let (status, _) = get(
+        addr,
+        "/sparql?query=SELECT%20%3Fx%20%3Fy%20WHERE%20%7B%20%3Fx%20ub%3Aadvisor%20%3Fy%20%7D",
+    );
+    assert_eq!(status, 200);
+
+    // 400: malformed SPARQL.
+    let (status, body) = post_sparql(addr, "SELECT WHERE oops {");
+    assert_eq!(status, 400);
+    assert!(body.contains("malformed query"));
+
+    // 404: unknown query name, unknown route.
+    let (status, body) = get(addr, "/query?name=Q99");
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown query name"));
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // 413: a body larger than the configured limit is rejected up front.
+    let oversized = "x".repeat(8192);
+    let (status, body) = post_sparql(addr, &oversized);
+    assert_eq!(status, 413);
+    assert!(body.contains("exceeds"));
+
+    // 500: a disconnected query parses but panics in the planner; the panic
+    // must not cross the boundary …
+    let (status, body) = post_sparql(addr, "SELECT ?a WHERE { ?a ub:p ?b . ?x ub:q ?y }");
+    assert_eq!(status, 500);
+    assert!(body.contains("no plan found"));
+
+    // … and the pool keeps serving afterwards.
+    let (status, _) = get(addr, "/query?name=Q2");
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn concurrent_http_clients_get_identical_bodies() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.addr;
+    let names = ["Q1", "Q2", "Q4", "Q14"];
+    let solo: Vec<String> = names
+        .iter()
+        .map(|name| {
+            let (status, body) = get(addr, &format!("/query?name={name}"));
+            assert_eq!(status, 200);
+            body
+        })
+        .collect();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                names
+                    .iter()
+                    .map(|name| get(addr, &format!("/query?name={name}")))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        for ((status, body), expected) in handle.join().unwrap().into_iter().zip(&solo) {
+            assert_eq!(status, 200);
+            // wall_seconds varies run to run; everything else must not.
+            let strip = |text: &str| -> String {
+                text.lines()
+                    .filter(|line| !line.contains("wall_seconds"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&body), strip(expected));
+        }
+    }
+}
