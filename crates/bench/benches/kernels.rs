@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the relation-level execution kernels: the
+//! column-major sort and merge-compare paths of `Relation`, the run-length
+//! factorized join (run emission and projection-boundary expansion), and the
+//! fill-proportional shuffle partitioner. These isolate the kernels the
+//! `report_execution` wall-clock columns are built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cliquesquare_engine::{hash_partition, join_runs, JoinOrder, Relation};
+use cliquesquare_rdf::TermId;
+use cliquesquare_sparql::Variable;
+
+const ROWS: usize = 20_000;
+
+fn v(name: &str) -> Variable {
+    Variable::new(name)
+}
+
+/// An unsorted `(x, a, b)` relation whose key column cycles through
+/// `rows / 8` distinct values (so sorts see real duplicate groups).
+fn unsorted(rows: usize) -> Relation {
+    let mut relation = Relation::empty(vec![v("x"), v("a"), v("b")]);
+    let keys = (rows / 8).max(1) as u32;
+    for i in 0..rows {
+        let i = i as u32;
+        relation.push_row_unordered(&[
+            TermId((i.wrapping_mul(2_654_435_761)) % keys),
+            TermId(i),
+            TermId(i ^ 0x5a5a),
+        ]);
+    }
+    relation
+}
+
+/// A canonical (key-sorted) `(x, payload)` relation with `fanout` rows per
+/// key — the star-join input shape.
+fn sorted_star_input(rows: usize, fanout: usize, payload: &str) -> Relation {
+    let mut relation = Relation::empty(vec![v("x"), v(payload)]);
+    for i in 0..rows {
+        relation.push_row(&[TermId((i / fanout) as u32), TermId(i as u32)]);
+    }
+    relation
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let base = unsorted(ROWS);
+    let mut group = c.benchmark_group("kernels_sort");
+    group.bench_function("canonicalize_20k_x3", |b| {
+        b.iter(|| {
+            let mut relation = base.clone();
+            relation.canonicalize();
+            black_box(relation.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge_join(c: &mut Criterion) {
+    let left = sorted_star_input(ROWS, 4, "a");
+    let right = sorted_star_input(ROWS, 4, "b");
+    let key = [v("x")];
+    let mut group = c.benchmark_group("kernels_merge_join");
+    group.bench_function("eager_20k_x_20k", |b| {
+        b.iter(|| {
+            black_box(Relation::join_ordered(&[&left, &right], &key, JoinOrder::Natural).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_factorized(c: &mut Criterion) {
+    let left = sorted_star_input(ROWS, 4, "a");
+    let right = sorted_star_input(ROWS, 4, "b");
+    let key = [v("x")];
+    let mut group = c.benchmark_group("kernels_factorized");
+    group.bench_function("join_runs_20k_x_20k", |b| {
+        b.iter(|| black_box(join_runs(&[&left, &right], &key, &[]).runs()))
+    });
+    let runs = join_runs(&[&left, &right], &key, &[]);
+    group.bench_function("expand_20k_x_20k", |b| {
+        b.iter(|| black_box(runs.expand().len()))
+    });
+    group.bench_function("project_expand_20k_x_20k", |b| {
+        let vars = [v("a"), v("b")];
+        b.iter(|| black_box(runs.project_expand(&vars).len()))
+    });
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let relation = unsorted(ROWS);
+    let key = [v("x")];
+    let mut group = c.benchmark_group("kernels_shuffle");
+    group.bench_function("hash_partition_20k_8n", |b| {
+        b.iter(|| black_box(hash_partition(&relation, &key, 8).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort,
+    bench_merge_join,
+    bench_factorized,
+    bench_shuffle
+);
+criterion_main!(benches);

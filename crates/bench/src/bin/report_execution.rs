@@ -27,11 +27,12 @@
 //! per-wave thread spawn cost, which is what the speedup column measures.
 //! `--snapshot [PATH]` additionally writes the per-query wall times and
 //! totals to `PATH` — `BENCH_execution.json` by default — as the recorded
-//! perf-trajectory artifact; CI uploads it without gating on it.
-//! `--baseline [PATH]` reads a previously recorded snapshot and prints a
-//! sort-elision regression table diffing `sorts_performed` /
-//! `join_inputs_resorted` against it; run it at the scale the baseline was
-//! recorded at — the repo-root default.)
+//! perf-trajectory artifact.
+//! `--baseline [PATH]` reads a previously recorded snapshot, prints a
+//! counter regression table diffing `sorts_performed` /
+//! `join_inputs_resorted` / `peak_rows` against it, and **exits nonzero**
+//! when any query regressed — CI gates on this. Run it at the scale the
+//! baseline was recorded at — the repo-root default.)
 
 use cliquesquare_baselines::BinaryPlanner;
 use cliquesquare_bench::{
@@ -129,6 +130,21 @@ fn main() {
             "{}: join input paid a re-sort (interesting-orders regression)",
             query.name()
         );
+        // Q1 is the canonical star join: its factorized execution must emit
+        // strictly fewer runs than it materializes result rows — the
+        // output-sublinear intermediate the factorization exists for.
+        if query.name() == "Q1" {
+            assert!(
+                rel_stats.runs_emitted > 0,
+                "Q1: star join no longer takes the factorized path"
+            );
+            assert!(
+                rel_stats.runs_emitted < report.result_count as u64,
+                "Q1: factorized runs ({}) not sublinear in results ({})",
+                rel_stats.runs_emitted,
+                report.result_count
+            );
+        }
 
         snapshot_queries.push(SnapshotQuery {
             name: query.name().to_string(),
@@ -141,6 +157,10 @@ fn main() {
             sorts_performed: rel_stats.sorts_performed,
             sorts_elided: rel_stats.sorts_elided,
             join_inputs_resorted: rel_stats.join_inputs_resorted,
+            runs_emitted: rel_stats.runs_emitted,
+            rows_expanded: rel_stats.rows_expanded,
+            peak_rows: rel_stats.peak_rows,
+            peak_bytes: rel_stats.peak_bytes,
         });
         rows.push(vec![
             format!(
@@ -165,6 +185,9 @@ fn main() {
             rel_stats.sorts_performed.to_string(),
             rel_stats.sorts_elided.to_string(),
             rel_stats.join_inputs_resorted.to_string(),
+            rel_stats.runs_emitted.to_string(),
+            rel_stats.rows_expanded.to_string(),
+            rel_stats.peak_rows.to_string(),
             report.result_count.to_string(),
         ]);
     }
@@ -187,6 +210,9 @@ fn main() {
                 "sorts",
                 "elided",
                 "resorts",
+                "runs",
+                "expanded",
+                "peak rows",
                 "|Q|",
             ],
             &rows
@@ -198,12 +224,20 @@ fn main() {
          of the sequential run; `row allocs` counts per-row heap allocations on the \
          join/shuffle paths (always 0 with the flat columnar relations); `sorts`/`elided` \
          count index sorts performed vs ordering requirements the interesting-orders pass \
-         satisfied without sorting, and `resorts` counts join inputs that paid a re-sort."
+         satisfied without sorting, and `resorts` counts join inputs that paid a re-sort. \
+         `runs`/`expanded` count factorized join runs emitted vs rows materialized at the \
+         projection boundary, and `peak rows` is the largest single join intermediate."
     );
     println!("Expected shape (paper): MSC plans are fastest for every query, up to ~2x vs bushy and up to ~16x vs linear.");
 
     if let Some(path) = baseline_path_from_args(&args) {
-        print_baseline_diff(&path, &snapshot_queries);
+        if print_baseline_diff(&path, &snapshot_queries) {
+            eprintln!(
+                "error: counter regression vs {path} (see table above); \
+                 re-record the snapshot with --snapshot if the change is intended"
+            );
+            std::process::exit(1);
+        }
     }
 
     if let Some(path) = snapshot_path_from_args(&args) {
@@ -220,16 +254,19 @@ fn main() {
     }
 }
 
-/// Prints the sort-elision regression table: the current run's
-/// `sorts_performed` / `join_inputs_resorted` counters next to the committed
-/// snapshot's. Informational (non-gating in CI): a growing `Δ` column means
-/// the interesting-orders pass lost elisions somewhere.
-fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) {
+/// Prints the counter regression table — the current run's
+/// `sorts_performed` / `join_inputs_resorted` / `peak_rows` counters next to
+/// the committed snapshot's — and returns `true` when any query regressed
+/// (sorted more, re-sorted a join input, or held a larger peak intermediate
+/// than the baseline recorded). CI gates on the exit status this feeds:
+/// deterministic counters, so any growth is a real plan/execution change,
+/// not machine noise.
+fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) -> bool {
     let baseline = match read_execution_snapshot(path) {
         Ok(queries) => queries,
         Err(error) => {
             println!("\n(no baseline diff: could not read {path}: {error})");
-            return;
+            return false;
         }
     };
     let lookup = |name: &str| baseline.iter().find(|b| b.name == name);
@@ -242,10 +279,12 @@ fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) {
     let (mut sorts_now, mut sorts_then) = (0u64, 0u64);
     let (mut resorts_now, mut resorts_then) = (0u64, 0u64);
     let mut complete = true;
+    let mut regressed = false;
     for q in current {
         let base = lookup(&q.name);
         let base_sorts = base.and_then(|b| b.sorts_performed);
         let base_resorts = base.and_then(|b| b.join_inputs_resorted);
+        let base_peak = base.and_then(|b| b.peak_rows);
         sorts_now += q.sorts_performed;
         resorts_now += q.join_inputs_resorted;
         match (base_sorts, base_resorts) {
@@ -255,6 +294,11 @@ fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) {
             }
             _ => complete = false,
         }
+        // Gate per query: more sorts, a re-sorted join input, or a larger
+        // peak intermediate than the recorded baseline is a regression.
+        regressed |= base_sorts.is_some_and(|s| q.sorts_performed > s)
+            || base_resorts.is_some_and(|r| q.join_inputs_resorted > r)
+            || base_peak.is_some_and(|p| q.peak_rows > p);
         rows.push(vec![
             q.name.clone(),
             fmt_count(base_sorts),
@@ -263,12 +307,15 @@ fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) {
             fmt_count(base_resorts),
             q.join_inputs_resorted.to_string(),
             fmt_delta(q.join_inputs_resorted, base_resorts),
+            fmt_count(base_peak),
+            q.peak_rows.to_string(),
+            fmt_delta(q.peak_rows, base_peak),
             base.and_then(|b| b.wall_sequential_ms)
                 .map_or("-".to_string(), fmt_f64),
             fmt_f64(q.wall_sequential_ms),
         ]);
     }
-    println!("\n== Sort-elision regression vs {path} ==");
+    println!("\n== Counter regression vs {path} ==");
     println!(
         "{}",
         table(
@@ -279,6 +326,9 @@ fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) {
                 "Δ",
                 "resorts(base)",
                 "resorts(now)",
+                "Δ",
+                "peak(base)",
+                "peak(now)",
                 "Δ",
                 "wall base (ms)",
                 "wall now (ms)",
@@ -294,6 +344,7 @@ fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) {
             resorts_now as i64 - resorts_then as i64
         );
     } else {
-        println!("(baseline predates the sort counters for some queries: '-' entries)");
+        println!("(baseline predates some counters: '-' entries do not gate)");
     }
+    regressed
 }

@@ -180,6 +180,14 @@ pub struct SnapshotQuery {
     pub sorts_elided: u64,
     /// Join inputs that paid a column-permuted re-sort.
     pub join_inputs_resorted: u64,
+    /// Factorized join runs emitted instead of materialized cross products.
+    pub runs_emitted: u64,
+    /// Rows materialized when factorized runs expanded at the projection.
+    pub rows_expanded: u64,
+    /// Peak logical rows held by any single join intermediate.
+    pub peak_rows: u64,
+    /// Peak bytes held by any single join intermediate.
+    pub peak_bytes: u64,
 }
 
 /// Minimal JSON string escaping (the snapshot only contains query names and
@@ -233,7 +241,8 @@ pub fn write_execution_snapshot(
              \"simulated_seconds\": {:.6}, \"wall_sequential_ms\": {:.3}, \
              \"wall_parallel_ms\": {:.3}, \"results\": {}, \
              \"sorts_performed\": {}, \"sorts_elided\": {}, \
-             \"join_inputs_resorted\": {}}}{}\n",
+             \"join_inputs_resorted\": {}, \"runs_emitted\": {}, \
+             \"rows_expanded\": {}, \"peak_rows\": {}, \"peak_bytes\": {}}}{}\n",
             json_escape(&q.name),
             q.patterns,
             json_escape(&q.jobs),
@@ -244,6 +253,10 @@ pub fn write_execution_snapshot(
             q.sorts_performed,
             q.sorts_elided,
             q.join_inputs_resorted,
+            q.runs_emitted,
+            q.rows_expanded,
+            q.peak_rows,
+            q.peak_bytes,
             if index + 1 == queries.len() { "" } else { "," }
         ));
     }
@@ -267,6 +280,14 @@ pub struct BaselineQuery {
     pub sorts_elided: Option<u64>,
     /// Recorded `join_inputs_resorted` counter, if the snapshot has one.
     pub join_inputs_resorted: Option<u64>,
+    /// Recorded `runs_emitted` counter, if the snapshot has one.
+    pub runs_emitted: Option<u64>,
+    /// Recorded `rows_expanded` counter, if the snapshot has one.
+    pub rows_expanded: Option<u64>,
+    /// Recorded `peak_rows` counter, if the snapshot has one.
+    pub peak_rows: Option<u64>,
+    /// Recorded `peak_bytes` counter, if the snapshot has one.
+    pub peak_bytes: Option<u64>,
 }
 
 /// Extracts the raw value of `"key": value` from one JSON object line
@@ -310,6 +331,10 @@ pub fn read_execution_snapshot(path: &str) -> std::io::Result<Vec<BaselineQuery>
             sorts_elided: json_field(line, "sorts_elided").and_then(|v| v.parse().ok()),
             join_inputs_resorted: json_field(line, "join_inputs_resorted")
                 .and_then(|v| v.parse().ok()),
+            runs_emitted: json_field(line, "runs_emitted").and_then(|v| v.parse().ok()),
+            rows_expanded: json_field(line, "rows_expanded").and_then(|v| v.parse().ok()),
+            peak_rows: json_field(line, "peak_rows").and_then(|v| v.parse().ok()),
+            peak_bytes: json_field(line, "peak_bytes").and_then(|v| v.parse().ok()),
         });
     }
     Ok(queries)
@@ -540,6 +565,10 @@ mod tests {
                 sorts_performed: 3,
                 sorts_elided: 17,
                 join_inputs_resorted: 1,
+                runs_emitted: 5,
+                rows_expanded: 40,
+                peak_rows: 60,
+                peak_bytes: 480,
             },
             SnapshotQuery {
                 name: "Q2".to_string(),
@@ -552,6 +581,10 @@ mod tests {
                 sorts_performed: 0,
                 sorts_elided: 20,
                 join_inputs_resorted: 0,
+                runs_emitted: 0,
+                rows_expanded: 0,
+                peak_rows: 7,
+                peak_bytes: 56,
             },
         ];
         let path = std::env::temp_dir().join("csq_snapshot_roundtrip.json");
@@ -564,6 +597,10 @@ mod tests {
         assert_eq!(read[0].sorts_elided, Some(17));
         assert_eq!(read[0].join_inputs_resorted, Some(1));
         assert_eq!(read[0].wall_sequential_ms, Some(0.95));
+        assert_eq!(read[0].runs_emitted, Some(5));
+        assert_eq!(read[0].rows_expanded, Some(40));
+        assert_eq!(read[0].peak_rows, Some(60));
+        assert_eq!(read[0].peak_bytes, Some(480));
         assert_eq!(read[1].name, "Q2");
         assert_eq!(read[1].sorts_performed, Some(0));
         let _ = std::fs::remove_file(path);

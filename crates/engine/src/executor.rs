@@ -27,6 +27,7 @@
 //! applied to the work counters — unchanged by the thread count) and
 //! `wall_seconds` (real time measured around the task waves).
 
+use crate::factorized::{self, RunsRelation};
 use crate::jobs::{schedule, JobSchedule};
 use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
 use crate::relation::{self, JoinOrder, Relation, SortOrder};
@@ -69,21 +70,29 @@ impl ExecutionOutput {
     }
 }
 
-/// Intermediate operator results: either one relation per compute node
-/// (map-side, co-located data) or a single cluster-wide relation (the output
-/// of a reduce phase). Shared between consumers via `Arc` — a memo hit costs
-/// a reference-count bump, not a relation clone.
+/// Intermediate operator results: one relation per compute node (map-side,
+/// co-located data), a single cluster-wide relation (the output of a reduce
+/// phase), or one **run-length factorized** join output per node — cross
+/// products held as `(key, payload ranges)` runs, expanded only at the final
+/// projection boundary (see [`crate::factorized`]). Shared between consumers
+/// via `Arc` — a memo hit costs a reference-count bump, not a relation
+/// clone.
 #[derive(Debug)]
 enum Intermediate {
     Local(Vec<Relation>),
     Global(Relation),
+    LocalRuns(Vec<RunsRelation>),
 }
 
 impl Intermediate {
+    /// Logical row count: factorized parts report the rows an expansion
+    /// materializes, so every job counter (and the cost model on top) sees
+    /// the same tuple volume as the eager path.
     fn cardinality(&self) -> u64 {
         match self {
             Intermediate::Local(parts) => parts.iter().map(|r| r.len() as u64).sum(),
             Intermediate::Global(rel) => rel.len() as u64,
+            Intermediate::LocalRuns(parts) => parts.iter().map(|r| r.expanded_len() as u64).sum(),
         }
     }
 
@@ -91,6 +100,9 @@ impl Intermediate {
         match self {
             Intermediate::Local(parts) => parts.first().map(Relation::schema).unwrap_or(&[]),
             Intermediate::Global(rel) => rel.schema(),
+            Intermediate::LocalRuns(parts) => {
+                parts.first().map(RunsRelation::schema).unwrap_or(&[])
+            }
         }
     }
 
@@ -99,6 +111,7 @@ impl Intermediate {
         match self {
             Intermediate::Global(rel) => rel.clone(),
             Intermediate::Local(parts) => merge_parts(parts.iter().cloned()),
+            Intermediate::LocalRuns(parts) => merge_parts(parts.iter().map(RunsRelation::expand)),
         }
     }
 
@@ -107,6 +120,7 @@ impl Intermediate {
         match self {
             Intermediate::Global(rel) => rel,
             Intermediate::Local(parts) => merge_parts(parts.into_iter()),
+            Intermediate::LocalRuns(parts) => merge_parts(parts.iter().map(RunsRelation::expand)),
         }
     }
 }
@@ -361,6 +375,13 @@ fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -
             }
             per_node.into_iter().map(Relation::merge_ordered).collect()
         }
+        Intermediate::LocalRuns(parts) => {
+            // Defensive: runs never feed a shuffle in well-formed plans
+            // (their sole consumer is the root projection). Expand and
+            // route like any local parts.
+            let expanded = Intermediate::Local(parts.iter().map(RunsRelation::expand).collect());
+            partition_rows(&expanded, attributes, nodes)
+        }
     }
 }
 
@@ -573,6 +594,39 @@ impl<'a> ExecState<'a> {
             delivered: delivered.to_vec(),
             evaluated,
         });
+        if plan.factorized(id) {
+            // Factorized path: emit `(key, payload ranges)` runs per node
+            // instead of materializing the cross product. Counters report the
+            // rows an expansion yields, so the job totals (and the cost model
+            // on top) match the eager path exactly.
+            let tasks: Vec<_> = (0..nodes)
+                .map(|node| {
+                    let ctx = Arc::clone(&ctx);
+                    move || {
+                        let node_inputs: Vec<&Relation> = ctx
+                            .evaluated
+                            .iter()
+                            .map(|value| match &**value {
+                                Intermediate::Local(parts) => &parts[node],
+                                _ => unreachable!("checked above"),
+                            })
+                            .collect();
+                        factorized::join_runs(&node_inputs, &ctx.attrs, &ctx.delivered)
+                    }
+                })
+                .collect();
+            let (parts, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
+            let mut produced: u64 = 0;
+            let job = self.job_mut(id);
+            job.map_wall += wall;
+            for (node, part) in parts.iter().enumerate() {
+                job.map_out[node] += part.expanded_len() as u64;
+                produced += part.expanded_len() as u64;
+            }
+            job.metrics.join_output_tuples += produced;
+            job.metrics.tuples_written += produced;
+            return Arc::new(Intermediate::LocalRuns(parts));
+        }
         let tasks: Vec<_> = (0..nodes)
             .map(|node| {
                 let ctx = Arc::clone(&ctx);
@@ -582,7 +636,7 @@ impl<'a> ExecState<'a> {
                         .iter()
                         .map(|value| match &**value {
                             Intermediate::Local(parts) => &parts[node],
-                            Intermediate::Global(_) => unreachable!("checked above"),
+                            _ => unreachable!("checked above"),
                         })
                         .collect();
                     Relation::join_ordered(
@@ -625,6 +679,15 @@ impl<'a> ExecState<'a> {
                 spread(&mut job.map_in, rows);
                 spread(&mut job.map_out, rows);
             }
+            Intermediate::LocalRuns(parts) => {
+                // Defensive: the planner only factorizes joins whose sole
+                // consumer is the root projection, so runs never reach a
+                // shuffler in well-formed plans. Account expanded volumes.
+                for (node, part) in parts.iter().enumerate() {
+                    job.map_in[node] += part.expanded_len() as u64;
+                    job.map_out[node] += part.expanded_len() as u64;
+                }
+            }
         }
         value
     }
@@ -659,6 +722,44 @@ impl<'a> ExecState<'a> {
             delivered: delivered.to_vec(),
             buckets,
         });
+        if plan.factorized(id) {
+            // Factorized path: each reduce task emits runs over its
+            // co-partitioned buckets; no cluster-wide merge — the runs stay
+            // per-node and expand at the projection boundary. The hash
+            // partition gives nodes disjoint key sets, so expanding and
+            // merging later yields exactly the eager join's rows.
+            let tasks: Vec<_> = (0..nodes)
+                .map(|node| {
+                    let ctx = Arc::clone(&ctx);
+                    move || {
+                        let node_inputs: Vec<&Relation> = ctx
+                            .buckets
+                            .iter()
+                            .map(|per_input| &per_input[node])
+                            .collect();
+                        factorized::join_runs(&node_inputs, &ctx.attrs, &ctx.delivered)
+                    }
+                })
+                .collect();
+            let parts = self.runtime.run_job_wave(self.job_id, tasks);
+            let buckets = &ctx.buckets;
+            let mut produced: u64 = 0;
+            let job = self.job_mut(id);
+            for (node, part) in parts.iter().enumerate() {
+                let received: u64 = buckets
+                    .iter()
+                    .map(|per_input| per_input[node].len() as u64)
+                    .sum();
+                job.reduce_in[node] += received;
+                job.reduce_out[node] += part.expanded_len() as u64;
+                produced += part.expanded_len() as u64;
+            }
+            job.reduce_wall += phase_started.elapsed().as_secs_f64();
+            job.metrics.tuples_shuffled += shuffled;
+            job.metrics.join_output_tuples += produced;
+            job.metrics.tuples_written += produced;
+            return Arc::new(Intermediate::LocalRuns(parts));
+        }
         let tasks: Vec<_> = (0..nodes)
             .map(|node| {
                 let ctx = Arc::clone(&ctx);
@@ -724,7 +825,7 @@ impl<'a> ExecState<'a> {
                         let vars = Arc::clone(&vars);
                         move || match &*value {
                             Intermediate::Local(parts) => parts[index].project(&vars),
-                            Intermediate::Global(_) => unreachable!("matched Local above"),
+                            _ => unreachable!("matched Local above"),
                         }
                     })
                     .collect();
@@ -738,6 +839,27 @@ impl<'a> ExecState<'a> {
                 let projected = rel.project(variables);
                 self.job_mut(id).metrics.comparisons += rows;
                 Arc::new(Intermediate::Global(projected))
+            }
+            Intermediate::LocalRuns(parts) => {
+                // Expansion boundary: runs materialize here, directly at the
+                // projected arity — the full-width cross product never
+                // exists.
+                let vars = Arc::new(variables.to_vec());
+                let tasks: Vec<_> = (0..parts.len())
+                    .map(|index| {
+                        let value = Arc::clone(&value);
+                        let vars = Arc::clone(&vars);
+                        move || match &*value {
+                            Intermediate::LocalRuns(parts) => parts[index].project_expand(&vars),
+                            _ => unreachable!("matched LocalRuns above"),
+                        }
+                    })
+                    .collect();
+                let (projected, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
+                let job = self.job_mut(id);
+                job.map_wall += wall;
+                job.metrics.comparisons += rows;
+                Arc::new(Intermediate::Local(projected))
             }
         }
     }

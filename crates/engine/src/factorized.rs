@@ -1,0 +1,456 @@
+//! Run-length factorized join outputs.
+//!
+//! The n-ary sort-merge join receives its inputs grouped by key, so a star
+//! join's output is a sequence of *cross products* — one per aligned key
+//! group. Materializing them eagerly costs `Π |group_i|` rows per key even
+//! though the join itself only has to walk `Σ |group_i|` input rows. A
+//! [`RunsRelation`] keeps the output in factorized form instead: one run per
+//! aligned key group holding the key tuple plus each input's payload rows,
+//! and the cross products are expanded only at the final projection boundary
+//! ([`RunsRelation::project_expand`]) — directly into the projected arity,
+//! so the full-width intermediate never exists. That makes high-fan-out star
+//! joins output-sublinear in intermediate rows: `runs_emitted` stays far
+//! below `rows_expanded` in [`crate::relation::stats`].
+//!
+//! Factorization is only legal when the join's inputs pairwise share
+//! **nothing but the join attributes** (otherwise cross-input equality
+//! checks filter the cross product and the runs would over-count);
+//! `translate::factorized_joins` proves that from the plan, and
+//! [`join_runs`] re-asserts it. Expansion reproduces the eager join's
+//! emission order exactly and re-establishes the plan's delivered order with
+//! the same sort-elision machinery, so results stay bit-identical to the
+//! row-major path at every thread count.
+
+use crate::relation::{
+    merge_key_groups, stats, InputView, JoinOrder, Relation, SortOrder, TERM_BYTES,
+};
+use cliquesquare_rdf::TermId;
+use cliquesquare_sparql::Variable;
+
+/// The run-length factorized output of one n-ary sort-merge join: one run
+/// per aligned key group, holding `(key tuple, per-input payload ranges)`
+/// instead of the materialized cross product.
+#[derive(Debug, Clone)]
+pub struct RunsRelation {
+    /// Union of the input schemas in input order (what an eager join of the
+    /// same inputs would produce).
+    schema: Vec<Variable>,
+    /// Output column of each join attribute, in attribute order.
+    key_cols: Vec<usize>,
+    /// The output order the plan asked the join for; re-established when
+    /// the runs are expanded.
+    delivered: Vec<Variable>,
+    /// One key tuple per run, row-major (`key_cols.len()` ids per run),
+    /// ascending in key order.
+    keys: Vec<TermId>,
+    /// Per join input: the payload columns it contributes and their values,
+    /// grouped by run.
+    inputs: Vec<RunInput>,
+    /// Number of runs (aligned key groups).
+    runs: usize,
+    /// Total rows an expansion materializes: `Σ_runs Π_inputs |group|`.
+    expanded_rows: usize,
+}
+
+/// One join input's contribution to every run.
+#[derive(Debug, Clone)]
+struct RunInput {
+    /// Output columns this input alone provides (its non-key variables).
+    dst_cols: Vec<usize>,
+    /// Payload values, row-major `dst_cols.len()` ids per row, grouped by
+    /// run in key order.
+    payload: Vec<TermId>,
+    /// Prefix offsets into the payload rows: run `g` spans payload rows
+    /// `offsets[g]..offsets[g + 1]`.
+    offsets: Vec<u32>,
+}
+
+/// N-ary sort-merge join emitting run-length factorized output instead of
+/// materialized cross products. The merge skeleton (input views, key-chunk
+/// comparators, group alignment) is shared with [`Relation::join_ordered`];
+/// only the per-group emission differs: each aligned group appends one run —
+/// the key tuple plus each input's payload rows — in `O(Σ |group|)` instead
+/// of `O(Π |group|)`.
+///
+/// `delivered` is the output order the plan requires; it is stored on the
+/// result and re-established at expansion time.
+///
+/// # Panics
+///
+/// Panics if fewer than two inputs are given or if two inputs share a
+/// non-join attribute (the planner's legality condition).
+pub fn join_runs(
+    inputs: &[&Relation],
+    attributes: &[Variable],
+    delivered: &[Variable],
+) -> RunsRelation {
+    assert!(
+        inputs.len() >= 2,
+        "factorized join needs at least two inputs"
+    );
+    // Output schema: union of schemas, first occurrence wins (identical to
+    // the eager join).
+    let mut schema: Vec<Variable> = Vec::new();
+    for rel in inputs {
+        for v in rel.schema() {
+            if !schema.contains(v) {
+                schema.push(v.clone());
+            }
+        }
+    }
+    let key_cols: Vec<usize> = attributes
+        .iter()
+        .map(|a| {
+            schema
+                .iter()
+                .position(|s| s == a)
+                .expect("join attribute in output schema")
+        })
+        .collect();
+
+    // Per input: the payload (non-key) columns it contributes, as
+    // `(src, dst)` column pairs. Inputs must pairwise share only the join
+    // attributes, so every non-key output column has exactly one provider
+    // and the aligned groups combine as pure cross products.
+    let mut provided = vec![false; schema.len()];
+    for &c in &key_cols {
+        provided[c] = true;
+    }
+    let mut run_inputs: Vec<RunInput> = Vec::with_capacity(inputs.len());
+    let mut src_cols: Vec<Vec<usize>> = Vec::with_capacity(inputs.len());
+    for rel in inputs {
+        let mut dst_cols: Vec<usize> = Vec::new();
+        let mut srcs: Vec<usize> = Vec::new();
+        for (src, v) in rel.schema().iter().enumerate() {
+            let dst = schema.iter().position(|s| s == v).expect("schema union");
+            if key_cols.contains(&dst) {
+                continue;
+            }
+            assert!(
+                !provided[dst],
+                "factorized join inputs must share only join attributes (duplicate {v})"
+            );
+            provided[dst] = true;
+            dst_cols.push(dst);
+            srcs.push(src);
+        }
+        stats::count_buffer_alloc();
+        run_inputs.push(RunInput {
+            dst_cols,
+            payload: Vec::new(),
+            offsets: vec![0],
+        });
+        src_cols.push(srcs);
+    }
+
+    let views: Vec<InputView<'_>> = inputs
+        .iter()
+        .map(|rel| InputView::new(rel, attributes))
+        .collect();
+    let mut keys: Vec<TermId> = Vec::new();
+    let mut runs = 0usize;
+    let mut expanded_rows = 0usize;
+    merge_key_groups(&views, |views, cursors, ends| {
+        // The aligned group's key tuple, read from the first input's
+        // contiguous key chunk.
+        for k in 0..views[0].key_arity() {
+            keys.push(views[0].key(k, cursors[0]));
+        }
+        let mut combinations = 1usize;
+        for (i, view) in views.iter().enumerate() {
+            let input = &mut run_inputs[i];
+            for pos in cursors[i]..ends[i] {
+                let row = view.row(pos);
+                for &src in &src_cols[i] {
+                    input.payload.push(row[src]);
+                }
+            }
+            let group = ends[i] - cursors[i];
+            combinations *= group;
+            let total = input.offsets.last().copied().expect("seeded offsets") + group as u32;
+            input.offsets.push(total);
+        }
+        runs += 1;
+        expanded_rows += combinations;
+    });
+    // The factorized join *is* the join at the accounting level: it reports
+    // the logical output volume (what an expansion materializes), so
+    // throughput metrics stay comparable with the eager path, plus the run
+    // count that makes output-sublinearity measurable.
+    stats::count_runs(runs as u64);
+    stats::count_join_rows(expanded_rows as u64);
+    let held = keys.len() + run_inputs.iter().map(|i| i.payload.len()).sum::<usize>();
+    stats::note_intermediate(runs as u64, (held * TERM_BYTES) as u64);
+    RunsRelation {
+        schema,
+        key_cols,
+        delivered: delivered.to_vec(),
+        keys,
+        inputs: run_inputs,
+        runs,
+        expanded_rows,
+    }
+}
+
+impl RunsRelation {
+    /// The full (eager-equivalent) output schema.
+    pub fn schema(&self) -> &[Variable] {
+        &self.schema
+    }
+
+    /// Number of runs (aligned key groups) held.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Number of rows an expansion materializes.
+    pub fn expanded_len(&self) -> usize {
+        self.expanded_rows
+    }
+
+    /// Materializes the full-width eager join output, bit-identical to
+    /// [`Relation::join_ordered`] with `JoinOrder::Columns(delivered)`: runs
+    /// expand in key order as cross products nested in input order (exactly
+    /// the eager emitter's order), the natural key order is claimed, and the
+    /// delivered order is re-established with the same sort-elision path the
+    /// eager join's finalize step takes.
+    pub fn expand(&self) -> Relation {
+        let writes: Vec<Vec<(usize, usize)>> = self
+            .inputs
+            .iter()
+            .map(|input| input.dst_cols.iter().copied().enumerate().collect())
+            .collect();
+        let key_writes: Vec<(usize, usize)> = self.key_cols.iter().copied().enumerate().collect();
+        let out = self.expand_with(
+            self.schema.clone(),
+            &key_writes,
+            &writes,
+            SortOrder::by(self.key_cols.iter().copied()),
+        );
+        debug_assert_eq!(out.len(), self.expanded_rows);
+        out
+    }
+
+    /// Expands directly into the projected arity: payload values are written
+    /// straight into projected rows, so the full-width join output is never
+    /// materialized. Inputs none of whose columns survive the projection
+    /// still multiply the emission by their group sizes (projection keeps
+    /// multiplicities). The result carries the same row multiset as
+    /// `self.expand().project(variables)`.
+    pub fn project_expand(&self, variables: &[Variable]) -> Relation {
+        let kept: Vec<Variable> = variables
+            .iter()
+            .filter(|v| self.schema.contains(v))
+            .cloned()
+            .collect();
+        // Map each kept output column to its source: a key slot or one
+        // input's payload column.
+        let mut key_writes: Vec<(usize, usize)> = Vec::new();
+        let mut writes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.inputs.len()];
+        for (dst, v) in kept.iter().enumerate() {
+            let full = self
+                .schema
+                .iter()
+                .position(|s| s == v)
+                .expect("kept column in full schema");
+            if let Some(k) = self.key_cols.iter().position(|&c| c == full) {
+                key_writes.push((k, dst));
+            } else {
+                let (i, src) = self
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, input)| {
+                        input
+                            .dst_cols
+                            .iter()
+                            .position(|&c| c == full)
+                            .map(|src| (i, src))
+                    })
+                    .expect("non-key column has exactly one providing input");
+                writes[i].push((src, dst));
+            }
+        }
+        // Runs expand in ascending key order, so the output is sorted by the
+        // longest *prefix* of the key attribute sequence that survives the
+        // projection (a dropped key column breaks ties the output can no
+        // longer see — same reasoning as Relation::project).
+        let mut order_cols: Vec<usize> = Vec::new();
+        for k in 0..self.key_cols.len() {
+            match key_writes.iter().find(|&&(kw, _)| kw == k) {
+                Some(&(_, dst)) => order_cols.push(dst),
+                None => break,
+            }
+        }
+        self.expand_with(kept, &key_writes, &writes, SortOrder::by(order_cols))
+    }
+
+    /// Shared expansion loop: writes `key_writes` once per run and the cross
+    /// product of the per-input payload rows through `writes`, claiming
+    /// `order` on the raw buffer and then re-establishing the delivered
+    /// order (restricted to the surviving columns).
+    fn expand_with(
+        &self,
+        schema: Vec<Variable>,
+        key_writes: &[(usize, usize)],
+        writes: &[Vec<(usize, usize)>],
+        order: SortOrder,
+    ) -> Relation {
+        let arity = schema.len();
+        stats::count_buffer_alloc();
+        let mut data: Vec<TermId> = Vec::with_capacity(self.expanded_rows * arity);
+        let mut scratch: Vec<TermId> = vec![TermId(0); arity];
+        let mut rows = 0usize;
+        let key_arity = self.key_cols.len();
+        for run in 0..self.runs {
+            for &(k, dst) in key_writes {
+                scratch[dst] = self.keys[run * key_arity + k];
+            }
+            self.emit_run(run, 0, writes, &mut scratch, &mut data, &mut rows);
+        }
+        let mut out = Relation::from_raw(schema, data, rows, order);
+        // Re-establish the order the plan asked the join to deliver (elided
+        // when the emission order already satisfies it — the exact elision
+        // the eager join's finalize step performs).
+        let delivered_cols: Vec<usize> =
+            self.delivered.iter().map_while(|v| out.column(v)).collect();
+        if !delivered_cols.is_empty() {
+            out.sort_by_columns(&delivered_cols);
+        }
+        stats::count_expanded(rows as u64);
+        stats::note_intermediate(rows as u64, (out.data().len() * TERM_BYTES) as u64);
+        out
+    }
+
+    /// Recursive cross-product emitter over the per-input payload ranges of
+    /// one run, writing into the single reused scratch row.
+    fn emit_run(
+        &self,
+        run: usize,
+        depth: usize,
+        writes: &[Vec<(usize, usize)>],
+        scratch: &mut Vec<TermId>,
+        data: &mut Vec<TermId>,
+        rows: &mut usize,
+    ) {
+        if depth == self.inputs.len() {
+            data.extend_from_slice(scratch);
+            *rows += 1;
+            return;
+        }
+        let input = &self.inputs[depth];
+        let pay = input.dst_cols.len();
+        let start = input.offsets[run] as usize;
+        let end = input.offsets[run + 1] as usize;
+        for pos in start..end {
+            for &(src, dst) in &writes[depth] {
+                scratch[dst] = input.payload[pos * pay + src];
+            }
+            self.emit_run(run, depth + 1, writes, scratch, data, rows);
+        }
+    }
+}
+
+/// Equivalent eager join order for differential tests: the expansion must be
+/// bit-identical to this call on the same inputs.
+pub fn eager_equivalent(
+    inputs: &[&Relation],
+    attributes: &[Variable],
+    delivered: &[Variable],
+) -> Relation {
+    Relation::join_ordered(inputs, attributes, JoinOrder::Columns(delivered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    fn rel(names: &[&str], rows: &[&[u32]]) -> Relation {
+        let schema: Vec<Variable> = names.iter().map(|n| var(n)).collect();
+        let mut r = Relation::empty(schema);
+        for row in rows {
+            let ids: Vec<TermId> = row.iter().map(|&v| TermId(v)).collect();
+            r.push_row_unordered(&ids);
+        }
+        r.canonicalize();
+        r
+    }
+
+    #[test]
+    fn star_join_runs_stay_sublinear_in_the_output() {
+        // 3 spokes of 4 rows each on 2 keys: 2 runs, 2 * 4^3 / 4 … the point
+        // is runs << expanded rows.
+        let mk = |payload: &str| {
+            let rows: Vec<Vec<u32>> = (0..8u32).map(|i| vec![i % 2, 100 + i]).collect();
+            let slices: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+            rel(&["x", payload], &slices)
+        };
+        let (a, b, c) = (mk("a"), mk("b"), mk("c"));
+        let attrs = [var("x")];
+        stats::reset();
+        let runs = join_runs(&[&a, &b, &c], &attrs, &[]);
+        assert_eq!(runs.runs(), 2);
+        assert_eq!(runs.expanded_len(), 2 * 4 * 4 * 4);
+        let after = stats::snapshot();
+        assert_eq!(after.runs_emitted, 2);
+        assert_eq!(after.join_rows_out, 128);
+        assert!(after.runs_emitted < runs.expanded_len() as u64);
+    }
+
+    #[test]
+    fn expansion_is_bit_identical_to_the_eager_join() {
+        let a = rel(&["x", "a"], &[&[1, 10], &[1, 11], &[2, 12], &[3, 13]]);
+        let b = rel(&["x", "b"], &[&[1, 20], &[2, 21], &[2, 22], &[4, 23]]);
+        let attrs = [var("x")];
+        for delivered in [
+            Vec::new(),
+            vec![var("x"), var("a")],
+            vec![var("a"), var("b")],
+        ] {
+            let runs = join_runs(&[&a, &b], &attrs, &delivered);
+            let eager = eager_equivalent(&[&a, &b], &attrs, &delivered);
+            assert_eq!(runs.expand(), eager, "delivered {delivered:?}");
+        }
+    }
+
+    #[test]
+    fn project_expand_matches_expand_then_project() {
+        let a = rel(&["x", "a"], &[&[1, 10], &[1, 11], &[2, 12]]);
+        let b = rel(&["x", "b"], &[&[1, 20], &[1, 21], &[2, 22]]);
+        let attrs = [var("x")];
+        let runs = join_runs(&[&a, &b], &attrs, &[var("x"), var("a")]);
+        for projection in [
+            vec![var("x"), var("a"), var("b")],
+            vec![var("a"), var("b")],
+            vec![var("b")],
+            vec![var("x")],
+        ] {
+            let direct = runs.project_expand(&projection).sorted();
+            let via_full = runs.expand().project(&projection).sorted();
+            assert_eq!(direct, via_full, "projection {projection:?}");
+        }
+    }
+
+    #[test]
+    fn rows_expanded_counts_materialized_rows() {
+        let a = rel(&["x", "a"], &[&[1, 10], &[1, 11]]);
+        let b = rel(&["x", "b"], &[&[1, 20], &[1, 21]]);
+        let runs = join_runs(&[&a, &b], &[var("x")], &[]);
+        stats::reset();
+        let expanded = runs.project_expand(&[var("a"), var("b")]);
+        assert_eq!(expanded.len(), 4);
+        assert_eq!(stats::snapshot().rows_expanded, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "share only join attributes")]
+    fn shared_non_join_attributes_are_rejected() {
+        let a = rel(&["x", "s"], &[&[1, 10]]);
+        let b = rel(&["x", "s"], &[&[1, 10]]);
+        join_runs(&[&a, &b], &[var("x")], &[]);
+    }
+}

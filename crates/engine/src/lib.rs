@@ -14,6 +14,9 @@
 //!   reduce task waves run on a [`cliquesquare_mapreduce::Runtime`]
 //!   (sequential by default, real OS threads with `CSQ_THREADS`/`--threads`,
 //!   bit-identical results either way),
+//! * [`factorized`] — run-length factorized join outputs: star joins emit
+//!   `(key, payload ranges)` runs and expand only at the projection
+//!   boundary,
 //! * [`cost`] — the Section 5.4 cost model used to choose among plans,
 //! * [`reference`] — a naive single-node BGP evaluator used as a correctness
 //!   oracle in tests,
@@ -42,6 +45,7 @@
 pub mod cost;
 pub mod csq;
 pub mod executor;
+pub mod factorized;
 pub mod jobs;
 pub mod physical;
 pub mod reference;
@@ -51,6 +55,7 @@ pub mod translate;
 pub use cost::{CostEstimate, MapReduceCostModel};
 pub use csq::{Csq, CsqConfig, CsqReport};
 pub use executor::{ExecutionOutput, Executor};
+pub use factorized::{join_runs, RunsRelation};
 pub use physical::{OpOrdering, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
 pub use relation::{hash_partition, JoinOrder, Relation, SortOrder};
 pub use translate::{interesting_orders, translate};

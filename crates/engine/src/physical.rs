@@ -187,6 +187,10 @@ pub struct PhysicalPlan {
     root: PhysId,
     /// Per-operator ordering properties, indexed like `ops`.
     orders: Vec<OpOrdering>,
+    /// Joins whose output stays run-length factorized until the final
+    /// projection boundary, indexed like `ops`
+    /// (see [`crate::translate::factorized_joins`]).
+    factorized: Vec<bool>,
 }
 
 impl PhysicalPlan {
@@ -212,7 +216,13 @@ impl PhysicalPlan {
             }
         }
         let orders = crate::translate::interesting_orders(&ops);
-        Self { ops, root, orders }
+        let factorized = crate::translate::factorized_joins(&ops, root);
+        Self {
+            ops,
+            root,
+            orders,
+            factorized,
+        }
     }
 
     /// The root operator id.
@@ -223,6 +233,12 @@ impl PhysicalPlan {
     /// The ordering properties of the operator with the given id.
     pub fn ordering(&self, id: PhysId) -> &OpOrdering {
         &self.orders[id.index()]
+    }
+
+    /// Returns `true` when the join with the given id keeps its output in
+    /// run-length factorized form (expanded only at the final projection).
+    pub fn factorized(&self, id: PhysId) -> bool {
+        self.factorized[id.index()]
     }
 
     /// The operator with the given id.

@@ -65,6 +65,18 @@ pub mod stats {
         /// [`super::SortOrder`] (or a linear verification pass) proved the
         /// rows already ordered.
         pub sorts_elided: u64,
+        /// Key groups emitted as factorized runs by
+        /// [`crate::factorized::join_runs`] instead of materialized rows.
+        /// On an output-sublinear star join this stays far below
+        /// `rows_expanded`.
+        pub runs_emitted: u64,
+        /// Rows materialized when factorized runs were expanded at the
+        /// projection boundary.
+        pub rows_expanded: u64,
+        /// Largest single intermediate relation produced so far, in rows.
+        pub peak_rows: u64,
+        /// Largest single intermediate buffer produced so far, in bytes.
+        pub peak_bytes: u64,
     }
 
     thread_local! {
@@ -76,6 +88,10 @@ pub mod stats {
             join_inputs_resorted: 0,
             sorts_performed: 0,
             sorts_elided: 0,
+            runs_emitted: 0,
+            rows_expanded: 0,
+            peak_rows: 0,
+            peak_bytes: 0,
         }) };
     }
 
@@ -126,6 +142,23 @@ pub mod stats {
             } else {
                 s.sorts_elided += 1;
             }
+        });
+    }
+
+    pub(crate) fn count_runs(n: u64) {
+        update(|s| s.runs_emitted += n);
+    }
+
+    pub(crate) fn count_expanded(n: u64) {
+        update(|s| s.rows_expanded += n);
+    }
+
+    /// Records one materialized intermediate; the peak counters keep the
+    /// high-water mark over the execution.
+    pub(crate) fn note_intermediate(rows: u64, bytes: u64) {
+        update(|s| {
+            s.peak_rows = s.peak_rows.max(rows);
+            s.peak_bytes = s.peak_bytes.max(bytes);
         });
     }
 }
@@ -431,6 +464,36 @@ impl Relation {
         &self.data
     }
 
+    /// Bytes currently reserved by the flat row buffer (capacity, not just
+    /// the filled length) — lets tests regress the shuffle's reservation
+    /// policy against real numbers.
+    pub fn reserved_bytes(&self) -> usize {
+        self.data.capacity() * TERM_BYTES
+    }
+
+    /// Builds a relation from pre-assembled raw parts, adopting `order` as
+    /// the tracked claim (verified in debug builds). Used by the factorized
+    /// expansion, which knows the order its emission loop produced.
+    pub(crate) fn from_raw(
+        schema: Vec<Variable>,
+        data: Vec<TermId>,
+        rows: usize,
+        order: SortOrder,
+    ) -> Self {
+        let arity = schema.len();
+        debug_assert_eq!(data.len(), rows * arity, "raw buffer length mismatch");
+        debug_assert!(
+            sorted_by(&data, arity, order.columns()),
+            "raw relation does not satisfy the claimed order"
+        );
+        Self {
+            schema,
+            data,
+            rows,
+            order,
+        }
+    }
+
     /// Row `index` as a borrowed slice.
     ///
     /// # Panics
@@ -572,15 +635,30 @@ impl Relation {
         self.sort_now(order);
     }
 
-    /// Index sort + one permuted copy by the given order: two buffer
-    /// allocations, zero per-row allocations.
+    /// Index sort + one permuted copy by the given order. The sort touches
+    /// only the key columns, gathered into contiguous column-major storage
+    /// first: a single-column key sorts one flat `(key, row)` array, and a
+    /// multi-column key goes through the chunked [`KeyChunk`] comparator.
+    /// A handful of buffer allocations, zero per-row allocations.
     fn sort_now(&mut self, order: SortOrder) {
         assert!(self.rows <= u32::MAX as usize, "relation too large");
+        let arity = self.schema.len();
         stats::count_buffer_alloc();
-        let mut permutation: Vec<u32> = (0..self.rows as u32).collect();
-        permutation.sort_unstable_by(|&a, &b| {
-            cmp_by_columns(self.row(a as usize), self.row(b as usize), order.columns())
-        });
+        let permutation: Vec<u32> = if let [col] = *order.columns() {
+            // Single-column key: sort flat (key, row) pairs — a branch-light
+            // wide compare over one contiguous buffer. Ties keep the original
+            // row order, so the result is deterministic.
+            let mut keyed: Vec<(TermId, u32)> = (0..self.rows as u32)
+                .map(|row| (self.data[row as usize * arity + col], row))
+                .collect();
+            keyed.sort_unstable();
+            keyed.into_iter().map(|(_, row)| row).collect()
+        } else {
+            let chunk = KeyChunk::gather(&self.data, arity, order.columns(), self.rows);
+            let mut permutation: Vec<u32> = (0..self.rows as u32).collect();
+            permutation.sort_unstable_by(|&a, &b| chunk.cmp_rows(a as usize, b as usize));
+            permutation
+        };
         stats::count_buffer_alloc();
         let mut sorted: Vec<TermId> = Vec::with_capacity(self.data.len());
         for &i in &permutation {
@@ -630,6 +708,20 @@ impl Relation {
         stats::count_buffer_alloc();
         let mut merged: Vec<TermId> = Vec::with_capacity(left.len() + right.len());
         let (mut i, mut j) = (0usize, 0usize);
+        if let [key] = shared[..] {
+            // Single shared column (the common case: parts ordered by one
+            // join key): compare the key ids directly instead of going
+            // through the per-column comparator.
+            while i < left.len() && j < right.len() {
+                if left[i + key] <= right[j + key] {
+                    merged.extend_from_slice(&left[i..i + arity]);
+                    i += arity;
+                } else {
+                    merged.extend_from_slice(&right[j..j + arity]);
+                    j += arity;
+                }
+            }
+        }
         while i < left.len() && j < right.len() {
             if cmp_by_columns(&left[i..i + arity], &right[j..j + arity], &shared)
                 != Ordering::Greater
@@ -921,65 +1013,18 @@ impl Relation {
 
         stats::count_buffer_alloc();
         let mut scratch: Vec<TermId> = vec![TermId(0); out.schema.len()];
-        let mut cursors = vec![0usize; n];
-        let mut ends = vec![0usize; n];
-        // The n-ary merge: repeatedly align all cursors on a common key,
-        // then emit the cross product of the aligned key groups.
-        let mut max_input = 0usize;
-        'merge: loop {
-            // Align every input's current key with the largest current key.
-            'align: loop {
-                let mut advanced_max = false;
-                for i in 0..n {
-                    if i == max_input {
-                        continue;
-                    }
-                    loop {
-                        if cursors[i] == views[i].len() {
-                            break 'merge;
-                        }
-                        match cmp_keys(&views[i], cursors[i], &views[max_input], cursors[max_input])
-                        {
-                            Ordering::Less => cursors[i] += 1,
-                            Ordering::Equal => break,
-                            Ordering::Greater => {
-                                max_input = i;
-                                advanced_max = true;
-                                break;
-                            }
-                        }
-                    }
-                    if advanced_max {
-                        continue 'align;
-                    }
-                }
-                break 'align;
-            }
-            // All inputs agree on the key: delimit each input's key group.
-            for i in 0..n {
-                let mut end = cursors[i] + 1;
-                while end < views[i].len()
-                    && cmp_keys(&views[i], end, &views[i], cursors[i]) == Ordering::Equal
-                {
-                    end += 1;
-                }
-                ends[i] = end;
-            }
+        merge_key_groups(&views, |views, cursors, ends| {
             emit_groups(
-                &views,
+                views,
                 &writes,
                 &checks,
-                &cursors,
-                &ends,
+                cursors,
+                ends,
                 0,
                 &mut scratch,
                 &mut out,
             );
-            cursors.copy_from_slice(&ends);
-            if (0..n).any(|i| cursors[i] == views[i].len()) {
-                break 'merge;
-            }
-        }
+        });
         // Key groups were emitted in ascending key order: the output is
         // sorted by the join attributes' output columns.
         let natural = SortOrder::by(
@@ -990,7 +1035,76 @@ impl Relation {
         out.assume_order(natural);
         finalize_join_order(&mut out, output_order);
         stats::count_join_rows(out.rows as u64);
+        stats::note_intermediate(out.rows as u64, (out.data.len() * TERM_BYTES) as u64);
         out
+    }
+}
+
+/// Bytes per stored [`TermId`], for the `peak_bytes` accounting.
+pub(crate) const TERM_BYTES: usize = std::mem::size_of::<TermId>();
+
+/// Drives the n-ary sort-merge alignment over pre-built [`InputView`]s:
+/// repeatedly aligns all cursors on the next common key, delimits each
+/// input's equal-key group `[cursors[i], ends[i])`, and hands the aligned
+/// group to `on_group`. Groups arrive in ascending key order. Shared by the
+/// eager cross-product join and the factorized run-emitting join in
+/// [`crate::factorized`].
+pub(crate) fn merge_key_groups<F>(views: &[InputView<'_>], mut on_group: F)
+where
+    F: FnMut(&[InputView<'_>], &[usize], &[usize]),
+{
+    let n = views.len();
+    if views.iter().any(|view| view.len() == 0) {
+        return;
+    }
+    let mut cursors = vec![0usize; n];
+    let mut ends = vec![0usize; n];
+    // Repeatedly align all cursors on a common key, then hand the aligned
+    // key groups to the emitter.
+    let mut max_input = 0usize;
+    'merge: loop {
+        // Align every input's current key with the largest current key.
+        'align: loop {
+            let mut advanced_max = false;
+            for i in 0..n {
+                if i == max_input {
+                    continue;
+                }
+                loop {
+                    if cursors[i] == views[i].len() {
+                        break 'merge;
+                    }
+                    match cmp_keys(&views[i], cursors[i], &views[max_input], cursors[max_input]) {
+                        Ordering::Less => cursors[i] += 1,
+                        Ordering::Equal => break,
+                        Ordering::Greater => {
+                            max_input = i;
+                            advanced_max = true;
+                            break;
+                        }
+                    }
+                }
+                if advanced_max {
+                    continue 'align;
+                }
+            }
+            break 'align;
+        }
+        // All inputs agree on the key: delimit each input's key group.
+        for i in 0..n {
+            let mut end = cursors[i] + 1;
+            while end < views[i].len()
+                && cmp_keys(&views[i], end, &views[i], cursors[i]) == Ordering::Equal
+            {
+                end += 1;
+            }
+            ends[i] = end;
+        }
+        on_group(views, &cursors, &ends);
+        cursors.copy_from_slice(&ends);
+        if (0..n).any(|i| cursors[i] == views[i].len()) {
+            break 'merge;
+        }
     }
 }
 
@@ -1006,11 +1120,78 @@ fn finalize_join_order(out: &mut Relation, output_order: JoinOrder<'_>) {
     }
 }
 
-/// One join input viewed in key-sorted row order.
-struct InputView<'r> {
+/// A column-major (PAX-style) copy of a relation's key columns: column `k`'s
+/// values for every row sit in one contiguous `&[TermId]` slice. The merge
+/// and sort comparators walk these slices instead of striding through whole
+/// row-major rows, so a comparison touches only key cache lines and the
+/// single-column case degenerates to one flat `u32` compare the compiler can
+/// vectorize.
+pub(crate) struct KeyChunk {
+    buf: Vec<TermId>,
+    rows: usize,
+    cols: usize,
+}
+
+impl KeyChunk {
+    /// Gathers `key_cols` of a row-major buffer into column-major storage.
+    /// One buffer allocation sized `key_cols.len() * rows`; no per-row
+    /// allocation.
+    pub(crate) fn gather(data: &[TermId], arity: usize, key_cols: &[usize], rows: usize) -> Self {
+        stats::count_buffer_alloc();
+        let mut buf: Vec<TermId> = Vec::with_capacity(key_cols.len() * rows);
+        if rows > 0 {
+            for &col in key_cols {
+                buf.extend(data[col..].iter().step_by(arity).copied());
+            }
+        }
+        Self {
+            buf,
+            rows,
+            cols: key_cols.len(),
+        }
+    }
+
+    /// Key column `k` as one contiguous slice.
+    #[inline]
+    pub(crate) fn column(&self, k: usize) -> &[TermId] {
+        &self.buf[k * self.rows..(k + 1) * self.rows]
+    }
+
+    /// Compares two rows of the chunk, touching only the contiguous key
+    /// columns (the explicit chunked comparator for multi-column keys).
+    #[inline]
+    pub(crate) fn cmp_rows(&self, a: usize, b: usize) -> Ordering {
+        for k in 0..self.cols {
+            let col = self.column(k);
+            match col[a].cmp(&col[b]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Reorders every column by `permutation` (new position → old position).
+    fn permute(&mut self, permutation: &[u32]) {
+        stats::count_buffer_alloc();
+        let mut permuted: Vec<TermId> = Vec::with_capacity(self.buf.len());
+        for k in 0..self.cols {
+            let col = self.column(k);
+            permuted.extend(permutation.iter().map(|&row| col[row as usize]));
+        }
+        self.buf = permuted;
+    }
+}
+
+/// One join input viewed in key-sorted row order, with the key columns
+/// gathered into a contiguous column-major [`KeyChunk`] so the merge
+/// comparators never touch payload columns.
+pub(crate) struct InputView<'r> {
     rel: &'r Relation,
     /// Column of each join attribute in the input's schema.
     key_cols: Vec<usize>,
+    /// Column-major copy of the key columns, in key-sorted row order.
+    keys: KeyChunk,
     /// Row visit order: `None` when the relation's tracked order has the
     /// join attributes as a prefix (rows are already key-sorted); otherwise
     /// the one-shot column-permuted index sort.
@@ -1018,7 +1199,7 @@ struct InputView<'r> {
 }
 
 impl<'r> InputView<'r> {
-    fn new(rel: &'r Relation, attributes: &[Variable]) -> Self {
+    pub(crate) fn new(rel: &'r Relation, attributes: &[Variable]) -> Self {
         let key_cols: Vec<usize> = attributes
             .iter()
             .map(|a| {
@@ -1033,35 +1214,43 @@ impl<'r> InputView<'r> {
         let presorted = rel.len() <= 1 || rel.order().satisfies(&key_cols);
         stats::count_join_input(presorted);
         stats::count_sort(!presorted);
+        let mut keys = KeyChunk::gather(rel.data(), rel.arity(), &key_cols, rel.len());
         let order = if presorted {
             None
         } else {
             assert!(rel.len() <= u32::MAX as usize, "relation too large");
             stats::count_buffer_alloc();
             let mut order: Vec<u32> = (0..rel.len() as u32).collect();
-            order.sort_unstable_by(|&a, &b| {
-                let ra = rel.row(a as usize);
-                let rb = rel.row(b as usize);
-                key_cols
-                    .iter()
-                    .map(|&c| ra[c])
-                    .cmp(key_cols.iter().map(|&c| rb[c]))
-            });
+            order.sort_unstable_by(|&a, &b| keys.cmp_rows(a as usize, b as usize));
+            keys.permute(&order);
             Some(order)
         };
         Self {
             rel,
             key_cols,
+            keys,
             order,
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.rel.len()
     }
 
+    /// Number of join-key columns.
+    pub(crate) fn key_arity(&self) -> usize {
+        self.key_cols.len()
+    }
+
+    /// The `k`-th key column's value at key-sorted position `pos`, read from
+    /// the contiguous chunk.
+    #[inline]
+    pub(crate) fn key(&self, k: usize, pos: usize) -> TermId {
+        self.keys.column(k)[pos]
+    }
+
     /// The row at key-sorted position `pos`.
-    fn row(&self, pos: usize) -> &[TermId] {
+    pub(crate) fn row(&self, pos: usize) -> &'r [TermId] {
         match &self.order {
             None => self.rel.row(pos),
             Some(order) => self.rel.row(order[pos] as usize),
@@ -1070,12 +1259,13 @@ impl<'r> InputView<'r> {
 }
 
 /// Compares the join keys of two key-sorted positions (possibly of different
-/// inputs), column by column in attribute order.
-fn cmp_keys(a: &InputView<'_>, apos: usize, b: &InputView<'_>, bpos: usize) -> Ordering {
-    let ra = a.row(apos);
-    let rb = b.row(bpos);
-    for (&ca, &cb) in a.key_cols.iter().zip(&b.key_cols) {
-        match ra[ca].cmp(&rb[cb]) {
+/// inputs), walking the contiguous column-major key chunks in attribute
+/// order — the hot comparator of the n-ary merge.
+#[inline]
+pub(crate) fn cmp_keys(a: &InputView<'_>, apos: usize, b: &InputView<'_>, bpos: usize) -> Ordering {
+    debug_assert_eq!(a.key_cols.len(), b.key_cols.len());
+    for k in 0..a.key_cols.len() {
+        match a.keys.column(k)[apos].cmp(&b.keys.column(k)[bpos]) {
             Ordering::Equal => {}
             other => return other,
         }
@@ -1129,9 +1319,11 @@ fn emit_groups(
 
 /// Hash-partitions a relation's rows into `nodes` buckets on the given
 /// attributes (the simulated shuffle's routing step), building each bucket's
-/// flat buffer directly — zero per-row heap allocations. Each bucket is
-/// reserved at the expected per-node share of the input rows up front, so
-/// routing does not grow buckets incrementally from zero.
+/// flat buffer directly — zero per-row heap allocations. Routing runs in two
+/// passes: the first hashes every row once and counts the per-bucket fill,
+/// the second scatters rows into buffers reserved at **exactly** the
+/// observed fill — so a skewed key distribution (wide fan-out) never
+/// over-reserves, and empty buckets reserve nothing.
 ///
 /// The hash is deterministic (FNV-1a over the key columns), so rows are
 /// routed identically on every run and at every thread count. Rows are
@@ -1153,23 +1345,28 @@ pub fn hash_partition(relation: &Relation, attributes: &[Variable], nodes: usize
                 .unwrap_or_else(|| panic!("shuffle attribute {a} missing from input"))
         })
         .collect();
-    // Reserve each bucket at the expected share of the input rows (hash
-    // routing is close to uniform, so this removes almost all growth
-    // reallocations without over-committing memory on skew).
-    let expected = relation.len().div_ceil(nodes) * arity;
-    let mut buffers: Vec<Vec<TermId>> = (0..nodes)
-        .map(|_| {
-            stats::count_buffer_alloc();
-            Vec::with_capacity(expected)
-        })
-        .collect();
-    // Row counts are tracked explicitly so zero-arity rows (empty key, empty
-    // payload) are routed like any other row instead of vanishing.
+    // Pass 1: hash every row to its node, remembering the route (one u32 per
+    // row) and the per-bucket row counts. Row counts are tracked explicitly
+    // so zero-arity rows (empty key, empty payload) are routed like any
+    // other row instead of vanishing.
+    stats::count_buffer_alloc();
+    let mut routes: Vec<u32> = Vec::with_capacity(relation.len());
     let mut counts = vec![0usize; nodes];
     for row in relation.rows() {
         let node = (shuffle_hash(row, &columns) % nodes as u64) as usize;
-        buffers[node].extend_from_slice(row);
+        routes.push(node as u32);
         counts[node] += 1;
+    }
+    // Pass 2: scatter into buffers reserved at exactly the observed fill.
+    let mut buffers: Vec<Vec<TermId>> = counts
+        .iter()
+        .map(|&rows| {
+            stats::count_buffer_alloc();
+            Vec::with_capacity(rows * arity)
+        })
+        .collect();
+    for (row, &node) in relation.rows().zip(&routes) {
+        buffers[node as usize].extend_from_slice(row);
     }
     buffers
         .into_iter()

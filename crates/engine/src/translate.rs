@@ -302,6 +302,69 @@ fn resolve_claims(claims: &[Vec<Variable>]) -> Vec<Variable> {
         .unwrap_or_default()
 }
 
+/// Marks the joins whose output may stay **run-length factorized** (see
+/// [`crate::factorized`]) instead of materializing cross products eagerly.
+/// A join qualifies when
+///
+/// 1. it has at least two inputs (a single-input join is the identity),
+/// 2. its *only* consumer chain — through Filters that are themselves
+///    single-consumer — ends at the root Project, so the runs are expanded
+///    exactly once, at the final projection boundary, and
+/// 3. its inputs pairwise share **only** the join attributes: aligned key
+///    groups then combine as pure cross products, with no cross-input
+///    equality checks to filter combinations.
+///
+/// Everything else (joins feeding shufflers or other joins, inputs with
+/// shared non-join variables) takes the eager row-major path unchanged.
+pub(crate) fn factorized_joins(ops: &[PhysicalOp], root: PhysId) -> Vec<bool> {
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+    for (index, op) in ops.iter().enumerate() {
+        for input in op.inputs() {
+            consumers[input.index()].push(index);
+        }
+    }
+    let mut marked = vec![false; ops.len()];
+    for (index, op) in ops.iter().enumerate() {
+        let (attributes, inputs) = match op {
+            PhysicalOp::MapJoin {
+                attributes, inputs, ..
+            }
+            | PhysicalOp::ReduceJoin {
+                attributes, inputs, ..
+            } => (attributes, inputs),
+            _ => continue,
+        };
+        if inputs.len() < 2 {
+            continue;
+        }
+        // Follow the single-consumer chain through Filters to the root
+        // Project.
+        let mut current = index;
+        let ends_at_root_project = loop {
+            match consumers[current].as_slice() {
+                [consumer] => match &ops[*consumer] {
+                    PhysicalOp::Filter { .. } => current = *consumer,
+                    PhysicalOp::Project { .. } => break *consumer == root.index(),
+                    _ => break false,
+                },
+                _ => break false,
+            }
+        };
+        if !ends_at_root_project {
+            continue;
+        }
+        let outputs: Vec<BTreeSet<Variable>> =
+            inputs.iter().map(|&i| ops[i.index()].output()).collect();
+        let share_only_keys = outputs.iter().enumerate().all(|(i, a)| {
+            outputs[i + 1..]
+                .iter()
+                .all(|b| a.intersection(b).all(|v| attributes.contains(v)))
+        });
+        marked[index] = share_only_keys;
+    }
+    marked
+}
+
 /// Translates a logical plan into a physical MapReduce plan. The returned
 /// plan carries the ordering properties of [`interesting_orders`], which
 /// [`crate::executor`] uses to elide redundant sorts.

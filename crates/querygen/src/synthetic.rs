@@ -147,6 +147,44 @@ impl SyntheticWorkload {
             .filter(|q| q.name().starts_with(shape.label()))
             .collect()
     }
+
+    /// A high-fan-out star that distinguishes the **leaves**, not the hub:
+    /// `SELECT ?v1 … ?vn WHERE { ?v0 p1 ?v1 . ?v0 p2 ?v2 . … }`. The
+    /// projection drops the join key, so the result is a per-key cross
+    /// product of the leaf bindings — the adversarial case for join
+    /// intermediates (output quadratic-and-worse in the input), and the
+    /// query shape run-length factorized joins keep sublinear.
+    pub fn fanout_star(patterns: usize) -> BgpQuery {
+        let patterns = patterns.max(1);
+        let triples = star(patterns);
+        let leaves: Vec<Variable> = (1..=patterns)
+            .map(|i| Variable::new(format!("v{i}")))
+            .collect();
+        BgpQuery::named(format!("fanout-star-{patterns}"), leaves, triples)
+    }
+
+    /// A deep chain that distinguishes only its two **endpoints**:
+    /// `SELECT ?v0 ?vn WHERE { ?v0 p1 ?v1 . ?v1 p2 ?v2 . … }`. Every
+    /// interior variable is a join key that the final projection drops — a
+    /// long pipeline of intermediates much wider than the answer.
+    pub fn deep_chain(patterns: usize) -> BgpQuery {
+        let patterns = patterns.max(1);
+        let triples = chain(patterns);
+        let endpoints = vec![Variable::new("v0"), Variable::new(format!("v{patterns}"))];
+        BgpQuery::named(format!("deep-chain-{patterns}"), endpoints, triples)
+    }
+
+    /// The adversarial execution workload: fan-out stars and deep chains of
+    /// every size in `2..=max_patterns`, for the differential execution
+    /// proptests (shapes whose intermediates dwarf their answers).
+    pub fn adversarial_workload(max_patterns: usize) -> Vec<BgpQuery> {
+        let mut queries = Vec::new();
+        for n in 2..=max_patterns.max(2) {
+            queries.push(Self::fanout_star(n));
+            queries.push(Self::deep_chain(n));
+        }
+        queries
+    }
 }
 
 fn var(i: usize) -> PatternTerm {
@@ -273,6 +311,27 @@ mod tests {
             SyntheticWorkload::generate_shape(SyntheticShape::Star, WorkloadConfig::small());
         assert_eq!(stars.len(), 5);
         assert!(stars.iter().all(|q| q.name().starts_with("star")));
+    }
+
+    #[test]
+    fn adversarial_shapes_project_away_their_join_keys() {
+        let star = SyntheticWorkload::fanout_star(5);
+        assert_eq!(star.len(), 5);
+        assert_eq!(star.distinguished().len(), 5);
+        assert!(!star.distinguished().contains(&Variable::new("v0")));
+        assert_eq!(analysis::classify(&star), QueryShape::Star);
+
+        let chain = SyntheticWorkload::deep_chain(6);
+        assert_eq!(chain.len(), 6);
+        assert_eq!(
+            chain.distinguished(),
+            &[Variable::new("v0"), Variable::new("v6")]
+        );
+        assert_eq!(analysis::classify(&chain), QueryShape::Chain);
+
+        let workload = SyntheticWorkload::adversarial_workload(6);
+        assert_eq!(workload.len(), 10);
+        assert!(workload.iter().all(|q| q.is_connected()));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `relation::stats` counters are cross-checked in the same run.
 
 use cliquesquare::engine::relation::stats;
-use cliquesquare::engine::{hash_partition, Relation};
+use cliquesquare::engine::{hash_partition, join_runs, Relation};
 use cliquesquare::rdf::TermId;
 use cliquesquare::sparql::Variable;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -118,6 +118,67 @@ fn shuffle_partitioning_allocates_no_per_row_memory() {
         during_shuffle < 256,
         "shuffle of {ROWS} rows across {NODES} nodes performed {during_shuffle} \
          allocations (expected O(nodes), got per-row behaviour)"
+    );
+}
+
+/// The factorized join kernels (run emission and the projection-boundary
+/// expansion) allocate whole buffers like the eager sort-merge path: no
+/// per-row or per-run heap traffic.
+#[test]
+fn factorized_join_and_expansion_allocate_no_per_row_memory() {
+    const ROWS: usize = 4_000;
+    // 16 distinct keys: a high-fan-out star whose cross products dwarf the
+    // run count, so per-run allocation would still be cheap but per-expanded-
+    // row allocation would blow the bound.
+    let left = build(&["x", "a"], ROWS, |i| (i % 16) as u32);
+    let right = build(&["x", "b"], ROWS, |i| (i % 16) as u32);
+
+    stats::reset();
+    let before = allocations();
+    let runs = join_runs(&[&left, &right], &[v("x")], &[]);
+    let expanded = runs.expand();
+    let during = allocations() - before;
+    let relation_stats = stats::snapshot();
+
+    assert_eq!(runs.runs(), 16);
+    assert_eq!(expanded.len(), 16 * (ROWS / 16) * (ROWS / 16));
+    assert_eq!(
+        relation_stats.row_allocs, 0,
+        "per-row heap allocation on the factorized path"
+    );
+    assert_eq!(relation_stats.runs_emitted, 16);
+    assert_eq!(relation_stats.rows_expanded, expanded.len() as u64);
+    assert!(
+        during < 256,
+        "factorized join + expansion of {ROWS}x{ROWS} rows performed {during} \
+         allocations (expected a small constant, got per-row behaviour)"
+    );
+}
+
+/// `hash_partition` reserves per-bucket capacity from the observed routing
+/// counts, not the input row count: on a fully skewed input the empty
+/// buckets reserve nothing, so the total reserved bytes stay bounded by the
+/// input (the old per-bucket `rows * arity` reservation held `NODES`x that).
+#[test]
+fn shuffle_reservations_track_bucket_fill_not_input_size() {
+    const ROWS: usize = 4_000;
+    const NODES: usize = 8;
+    // Every row hashes to the same bucket: worst-case skew.
+    let relation = build(&["x", "a"], ROWS, |_| 42);
+    let input_bytes = std::mem::size_of_val(relation.data());
+
+    let buckets = hash_partition(&relation, &[v("x")], NODES);
+    let reserved: usize = buckets.iter().map(Relation::reserved_bytes).sum();
+
+    assert_eq!(buckets.iter().map(Relation::len).sum::<usize>(), ROWS);
+    assert!(
+        buckets.iter().filter(|b| b.is_empty()).count() >= NODES - 1,
+        "skewed input should fill at most one bucket"
+    );
+    assert!(
+        reserved <= input_bytes,
+        "buckets reserved {reserved} bytes for a {input_bytes}-byte input \
+         (per-bucket reservations no longer track observed fill)"
     );
 }
 

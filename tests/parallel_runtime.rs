@@ -95,6 +95,19 @@ fn query_strategy() -> impl Strategy<Value = BgpQuery> {
     })
 }
 
+/// Strategy: the adversarial execution shapes — high-fan-out stars and deep
+/// chains whose projection drops the join keys, so the factorized join path
+/// emits runs and expands them only at the projection boundary.
+fn adversarial_strategy() -> impl Strategy<Value = BgpQuery> {
+    (any::<bool>(), 2usize..6).prop_map(|(star, size)| {
+        if star {
+            SyntheticWorkload::fanout_star(size)
+        } else {
+            SyntheticWorkload::deep_chain(size)
+        }
+    })
+}
+
 /// A small random graph over the synthetic property vocabulary used by the
 /// generated queries, so that executions can produce non-empty answers.
 fn synthetic_graph(seed: u64) -> Graph {
@@ -112,6 +125,28 @@ fn synthetic_graph(seed: u64) -> Graph {
         );
     }
     graph
+}
+
+/// The adversarial star is not vacuous: a sequential execution of a fan-out
+/// star records factorized runs emitted and rows expanded at the projection
+/// (i.e. the differential proptest below really exercises the runs path).
+#[test]
+fn fanout_stars_take_the_factorized_path() {
+    use cliquesquare_engine::relation::stats;
+    let cluster = Cluster::load(synthetic_graph(7), ClusterConfig::with_nodes(3));
+    let query = SyntheticWorkload::fanout_star(3);
+    let result = Optimizer::with_variant(Variant::Msc).optimize(&query);
+    let logical = result.flattest_plans()[0].clone();
+    stats::reset();
+    let output = Executor::sequential(&cluster).execute_logical(&logical);
+    let snapshot = stats::snapshot();
+    assert!(!output.results.is_empty(), "graph produced no star matches");
+    assert!(snapshot.runs_emitted > 0, "fan-out star did not factorize");
+    assert_eq!(
+        snapshot.rows_expanded,
+        output.job_log.total_metrics().join_output_tuples,
+        "expansion must materialize exactly the join's logical output"
+    );
 }
 
 proptest! {
@@ -140,6 +175,46 @@ proptest! {
         let reference = reference_eval_with(cluster.graph(), &query, &Runtime::sequential());
         let sequential = Executor::sequential(&cluster).execute_logical(&logical);
         prop_assert_eq!(sequential.distinct_count(), reference.len());
+        for threads in [2usize, 8] {
+            let parallel = Executor::with_runtime(&cluster, Runtime::with_threads(threads))
+                .execute_logical(&logical);
+            prop_assert_eq!(
+                &sequential.results,
+                &parallel.results,
+                "threads={} changed the results",
+                threads
+            );
+            prop_assert_eq!(sequential.metrics, parallel.metrics);
+            prop_assert_eq!(
+                sequential.job_log.descriptor(),
+                parallel.job_log.descriptor()
+            );
+        }
+    }
+
+    /// Differential oracle for the factorized join path: fan-out stars and
+    /// deep chains keep their key-dropping projections, so their joins run
+    /// factorized where legal. At worker threads ∈ {1, 2, 8} the executor
+    /// must stay bit-identical to itself and its distinct answers must equal
+    /// the row-major reference evaluator's.
+    #[test]
+    fn factorized_executions_match_the_row_major_oracle(
+        query in adversarial_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let graph = synthetic_graph(seed);
+        let cluster = Cluster::load(graph, ClusterConfig::with_nodes(3));
+        let result = Optimizer::with_variant(Variant::Msc).optimize(&query);
+        prop_assert!(!result.plans.is_empty(), "adversarial queries are connected");
+        let logical = result.flattest_plans()[0].clone();
+
+        let reference = reference_eval_with(cluster.graph(), &query, &Runtime::sequential());
+        let sequential = Executor::sequential(&cluster).execute_logical(&logical);
+        prop_assert_eq!(
+            sequential.results.clone().distinct(),
+            reference,
+            "sequential factorized answers differ from the row-major oracle"
+        );
         for threads in [2usize, 8] {
             let parallel = Executor::with_runtime(&cluster, Runtime::with_threads(threads))
                 .execute_logical(&logical);
