@@ -37,8 +37,8 @@
 use cliquesquare_baselines::BinaryPlanner;
 use cliquesquare_bench::{
     baseline_path_from_args, fmt_f64, lubm_cluster, measure_seconds, read_execution_snapshot,
-    report_scale, runtime_from_args, scale_from_args, snapshot_path_from_args, table,
-    write_execution_snapshot, SnapshotQuery,
+    read_snapshot_meta, report_scale, runtime_from_args, scale_from_args, snapshot_path_from_args,
+    table, write_execution_snapshot, SnapshotQuery,
 };
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_engine::csq::{Csq, CsqConfig};
@@ -231,7 +231,7 @@ fn main() {
     println!("Expected shape (paper): MSC plans are fastest for every query, up to ~2x vs bushy and up to ~16x vs linear.");
 
     if let Some(path) = baseline_path_from_args(&args) {
-        if print_baseline_diff(&path, &snapshot_queries) {
+        if print_baseline_diff(&path, cluster.graph().len(), &snapshot_queries) {
             eprintln!(
                 "error: counter regression vs {path} (see table above); \
                  re-record the snapshot with --snapshot if the change is intended"
@@ -261,7 +261,39 @@ fn main() {
 /// than the baseline recorded). CI gates on the exit status this feeds:
 /// deterministic counters, so any growth is a real plan/execution change,
 /// not machine noise.
-fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) -> bool {
+///
+/// A baseline that was recorded by a different benchmark (`report_load`'s
+/// multi-scale snapshots also carry `"name"`-bearing object lines), at a
+/// different dataset scale, or without any parseable query entry is
+/// **skipped with a note** rather than mis-diffed or panicked on.
+fn print_baseline_diff(path: &str, dataset_triples: usize, current: &[SnapshotQuery]) -> bool {
+    match read_snapshot_meta(path) {
+        Ok(meta) => {
+            if meta.benchmark.as_deref().is_some_and(|b| b != "execution") {
+                println!(
+                    "\n(no baseline diff: {path} records the {:?} benchmark, not execution)",
+                    meta.benchmark.unwrap_or_default()
+                );
+                return false;
+            }
+            if meta
+                .dataset_triples
+                .is_some_and(|recorded| recorded != dataset_triples)
+            {
+                println!(
+                    "\n(no baseline diff: {path} was recorded at {} triples, this run has {}; \
+                     rerun at the recorded scale or re-record with --snapshot)",
+                    meta.dataset_triples.unwrap_or_default(),
+                    dataset_triples
+                );
+                return false;
+            }
+        }
+        Err(error) => {
+            println!("\n(no baseline diff: could not read {path}: {error})");
+            return false;
+        }
+    }
     let baseline = match read_execution_snapshot(path) {
         Ok(queries) => queries,
         Err(error) => {
@@ -269,6 +301,10 @@ fn print_baseline_diff(path: &str, current: &[SnapshotQuery]) -> bool {
             return false;
         }
     };
+    if baseline.is_empty() {
+        println!("\n(no baseline diff: {path} contains no query entries)");
+        return false;
+    }
     let lookup = |name: &str| baseline.iter().find(|b| b.name == name);
     let fmt_count = |value: Option<u64>| value.map_or("-".to_string(), |v| v.to_string());
     let fmt_delta = |now: u64, then: Option<u64>| match then {

@@ -6,25 +6,40 @@
 //! MapReduce job before any query runs; partitioned RDF stores in general
 //! pay a heavy load/encode phase up front. This report measures that phase
 //! for the reproduction: LUBM generation (one task per university), N-Triples
-//! parsing (line-aligned chunks), sharded dictionary encoding + ordered
+//! parsing (line-aligned chunks), sharded dictionary encoding + partitioned
 //! merge, parallel index build, and the replicated partition build — each
 //! once on the sequential runtime and once on `--threads N`, asserting
 //! **bit-identical** results before reporting speedups.
 //!
 //! Usage: `cargo run --release -p cliquesquare-bench --bin report_load
-//! [-- --threads N] [--scale U] [--nodes M] [--snapshot [PATH]]`
-//! (`--snapshot` writes `BENCH_load.json`, the recorded load-throughput
-//! artifact; CI uploads it without gating on it.)
+//! [-- --threads N] [--scale U | --scale A,B,C] [--nodes M]
+//! [--snapshot [PATH]] [--memory-smoke]`
+//!
+//! * `--scale U` runs the classic single-scale stage report.
+//! * `--scale A,B,C` (comma-separated university counts) runs the **scaling
+//!   sweep**: one streaming load per scale, per-scale rows written to
+//!   `BENCH_load.json` with `--snapshot` (the multi-scale array format;
+//!   `read_load_snapshot` still reads old single-object recordings).
+//! * `--memory-smoke` is the CI gate for the bounded-memory streaming
+//!   contract: it loads ~200k triples and **exits nonzero** if the peak
+//!   in-flight decoded bytes exceed a hard ceiling or stop being sublinear
+//!   in the bytes parsed.
 
 use cliquesquare_bench::{
     fmt_f64, runtime_from_args, scale_from_args, snapshot_path_with_default, table,
-    write_load_snapshot, LoadStage,
+    write_load_scale_snapshot, write_load_snapshot, LoadScaleEntry, LoadStage,
 };
 use cliquesquare_mapreduce::load::{BulkLoader, LoadOptions, LoadReport};
-use cliquesquare_rdf::{ntriples, LubmScale};
+use cliquesquare_mapreduce::Runtime;
+use cliquesquare_rdf::{ntriples, LubmGenerator, LubmScale};
 
-/// Load repetitions (best-of, damping scheduler noise).
+/// Load repetitions for the single-scale report (best-of, damping
+/// scheduler noise).
 const REPEATS: usize = 3;
+
+/// Hard ceiling on peak in-flight decoded bytes for `--memory-smoke`:
+/// far above one chunk of the smoke dataset, far below holding all of it.
+const SMOKE_PEAK_CEILING: u64 = 64 * 1024 * 1024;
 
 /// The per-stage seconds of `report`, in pipeline order.
 fn stages_of(report: &LoadReport) -> [(&'static str, f64); 5] {
@@ -37,10 +52,10 @@ fn stages_of(report: &LoadReport) -> [(&'static str, f64); 5] {
     ]
 }
 
-/// Runs `load` `REPEATS` times and keeps the run with the best total.
-fn best_of<F: Fn() -> LoadReport>(load: F) -> LoadReport {
+/// Runs `load` `repeats` times and keeps the run with the best total.
+fn best_of<F: Fn() -> LoadReport>(repeats: usize, load: F) -> LoadReport {
     let mut best = load();
-    for _ in 1..REPEATS {
+    for _ in 1..repeats.max(1) {
         let next = load();
         if next.total_seconds() < best.total_seconds() {
             best = next;
@@ -49,16 +64,238 @@ fn best_of<F: Fn() -> LoadReport>(load: F) -> LoadReport {
     best
 }
 
+/// The comma-separated university counts of `--scale A,B,C`, if the flag
+/// holds a list (a single number keeps the classic single-scale mode).
+fn scale_list_from_args(args: &[String]) -> Option<Vec<usize>> {
+    let mut iter = args.iter();
+    let value = loop {
+        let arg = iter.next()?;
+        if arg == "--scale" {
+            break iter.next()?.as_str();
+        }
+        if let Some(value) = arg.strip_prefix("--scale=") {
+            break value;
+        }
+    };
+    if !value.contains(',') {
+        return None;
+    }
+    let scales: Vec<usize> = value
+        .split(',')
+        .filter_map(|part| part.trim().parse::<usize>().ok())
+        .map(|u| u.max(1))
+        .collect();
+    (!scales.is_empty()).then_some(scales)
+}
+
+fn entry_of(report: &LoadReport) -> LoadScaleEntry {
+    LoadScaleEntry {
+        dataset_triples: report.triples,
+        distinct_terms: report.distinct_terms,
+        chunks: report.chunks,
+        merge_partitions: report.merge_partitions,
+        input_seconds: report.input_seconds,
+        encode_seconds: report.encode_seconds,
+        merge_seconds: report.merge_seconds,
+        index_seconds: report.index_seconds,
+        partition_seconds: report.partition_seconds,
+        total_seconds: report.total_seconds(),
+        triples_per_second: report.triples_per_second(),
+        peak_inflight_bytes: report.peak_inflight_bytes,
+        parsed_bytes: report.parsed_bytes,
+    }
+}
+
+/// The `--scale A,B,C` sweep: one streaming LUBM load per scale, repeats
+/// shrinking as the dataset grows, bit-identity asserted at the smallest
+/// scale, per-scale rows recorded with `--snapshot`.
+fn scale_sweep(args: &[String], runtime: Runtime, nodes: usize, universities: &[usize]) {
+    let options = LoadOptions::with_nodes(nodes);
+    let loader = BulkLoader::new(runtime.clone());
+
+    // Correctness gate at the smallest scale: the sweep loader must be
+    // bit-identical to the sequential path before any timing is believed.
+    let smallest = LubmScale::with_universities(*universities.iter().min().expect("non-empty"));
+    let gate = BulkLoader::sequential().load_lubm(smallest, &options);
+    let gate_parallel = loader.load_lubm(smallest, &options);
+    assert_eq!(
+        gate.graph, gate_parallel.graph,
+        "sweep loader changed the graph at the gate scale"
+    );
+    assert_eq!(
+        gate.store, gate_parallel.store,
+        "sweep loader changed the partitioned store at the gate scale"
+    );
+
+    println!(
+        "== Bulk-load scaling sweep: streaming pipeline + partitioned merge ==\n\
+         {} nodes; {} thread(s); bit-identity gated at {} universities\n",
+        nodes,
+        runtime.threads(),
+        smallest.universities
+    );
+
+    let mut entries: Vec<LoadScaleEntry> = Vec::new();
+    let mut rows = Vec::new();
+    for &u in universities {
+        let scale = LubmScale::with_universities(u);
+        let probe = loader.load_lubm(scale, &options);
+        let repeats = match probe.report.triples {
+            t if t < 100_000 => 3,
+            t if t < 1_000_000 => 2,
+            _ => 1,
+        };
+        let report = if repeats > 1 {
+            best_of(repeats - 1, || loader.load_lubm(scale, &options).report)
+                .min_by_total(probe.report)
+        } else {
+            probe.report
+        };
+        let entry = entry_of(&report);
+        rows.push(vec![
+            u.to_string(),
+            entry.dataset_triples.to_string(),
+            entry.chunks.to_string(),
+            entry.merge_partitions.to_string(),
+            fmt_f64(entry.input_seconds * 1e3),
+            fmt_f64(entry.encode_seconds * 1e3),
+            fmt_f64(entry.merge_seconds * 1e3),
+            fmt_f64(entry.index_seconds * 1e3),
+            fmt_f64(entry.partition_seconds * 1e3),
+            fmt_f64(entry.total_seconds * 1e3),
+            fmt_f64(entry.triples_per_second),
+            fmt_f64(entry.peak_inflight_bytes as f64 / (1024.0 * 1024.0)),
+            fmt_f64(entry.parsed_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        entries.push(entry);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "univ",
+                "triples",
+                "chunks",
+                "merge parts",
+                "input (ms)",
+                "encode (ms)",
+                "merge (ms)",
+                "index (ms)",
+                "partition (ms)",
+                "total (ms)",
+                "triples/s",
+                "peak MiB",
+                "parsed MiB",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "`peak MiB` is the high-water mark of decoded triples simultaneously \
+         in flight (the streaming gauge); `parsed MiB` is everything that \
+         passed through. Sublinear peak vs parsed is the bounded-memory \
+         contract; `merge parts` > 1 means the partitioned dictionary merge \
+         ran as parallel task waves."
+    );
+
+    if let Some(path) = snapshot_path_with_default(args, "BENCH_load.json") {
+        write_load_scale_snapshot(
+            &path,
+            "LUBM scaling sweep",
+            nodes,
+            runtime.threads(),
+            &entries,
+        )
+        .expect("write load snapshot");
+        println!("\nWrote {}-scale load snapshot to {path}.", entries.len());
+    }
+}
+
+/// The `--memory-smoke` CI gate: load ~200k triples through the streaming
+/// pipeline and fail hard if the peak in-flight decoded bytes breach the
+/// ceiling or stop being sublinear in the parsed bytes.
+fn memory_smoke(args: &[String], runtime: Runtime, nodes: usize) {
+    let scale = scale_from_args(args, LubmScale::with_universities(120));
+    let text = ntriples::serialize(&LubmGenerator::new(scale).generate());
+    let loader = BulkLoader::new(runtime.clone());
+    let output = loader
+        .load_ntriples(
+            &text,
+            &LoadOptions {
+                nodes,
+                chunks: Some((runtime.threads() * 8).max(16)),
+            },
+        )
+        .expect("smoke dataset parses");
+    let report = &output.report;
+    println!(
+        "== Bounded-memory load smoke ==\n\
+         {} triples, {} chunks, {} thread(s): peak in-flight {} bytes, \
+         parsed {} bytes ({:.1}% held at peak), {} scratch allocations",
+        report.triples,
+        report.chunks,
+        report.threads,
+        report.peak_inflight_bytes,
+        report.parsed_bytes,
+        report.peak_inflight_bytes as f64 / report.parsed_bytes.max(1) as f64 * 100.0,
+        report.scratch_allocations,
+    );
+    let mut failed = false;
+    if report.peak_inflight_bytes > SMOKE_PEAK_CEILING {
+        eprintln!(
+            "error: peak in-flight bytes {} exceed the {} hard ceiling",
+            report.peak_inflight_bytes, SMOKE_PEAK_CEILING
+        );
+        failed = true;
+    }
+    if report.peak_inflight_bytes * 4 > report.parsed_bytes {
+        eprintln!(
+            "error: peak in-flight bytes {} are not sublinear in parsed bytes {} \
+             (the loader is accumulating chunks instead of streaming)",
+            report.peak_inflight_bytes, report.parsed_bytes
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: streaming load held <= 1/4 of the parsed bytes in flight.");
+}
+
+trait MinByTotal {
+    fn min_by_total(self, other: LoadReport) -> LoadReport;
+}
+
+impl MinByTotal for LoadReport {
+    fn min_by_total(self, other: LoadReport) -> LoadReport {
+        if self.total_seconds() <= other.total_seconds() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let runtime = runtime_from_args(&args);
-    let scale = scale_from_args(&args, LubmScale::with_universities(12));
     let nodes = args
         .iter()
         .position(|a| a == "--nodes")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(7);
+
+    if args.iter().any(|a| a == "--memory-smoke") {
+        memory_smoke(&args, runtime, nodes);
+        return;
+    }
+    if let Some(universities) = scale_list_from_args(&args) {
+        scale_sweep(&args, runtime, nodes, &universities);
+        return;
+    }
+
+    let scale = scale_from_args(&args, LubmScale::with_universities(12));
     let options = LoadOptions::with_nodes(nodes);
 
     let sequential = BulkLoader::sequential();
@@ -111,18 +348,18 @@ fn main() {
     for (title, seq_report, par_report) in [
         (
             "LUBM generate",
-            best_of(|| sequential.load_lubm(scale, &options).report),
-            best_of(|| parallel.load_lubm(scale, &options).report),
+            best_of(REPEATS, || sequential.load_lubm(scale, &options).report),
+            best_of(REPEATS, || parallel.load_lubm(scale, &options).report),
         ),
         (
             "N-Triples parse",
-            best_of(|| {
+            best_of(REPEATS, || {
                 sequential
                     .load_ntriples(&text, &options)
                     .expect("parses")
                     .report
             }),
-            best_of(|| {
+            best_of(REPEATS, || {
                 parallel
                     .load_ntriples(&text, &options)
                     .expect("parses")
@@ -166,10 +403,11 @@ fn main() {
         );
     }
     println!(
-        "The `merge` stage is inherently sequential (it assigns final ids in \
-         first-occurrence order over distinct terms) but is pre-sized so it \
-         never rehashes; every other stage runs as task waves. Both loaders \
-         are asserted bit-identical before any timing is reported."
+        "The `merge` stage runs as hash-partitioned task waves on parallel \
+         runtimes (serial single-pass otherwise) and assigns final ids in \
+         first-occurrence order either way; every other stage runs as task \
+         waves too. Both loaders are asserted bit-identical before any \
+         timing is reported."
     );
 
     if let Some(path) = snapshot_path_with_default(&args, "BENCH_load.json") {

@@ -432,6 +432,218 @@ pub fn write_load_snapshot(
     std::fs::write(path, json)
 }
 
+/// One scale's measurements in the multi-scale load snapshot (the
+/// `report_load --scale a,b,c` sweep mode writes one entry per scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadScaleEntry {
+    /// Triples loaded at this scale.
+    pub dataset_triples: usize,
+    /// Distinct terms in the dictionary at this scale.
+    pub distinct_terms: usize,
+    /// Chunks the input was split into.
+    pub chunks: usize,
+    /// Partitions of the parallel dictionary merge (1 = serial merge).
+    pub merge_partitions: usize,
+    /// Input (parse or generate) stage seconds.
+    pub input_seconds: f64,
+    /// Dictionary-encode stage seconds.
+    pub encode_seconds: f64,
+    /// Dictionary-merge stage seconds.
+    pub merge_seconds: f64,
+    /// Index-build stage seconds.
+    pub index_seconds: f64,
+    /// Partition-build stage seconds.
+    pub partition_seconds: f64,
+    /// End-to-end seconds.
+    pub total_seconds: f64,
+    /// End-to-end triples per second.
+    pub triples_per_second: f64,
+    /// Peak decoded-triple bytes simultaneously in flight (streaming gauge).
+    pub peak_inflight_bytes: u64,
+    /// Total decoded-triple bytes that passed through the pipeline.
+    pub parsed_bytes: u64,
+}
+
+/// Writes the multi-scale load snapshot (`report_load --scale a,b,c`): an
+/// array of per-scale entries instead of the single-run object of
+/// [`write_load_snapshot`]. [`read_load_snapshot`] reads both formats.
+pub fn write_load_scale_snapshot(
+    path: &str,
+    workload: &str,
+    nodes: usize,
+    threads: usize,
+    entries: &[LoadScaleEntry],
+) -> std::io::Result<()> {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"load\",\n");
+    json.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(workload)));
+    json.push_str(&format!("  \"nodes\": {nodes},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"scales\": [\n");
+    for (index, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dataset_triples\": {}, \"distinct_terms\": {}, \"chunks\": {}, \
+             \"merge_partitions\": {}, \"input_ms\": {:.3}, \"encode_ms\": {:.3}, \
+             \"merge_ms\": {:.3}, \"index_ms\": {:.3}, \"partition_ms\": {:.3}, \
+             \"total_ms\": {:.3}, \"triples_per_s\": {:.0}, \
+             \"peak_inflight_bytes\": {}, \"parsed_bytes\": {}}}{}\n",
+            e.dataset_triples,
+            e.distinct_terms,
+            e.chunks,
+            e.merge_partitions,
+            e.input_seconds * 1e3,
+            e.encode_seconds * 1e3,
+            e.merge_seconds * 1e3,
+            e.index_seconds * 1e3,
+            e.partition_seconds * 1e3,
+            e.total_seconds * 1e3,
+            e.triples_per_second,
+            e.peak_inflight_bytes,
+            e.parsed_bytes,
+            if index + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json)
+}
+
+/// Reads a load snapshot back as per-scale entries. Accepts both formats:
+/// the multi-scale array of [`write_load_scale_snapshot`] (one line per
+/// scale entry) and the legacy single-object layout of
+/// [`write_load_snapshot`], which comes back as one entry assembled from
+/// the top-level fields and the per-stage `parallel_ms` lines (fields the
+/// legacy format never recorded are zero).
+pub fn read_load_snapshot(path: &str) -> std::io::Result<Vec<LoadScaleEntry>> {
+    let contents = std::fs::read_to_string(path)?;
+    let ms_field = |line: &str, key: &str| -> f64 {
+        json_field(line, key)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0)
+            / 1e3
+    };
+    let count_field = |line: &str, key: &str| -> u64 {
+        json_field(line, key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let mut entries: Vec<LoadScaleEntry> = Vec::new();
+    for line in contents.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"dataset_triples\"") {
+            continue;
+        }
+        entries.push(LoadScaleEntry {
+            dataset_triples: count_field(line, "dataset_triples") as usize,
+            distinct_terms: count_field(line, "distinct_terms") as usize,
+            chunks: count_field(line, "chunks") as usize,
+            merge_partitions: count_field(line, "merge_partitions") as usize,
+            input_seconds: ms_field(line, "input_ms"),
+            encode_seconds: ms_field(line, "encode_ms"),
+            merge_seconds: ms_field(line, "merge_ms"),
+            index_seconds: ms_field(line, "index_ms"),
+            partition_seconds: ms_field(line, "partition_ms"),
+            total_seconds: ms_field(line, "total_ms"),
+            triples_per_second: json_field(line, "triples_per_s")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0),
+            peak_inflight_bytes: count_field(line, "peak_inflight_bytes"),
+            parsed_bytes: count_field(line, "parsed_bytes"),
+        });
+    }
+    if !entries.is_empty() {
+        return Ok(entries);
+    }
+    // Legacy single-object format: top-level scalars (one `"key": value`
+    // per line) plus `{"name": ..., "sequential_ms": ..., "parallel_ms": ...}`
+    // stage lines.
+    let mut entry = LoadScaleEntry {
+        dataset_triples: 0,
+        distinct_terms: 0,
+        chunks: 0,
+        merge_partitions: 0,
+        input_seconds: 0.0,
+        encode_seconds: 0.0,
+        merge_seconds: 0.0,
+        index_seconds: 0.0,
+        partition_seconds: 0.0,
+        total_seconds: 0.0,
+        triples_per_second: 0.0,
+        peak_inflight_bytes: 0,
+        parsed_bytes: 0,
+    };
+    let mut saw_any = false;
+    for line in contents.lines() {
+        let line = line.trim();
+        if line.starts_with('{') {
+            if let Some(name) = json_field(line, "name") {
+                let seconds = ms_field(line, "parallel_ms");
+                match name {
+                    "input" => entry.input_seconds = seconds,
+                    "encode" => entry.encode_seconds = seconds,
+                    "merge" => entry.merge_seconds = seconds,
+                    "index" => entry.index_seconds = seconds,
+                    "partition" => entry.partition_seconds = seconds,
+                    _ => {}
+                }
+                saw_any = true;
+            }
+            continue;
+        }
+        if let Some(value) = json_field(line, "dataset_triples") {
+            entry.dataset_triples = value.parse().unwrap_or(0);
+            saw_any = true;
+        } else if let Some(value) = json_field(line, "distinct_terms") {
+            entry.distinct_terms = value.parse().unwrap_or(0);
+        } else if let Some(value) = json_field(line, "chunks") {
+            entry.chunks = value.parse().unwrap_or(0);
+        } else if let Some(value) = json_field(line, "total_parallel_ms") {
+            entry.total_seconds = value.parse::<f64>().unwrap_or(0.0) / 1e3;
+        } else if let Some(value) = json_field(line, "parallel_triples_per_s") {
+            entry.triples_per_second = value.parse().unwrap_or(0.0);
+        }
+    }
+    Ok(if saw_any { vec![entry] } else { Vec::new() })
+}
+
+/// Top-level identification of a recorded snapshot, read without assuming
+/// its benchmark kind: which `report_*` binary wrote it and at what dataset
+/// size. Lets `report_execution --baseline` skip gracefully over a
+/// snapshot recorded by a different benchmark (or at a different scale)
+/// instead of mis-parsing it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotMeta {
+    /// The `"benchmark"` field (`execution`, `load`, `serving`), if present.
+    pub benchmark: Option<String>,
+    /// The top-level `"dataset_triples"` field, if present.
+    pub dataset_triples: Option<usize>,
+}
+
+/// Reads the top-level [`SnapshotMeta`] fields of any snapshot file. Only
+/// top-level scalar lines are considered — nested per-query / per-scale
+/// object lines (which start with `{`) never contribute.
+pub fn read_snapshot_meta(path: &str) -> std::io::Result<SnapshotMeta> {
+    let contents = std::fs::read_to_string(path)?;
+    let mut meta = SnapshotMeta::default();
+    for line in contents.lines() {
+        let line = line.trim();
+        if line.starts_with('{') || line.starts_with('[') {
+            continue;
+        }
+        if meta.benchmark.is_none() {
+            if let Some(value) = json_field(line, "benchmark") {
+                meta.benchmark = Some(value.to_string());
+            }
+        }
+        if meta.dataset_triples.is_none() {
+            if let Some(value) = json_field(line, "dataset_triples") {
+                meta.dataset_triples = value.parse().ok();
+            }
+        }
+    }
+    Ok(meta)
+}
+
 /// One concurrency level's measurements in the serving bench snapshot.
 #[derive(Debug, Clone)]
 pub struct ServingLevel {
@@ -622,6 +834,108 @@ mod tests {
             Some("x.json".to_string())
         );
         assert_eq!(baseline_path_from_args(&args(&["--threads", "4"])), None);
+    }
+
+    fn scale_entry(triples: usize) -> LoadScaleEntry {
+        LoadScaleEntry {
+            dataset_triples: triples,
+            distinct_terms: triples / 3,
+            chunks: 8,
+            merge_partitions: 4,
+            input_seconds: 0.010,
+            encode_seconds: 0.020,
+            merge_seconds: 0.005,
+            index_seconds: 0.004,
+            partition_seconds: 0.003,
+            total_seconds: 0.042,
+            triples_per_second: triples as f64 / 0.042,
+            peak_inflight_bytes: 4096,
+            parsed_bytes: 65536,
+        }
+    }
+
+    #[test]
+    fn load_scale_snapshot_round_trips_through_the_reader() {
+        let entries = vec![scale_entry(20_000), scale_entry(200_000)];
+        let path = std::env::temp_dir().join("csq_load_scales_roundtrip.json");
+        let path = path.to_str().unwrap();
+        write_load_scale_snapshot(path, "LUBM sweep", 7, 2, &entries).unwrap();
+        let read = read_load_snapshot(path).unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0].dataset_triples, 20_000);
+        assert_eq!(read[1].dataset_triples, 200_000);
+        assert_eq!(read[0].merge_partitions, 4);
+        assert_eq!(read[0].peak_inflight_bytes, 4096);
+        assert!((read[0].merge_seconds - 0.005).abs() < 1e-9);
+        assert!((read[1].total_seconds - 0.042).abs() < 1e-9);
+        let meta = read_snapshot_meta(path).unwrap();
+        assert_eq!(meta.benchmark.as_deref(), Some("load"));
+        assert_eq!(meta.dataset_triples, None);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_reader_accepts_the_legacy_single_object_format() {
+        let stages = vec![
+            LoadStage {
+                name: "input".to_string(),
+                sequential_seconds: 0.030,
+                parallel_seconds: 0.015,
+            },
+            LoadStage {
+                name: "merge".to_string(),
+                sequential_seconds: 0.008,
+                parallel_seconds: 0.008,
+            },
+        ];
+        let path = std::env::temp_dir().join("csq_load_legacy_roundtrip.json");
+        let path = path.to_str().unwrap();
+        write_load_snapshot(path, "LUBM N-Triples load", 12_345, 678, 7, 2, 8, &stages).unwrap();
+        let read = read_load_snapshot(path).unwrap();
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].dataset_triples, 12_345);
+        assert_eq!(read[0].distinct_terms, 678);
+        assert_eq!(read[0].chunks, 8);
+        assert!((read[0].input_seconds - 0.015).abs() < 1e-9);
+        assert!((read[0].merge_seconds - 0.008).abs() < 1e-9);
+        assert!((read[0].total_seconds - 0.023).abs() < 1e-9);
+        // Fields the legacy format never recorded come back zeroed.
+        assert_eq!(read[0].merge_partitions, 0);
+        assert_eq!(read[0].peak_inflight_bytes, 0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn snapshot_meta_identifies_the_benchmark_kind() {
+        let path = std::env::temp_dir().join("csq_meta_probe.json");
+        let path = path.to_str().unwrap();
+        write_execution_snapshot(
+            path,
+            999,
+            7,
+            1,
+            &[SnapshotQuery {
+                name: "Q1".to_string(),
+                patterns: 2,
+                jobs: "M".to_string(),
+                simulated_seconds: 1.0,
+                wall_sequential_ms: 1.0,
+                wall_parallel_ms: 1.0,
+                results: 1,
+                sorts_performed: 0,
+                sorts_elided: 0,
+                join_inputs_resorted: 0,
+                runs_emitted: 0,
+                rows_expanded: 0,
+                peak_rows: 0,
+                peak_bytes: 0,
+            }],
+        )
+        .unwrap();
+        let meta = read_snapshot_meta(path).unwrap();
+        assert_eq!(meta.benchmark.as_deref(), Some("execution"));
+        assert_eq!(meta.dataset_triples, Some(999));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

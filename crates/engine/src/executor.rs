@@ -128,13 +128,18 @@ impl Intermediate {
 /// Combines per-node parts (same schema by construction) with one k-way
 /// merge that interleaves rows by the parts' shared tracked order (ties go
 /// to the lower node, so the result is deterministic in node order and
-/// independent of the thread count).
+/// independent of the thread count). Parts are drained into an incremental
+/// [`relation::MergeStack`] — bit-identical to collecting them all and
+/// calling [`Relation::merge_ordered`], but holding only `O(log k)` partial
+/// merges.
 fn merge_parts(parts: impl Iterator<Item = Relation>) -> Relation {
-    let parts: Vec<Relation> = parts.collect();
-    if parts.is_empty() {
-        return Relation::empty(Vec::new());
+    let mut stack = relation::MergeStack::new();
+    for part in parts {
+        stack.push(part);
     }
-    Relation::merge_ordered(parts)
+    stack
+        .finish()
+        .unwrap_or_else(|| Relation::empty(Vec::new()))
 }
 
 /// Executes physical plans against a [`Cluster`] on a [`Runtime`].
@@ -352,6 +357,7 @@ fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -
             for bucket in &mut buckets {
                 establish_key_order(bucket, attributes);
             }
+            relation::stats::note_shuffle(buckets.iter().map(Relation::buffer_bytes).sum());
             buckets
         }
         Intermediate::Local(parts) => {
@@ -360,20 +366,30 @@ fn partition_rows(value: &Intermediate, attributes: &[Variable], nodes: usize) -
                     .map(|_| Relation::empty(value.schema().to_vec()))
                     .collect();
             }
-            // Route every part, then merge each node's per-part buckets by
-            // their shared tracked order (ties resolved in part order, so
-            // the result is deterministic at every thread count).
-            let mut per_node: Vec<Vec<Relation>> = (0..nodes)
-                .map(|_| Vec::with_capacity(parts.len()))
-                .collect();
+            // Stream: route one part at a time and drain its buckets into
+            // one incremental merge per node, so the shuffle holds
+            // O(log parts) partial merges per node instead of every routed
+            // bucket at once. The [`relation::MergeStack`] fold is
+            // bit-identical to collecting all buckets and merge-ordering
+            // them (ties resolved in part order, deterministic at every
+            // thread count); `stats::shuffle_peak_bytes` records the
+            // high-water footprint the streaming actually held.
+            let mut stacks: Vec<relation::MergeStack> =
+                (0..nodes).map(|_| relation::MergeStack::new()).collect();
             for part in parts {
                 let routed = relation::hash_partition(part, attributes, nodes);
                 for (node, mut bucket) in routed.into_iter().enumerate() {
                     establish_key_order(&mut bucket, attributes);
-                    per_node[node].push(bucket);
+                    stacks[node].push(bucket);
                 }
+                relation::stats::note_shuffle(
+                    stacks.iter().map(relation::MergeStack::held_bytes).sum(),
+                );
             }
-            per_node.into_iter().map(Relation::merge_ordered).collect()
+            stacks
+                .into_iter()
+                .map(|stack| stack.finish().expect("every node saw one bucket per part"))
+                .collect()
         }
         Intermediate::LocalRuns(parts) => {
             // Defensive: runs never feed a shuffle in well-formed plans

@@ -57,5 +57,5 @@ pub use csq::{Csq, CsqConfig, CsqReport};
 pub use executor::{ExecutionOutput, Executor};
 pub use factorized::{join_runs, RunsRelation};
 pub use physical::{OpOrdering, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
-pub use relation::{hash_partition, JoinOrder, Relation, SortOrder};
+pub use relation::{hash_partition, JoinOrder, MergeStack, Relation, SortOrder};
 pub use translate::{interesting_orders, translate};

@@ -77,6 +77,10 @@ pub mod stats {
         pub peak_rows: u64,
         /// Largest single intermediate buffer produced so far, in bytes.
         pub peak_bytes: u64,
+        /// High-water mark of bytes held simultaneously by the streaming
+        /// shuffle (routed buckets plus the incremental per-node partial
+        /// merges of [`super::MergeStack`]), over the execution.
+        pub shuffle_peak_bytes: u64,
     }
 
     thread_local! {
@@ -92,6 +96,7 @@ pub mod stats {
             rows_expanded: 0,
             peak_rows: 0,
             peak_bytes: 0,
+            shuffle_peak_bytes: 0,
         }) };
     }
 
@@ -160,6 +165,12 @@ pub mod stats {
             s.peak_rows = s.peak_rows.max(rows);
             s.peak_bytes = s.peak_bytes.max(bytes);
         });
+    }
+
+    /// Records the bytes a shuffle holds at one instant; the peak counter
+    /// keeps the high-water mark over the execution.
+    pub(crate) fn note_shuffle(bytes: u64) {
+        update(|s| s.shuffle_peak_bytes = s.shuffle_peak_bytes.max(bytes));
     }
 }
 
@@ -519,6 +530,12 @@ impl Relation {
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows
+    }
+
+    /// Heap bytes of the flat row buffer (the unit of the `peak_bytes` and
+    /// `shuffle_peak_bytes` counters in [`stats`]).
+    pub fn buffer_bytes(&self) -> u64 {
+        (self.data.len() * TERM_BYTES) as u64
     }
 
     /// Returns `true` if the relation has no rows.
@@ -1037,6 +1054,73 @@ impl Relation {
         stats::count_join_rows(out.rows as u64);
         stats::note_intermediate(out.rows as u64, (out.data.len() * TERM_BYTES) as u64);
         out
+    }
+}
+
+/// An incremental k-way ordered merge: push same-schema relations one at a
+/// time, finish once, and the result is **bit-identical** to
+/// [`Relation::merge_ordered`] over the full pushed sequence — while only
+/// `O(log k)` partial merges are ever held, so a shuffle can drain routed
+/// buckets into the reduce side in bounded batches instead of collecting
+/// all `k` buckets first.
+///
+/// The stack mirrors binary-counter addition: each entry at level `L` is
+/// the merged, **aligned** block of `2^L` consecutive inputs (input indexes
+/// `[i·2^L, (i+1)·2^L)`), and two same-level entries merge immediately
+/// (earlier block as `self`, so ties keep resolving toward earlier inputs).
+/// `merge_ordered`'s balanced pairing tree consists of exactly the aligned
+/// complete blocks plus a right-nested spine over the incomplete suffix
+/// (each pass pairs `2^p`-aligned neighbours, carrying the odd tail), which
+/// is what [`finish`](Self::finish) reproduces by folding the stack from
+/// the smallest block upward — see `merge_stack_matches_merge_ordered`.
+#[derive(Debug, Default)]
+pub struct MergeStack {
+    /// `(level, partial merge)` entries; levels strictly decrease from the
+    /// bottom of the stack to the top.
+    stack: Vec<(u32, Relation)>,
+}
+
+impl MergeStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes the next input, merging aligned same-size blocks eagerly.
+    pub fn push(&mut self, relation: Relation) {
+        let mut level = 0u32;
+        let mut current = relation;
+        while matches!(self.stack.last(), Some((l, _)) if *l == level) {
+            let (_, mut below) = self.stack.pop().expect("matched a top entry");
+            below.union_in_place(current);
+            current = below;
+            level += 1;
+        }
+        self.stack.push((level, current));
+    }
+
+    /// Folds the remaining partial merges (smallest block into the next
+    /// larger, upward) into the final relation; `None` if nothing was
+    /// pushed.
+    pub fn finish(mut self) -> Option<Relation> {
+        while self.stack.len() > 1 {
+            let (_, top) = self.stack.pop().expect("len checked > 1");
+            self.stack
+                .last_mut()
+                .expect("len checked >= 1")
+                .1
+                .union_in_place(top);
+        }
+        self.stack.pop().map(|(_, relation)| relation)
+    }
+
+    /// Total heap bytes of the held partial merges (the streaming shuffle's
+    /// live footprint, recorded by `stats::shuffle_peak_bytes`).
+    pub fn held_bytes(&self) -> u64 {
+        self.stack
+            .iter()
+            .map(|(_, relation)| relation.buffer_bytes())
+            .sum()
     }
 }
 
@@ -1815,6 +1899,68 @@ mod tests {
         assert!(merged.order().is_none());
         let xs: Vec<u32> = merged.rows().map(|row| row[0].0).collect();
         assert_eq!(xs, vec![3, 1, 2, 4]);
+    }
+
+    /// Builds `k` parts with deliberately *heterogeneous* tracked orders —
+    /// the case where a naive left-fold of `union_in_place` diverges from
+    /// the balanced pairing tree, because each pairing's shared prefix
+    /// depends on which inputs meet.
+    fn mixed_order_parts(k: usize) -> Vec<Relation> {
+        (0..k)
+            .map(|i| {
+                let mut r = Relation::empty(vec![v("x"), v("a")]);
+                for row in 0..4u32 {
+                    r.push_row_unordered(&[t((row * 3 + i as u32) % 11), t(i as u32 * 10 + row)]);
+                }
+                match i % 3 {
+                    0 => r.sort_by_columns(&[0, 1]),
+                    1 => r.sort_by_columns(&[0]),
+                    _ => {} // left unordered
+                }
+                r
+            })
+            .collect()
+    }
+
+    /// The incremental `MergeStack` must reproduce `merge_ordered` bit for
+    /// bit — same rows, same row order, same tracked order — at every input
+    /// count, including the incomplete-suffix shapes (k not a power of two).
+    #[test]
+    fn merge_stack_matches_merge_ordered() {
+        for k in 1..=13 {
+            let parts = mixed_order_parts(k);
+            let expected = Relation::merge_ordered(parts.clone());
+            let mut stack = MergeStack::new();
+            for part in parts {
+                stack.push(part);
+            }
+            let merged = stack.finish().expect("pushed at least one part");
+            assert_eq!(merged.order(), expected.order(), "k={k}");
+            assert_eq!(
+                merged.rows().collect::<Vec<_>>(),
+                expected.rows().collect::<Vec<_>>(),
+                "k={k}"
+            );
+        }
+    }
+
+    /// The stack holds one partial merge per set bit of the pushed count —
+    /// logarithmic, which is the whole point of streaming the shuffle.
+    #[test]
+    fn merge_stack_holds_logarithmically_many_partials() {
+        let mut stack = MergeStack::new();
+        for (i, part) in mixed_order_parts(100).into_iter().enumerate() {
+            stack.push(part);
+            let pushed = i + 1;
+            assert_eq!(stack.stack.len(), pushed.count_ones() as usize);
+            assert!(stack.held_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn merge_stack_empty_finish_is_none() {
+        assert!(MergeStack::new().finish().is_none());
+        assert_eq!(MergeStack::new().held_bytes(), 0);
     }
 
     #[test]

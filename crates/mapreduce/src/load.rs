@@ -7,17 +7,27 @@
 //! the same pipeline as waves of per-chunk tasks on the existing
 //! [`Runtime`]:
 //!
-//! 1. **input wave** — N-Triples chunks are parsed (or LUBM universities
-//!    generated) independently per worker;
-//! 2. **encode wave** — each chunk is dictionary-encoded against its own
-//!    shard dictionary ([`cliquesquare_rdf::load::encode_shard`]);
-//! 3. **merge + remap** — shard dictionaries merge into the global
-//!    dictionary in first-occurrence order (sequential over *distinct*
-//!    terms, pre-sized so it never rehashes), then every shard rewrites its
-//!    triples to final ids in parallel;
-//! 4. **index wave** — the graph's three positional indexes are built
+//! 1. **fused input + encode wave** — each N-Triples chunk is parsed (or
+//!    each LUBM university batch / SP²Bench unit generated) and immediately
+//!    dictionary-encoded against its own shard dictionary, **in the same
+//!    task**: the decoded `(Term, Term, Term)` buffer of a chunk lives only
+//!    between its parse and its encode, so at most one buffer per worker is
+//!    in flight at a time instead of one per chunk — peak term-buffer bytes
+//!    are bounded by the worker count, not the input size. The buffers
+//!    themselves come from a recycled scratch pool that persists across
+//!    waves *and* across loads ([`LoadReport::scratch_allocations`] counts
+//!    the cold allocations; a warm reload makes zero);
+//! 2. **merge + remap** — shard dictionaries merge into the global
+//!    dictionary in first-occurrence order. On a parallel runtime the merge
+//!    is **partitioned**: the term space is hash-split across
+//!    [`LoadReport::merge_partitions`] independent partition scans (one task
+//!    each), per-shard id blocks are prefix-summed, and final ids are
+//!    assigned per shard in parallel — bit-identical to the sequential
+//!    first-occurrence walk (see `cliquesquare_rdf::load`). Then every
+//!    shard rewrites its triples to final ids in parallel;
+//! 3. **index wave** — the graph's three positional indexes are built
 //!    concurrently (one task per position);
-//! 5. **partition wave** — the Section 5.1 replicated store is built as a
+//! 4. **partition wave** — the Section 5.1 replicated store is built as a
 //!    map wave (route chunks) plus a reduce wave (merge per node), see
 //!    [`PartitionedStore::build_with`].
 //!
@@ -33,7 +43,12 @@ use crate::partition::PartitionedStore;
 use crate::runtime::Runtime;
 use cliquesquare_rdf::load as shard;
 use cliquesquare_rdf::ntriples::ParseError;
-use cliquesquare_rdf::{Graph, LubmGenerator, LubmScale, Term, TriplePosition};
+use cliquesquare_rdf::{
+    Dictionary, Graph, LubmGenerator, LubmScale, Sp2bGenerator, Sp2bScale, Term, TermId,
+    TriplePosition,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How many chunks each worker thread gets by default: a few per thread so
@@ -85,17 +100,37 @@ pub struct LoadReport {
     pub triples: usize,
     /// Distinct terms in the merged dictionary.
     pub distinct_terms: usize,
-    /// Seconds spent parsing N-Triples text / generating LUBM data.
+    /// Seconds spent parsing N-Triples text / generating synthetic data
+    /// (the parse/generate share of the fused input+encode wave, attributed
+    /// pro-rata by measured per-task time).
     pub input_seconds: f64,
-    /// Seconds spent in the per-shard dictionary-encoding wave.
+    /// Seconds spent dictionary-encoding chunks against shard dictionaries
+    /// (the encode share of the fused wave).
     pub encode_seconds: f64,
     /// Seconds spent merging shard dictionaries and remapping shard triples
-    /// to final ids (sequential merge + parallel remap wave).
+    /// to final ids (partitioned merge waves + parallel remap wave).
     pub merge_seconds: f64,
     /// Seconds spent building the graph's three positional indexes.
     pub index_seconds: f64,
     /// Seconds spent building the replicated partitioned store.
     pub partition_seconds: f64,
+    /// High-water mark of decoded term-buffer bytes held concurrently by
+    /// the fused input+encode wave. Bounded by the worker count × chunk
+    /// size — *not* by the input size — which is what keeps a 10M-triple
+    /// load from materializing every parsed chunk at once.
+    pub peak_inflight_bytes: u64,
+    /// Total decoded term-buffer bytes produced across all chunks: the
+    /// bytes the historical all-chunks-in-memory pipeline would have held
+    /// simultaneously. `peak_inflight_bytes / parsed_bytes` is the
+    /// streaming win.
+    pub parsed_bytes: u64,
+    /// Scratch term buffers allocated because the recycle pool was empty.
+    /// At most one per concurrent worker on a cold loader; zero on a warm
+    /// reload.
+    pub scratch_allocations: u64,
+    /// Partitions of the dictionary merge (1 = the sequential
+    /// first-occurrence walk; >1 = the parallel partitioned merge).
+    pub merge_partitions: usize,
 }
 
 impl LoadReport {
@@ -131,16 +166,82 @@ pub struct LoadOutput {
     pub report: LoadReport,
 }
 
+/// Live counters of the fused input+encode wave, shared across its tasks.
+#[derive(Debug, Default)]
+struct StreamGauges {
+    /// Nanoseconds spent parsing / generating, summed over tasks.
+    input_nanos: AtomicU64,
+    /// Nanoseconds spent dictionary-encoding, summed over tasks.
+    encode_nanos: AtomicU64,
+    /// Decoded term-buffer bytes currently in flight (parsed, not yet
+    /// encoded).
+    inflight_bytes: AtomicU64,
+    /// High-water mark of `inflight_bytes`.
+    peak_inflight_bytes: AtomicU64,
+    /// Total decoded bytes across all chunks.
+    parsed_bytes: AtomicU64,
+    /// Scratch buffers allocated because the pool was empty.
+    scratch_allocations: AtomicU64,
+}
+
+impl StreamGauges {
+    /// Marks `bytes` of decoded terms as in flight and bumps the peak.
+    fn note_parsed(&self, bytes: u64) {
+        let held = self.inflight_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_inflight_bytes.fetch_max(held, Ordering::Relaxed);
+        self.parsed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks `bytes` of decoded terms as consumed by the encode step.
+    fn note_encoded(&self, bytes: u64) {
+        self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Splits the fused wave's wall-clock seconds into (input, encode)
+    /// pro-rata by the measured per-task time of each half.
+    fn split_wall(&self, wall: f64) -> (f64, f64) {
+        let input = self.input_nanos.load(Ordering::Relaxed) as f64;
+        let encode = self.encode_nanos.load(Ordering::Relaxed) as f64;
+        if input + encode <= 0.0 {
+            return (wall, 0.0);
+        }
+        let input_share = wall * input / (input + encode);
+        (input_share, wall - input_share)
+    }
+}
+
+/// A decoded-triple scratch buffer of the fused input+encode wave.
+type TripleBuffer = Vec<(Term, Term, Term)>;
+
+/// Estimated heap bytes of a decoded term buffer: the tuple slots plus the
+/// term text (the dominant cost at RDF's IRI lengths).
+fn buffer_bytes(terms: &[(Term, Term, Term)]) -> u64 {
+    let slots = std::mem::size_of_val(terms);
+    let text: usize = terms
+        .iter()
+        .map(|(s, p, o)| s.value().len() + p.value().len() + o.value().len())
+        .sum();
+    (slots + text) as u64
+}
+
 /// The parallel bulk loader (see the module docs for the pipeline).
 #[derive(Debug, Clone, Default)]
 pub struct BulkLoader {
     runtime: Runtime,
+    /// Recycled decoded-term buffers for the fused input+encode wave. The
+    /// pool is shared by clones and survives across loads, so a warm loader
+    /// parses arbitrarily many chunks without a single fresh triple-buffer
+    /// allocation (`tests/load_allocations.rs` pins this down).
+    scratch: Arc<Mutex<Vec<TripleBuffer>>>,
 }
 
 impl BulkLoader {
     /// A loader running its waves on `runtime`.
     pub fn new(runtime: Runtime) -> Self {
-        Self { runtime }
+        Self {
+            runtime,
+            scratch: Arc::default(),
+        }
     }
 
     /// A loader on the sequential runtime: every stage runs inline, which
@@ -152,6 +253,30 @@ impl BulkLoader {
     /// The loader's runtime.
     pub fn runtime(&self) -> Runtime {
         self.runtime.clone()
+    }
+
+    /// The number of recycled scratch buffers currently pooled.
+    pub fn pooled_scratch_buffers(&self) -> usize {
+        self.scratch.lock().expect("scratch pool poisoned").len()
+    }
+
+    /// Pops a pooled scratch buffer, allocating (and counting) a fresh one
+    /// only when every pooled buffer is already in flight.
+    fn take_scratch(&self, gauges: &StreamGauges) -> TripleBuffer {
+        let pooled = self.scratch.lock().expect("scratch pool poisoned").pop();
+        pooled.unwrap_or_else(|| {
+            gauges.scratch_allocations.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        })
+    }
+
+    /// Returns a drained scratch buffer to the pool, keeping its capacity.
+    fn recycle_scratch(&self, mut buffer: TripleBuffer) {
+        buffer.clear();
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(buffer);
     }
 
     /// The number of input chunks a load will use.
@@ -181,16 +306,45 @@ impl BulkLoader {
     ) -> Result<LoadOutput, ParseError> {
         let started = Instant::now();
         let chunks = shard::split_ntriples(text, self.chunk_count(options));
-        let parsed = self.runtime.run_wave(
+        let gauges = StreamGauges::default();
+        let gauges = &gauges;
+        // Fused parse+encode: a chunk's decoded terms live only inside its
+        // own task, so in-flight bytes stay bounded by the worker count.
+        let encoded = self.runtime.run_wave(
             chunks
                 .into_iter()
-                .map(|chunk| move || shard::parse_chunk(chunk))
+                .map(|chunk| {
+                    move || -> Result<shard::EncodedShard, ParseError> {
+                        let mut buffer = self.take_scratch(gauges);
+                        let parse_started = Instant::now();
+                        let parsed = shard::parse_chunk_into(chunk, &mut buffer);
+                        gauges.input_nanos.fetch_add(
+                            parse_started.elapsed().as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                        if let Err(error) = parsed {
+                            self.recycle_scratch(buffer);
+                            return Err(error);
+                        }
+                        let bytes = buffer_bytes(&buffer);
+                        gauges.note_parsed(bytes);
+                        let encode_started = Instant::now();
+                        let encoded = shard::encode_shard_from(&mut buffer);
+                        gauges.encode_nanos.fetch_add(
+                            encode_started.elapsed().as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                        gauges.note_encoded(bytes);
+                        self.recycle_scratch(buffer);
+                        Ok(encoded)
+                    }
+                })
                 .collect(),
         );
         // Chunks are in document order, so the first error is the earliest.
-        let term_chunks = parsed.into_iter().collect::<Result<Vec<_>, _>>()?;
-        let input_seconds = started.elapsed().as_secs_f64();
-        Ok(self.assemble(term_chunks, options, input_seconds))
+        let shards = encoded.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let (input_seconds, encode_seconds) = gauges.split_wall(started.elapsed().as_secs_f64());
+        Ok(self.assemble(shards, options, input_seconds, encode_seconds, gauges))
     }
 
     /// Generates and loads the LUBM-like dataset at `scale`. The unit of
@@ -199,54 +353,156 @@ impl BulkLoader {
     /// grouped into [`LoadOptions::chunks`] contiguous batches — capped at
     /// one university per batch — each generated and encoded as one shard.
     pub fn load_lubm(&self, scale: LubmScale, options: &LoadOptions) -> LoadOutput {
-        let started = Instant::now();
         let generator = LubmGenerator::new(scale);
         let generator = &generator;
         let batches = self.chunk_count(options).min(scale.universities.max(1));
         let per_batch = scale.universities.div_ceil(batches.max(1)).max(1);
-        let term_chunks = self.runtime.run_wave(
-            (0..scale.universities)
-                .step_by(per_batch)
+        self.load_generated(scale.universities, per_batch, options, &|u, buffer| {
+            generator.university_triples_into(u, buffer)
+        })
+    }
+
+    /// Generates and loads the SP²Bench/DBLP-like dataset at `scale`. The
+    /// unit of generation is the [`Sp2bGenerator`] unit (author or article
+    /// batch); units are grouped into [`LoadOptions::chunks`] contiguous
+    /// batches, each generated and encoded as one shard.
+    pub fn load_sp2b(&self, scale: Sp2bScale, options: &LoadOptions) -> LoadOutput {
+        let generator = Sp2bGenerator::new(scale);
+        let units = generator.units();
+        let generator = &generator;
+        let batches = self.chunk_count(options).min(units.max(1));
+        let per_batch = units.div_ceil(batches.max(1)).max(1);
+        self.load_generated(units, per_batch, options, &|unit, buffer| {
+            generator.unit_triples_into(unit, buffer)
+        })
+    }
+
+    /// The fused generate+encode wave shared by the synthetic loaders:
+    /// `units` generation units grouped `per_batch` to a shard, each batch
+    /// generated into a recycled scratch buffer and encoded in the same
+    /// task.
+    fn load_generated(
+        &self,
+        units: usize,
+        per_batch: usize,
+        options: &LoadOptions,
+        generate: &(dyn Fn(usize, &mut TripleBuffer) + Sync),
+    ) -> LoadOutput {
+        let started = Instant::now();
+        let gauges = StreamGauges::default();
+        let gauges = &gauges;
+        let shards = self.runtime.run_wave(
+            (0..units)
+                .step_by(per_batch.max(1))
                 .map(|first| {
-                    let last = (first + per_batch).min(scale.universities);
+                    let last = (first + per_batch).min(units);
                     move || {
-                        let mut terms = Vec::new();
-                        for u in first..last {
-                            terms.append(&mut generator.university_triples(u));
+                        let mut buffer = self.take_scratch(gauges);
+                        let generate_started = Instant::now();
+                        for unit in first..last {
+                            generate(unit, &mut buffer);
                         }
-                        terms
+                        gauges.input_nanos.fetch_add(
+                            generate_started.elapsed().as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                        let bytes = buffer_bytes(&buffer);
+                        gauges.note_parsed(bytes);
+                        let encode_started = Instant::now();
+                        let encoded = shard::encode_shard_from(&mut buffer);
+                        gauges.encode_nanos.fetch_add(
+                            encode_started.elapsed().as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                        gauges.note_encoded(bytes);
+                        self.recycle_scratch(buffer);
+                        encoded
                     }
                 })
                 .collect(),
         );
-        let input_seconds = started.elapsed().as_secs_f64();
-        self.assemble(term_chunks, options, input_seconds)
+        let (input_seconds, encode_seconds) = gauges.split_wall(started.elapsed().as_secs_f64());
+        self.assemble(shards, options, input_seconds, encode_seconds, gauges)
     }
 
-    /// Stages 2–5: encode shards, merge + remap, index, partition.
-    fn assemble(
-        &self,
-        term_chunks: Vec<Vec<(Term, Term, Term)>>,
-        options: &LoadOptions,
-        input_seconds: f64,
-    ) -> LoadOutput {
-        let chunks = term_chunks.len().max(1);
+    /// The dictionary-merge partition count: a couple of partition scans
+    /// per worker so the wave balances, and never more than there could be
+    /// distinct terms to split.
+    fn merge_partition_count(&self, shard_count: usize) -> usize {
+        if self.runtime.is_parallel() && shard_count > 1 {
+            (self.runtime.threads() * 2).max(2)
+        } else {
+            1
+        }
+    }
 
-        // Encode wave: one shard dictionary per chunk.
-        let (shards, encode_seconds) = self.runtime.run_timed_wave(
-            term_chunks
-                .into_iter()
-                .map(|terms| move || shard::encode_shard(terms))
+    /// The parallel partitioned dictionary merge: every phase of
+    /// `cliquesquare_rdf::load::merge_dictionaries_partitioned` run as its
+    /// own task wave (hash per shard → scan per partition → prefix-sum →
+    /// assign per shard → resolve per shard), bit-identical to
+    /// [`shard::merge_dictionaries`] at any thread and partition count.
+    fn merge_partitioned(
+        &self,
+        shards: Vec<Dictionary>,
+        partitions: usize,
+    ) -> (Dictionary, Vec<Vec<TermId>>) {
+        let shard_refs = &shards;
+        let hashes: Vec<Vec<u64>> = self.runtime.run_wave(
+            (0..shards.len())
+                .map(|s| move || shard::shard_term_hashes(&shard_refs[s]))
                 .collect(),
         );
+        let hashes_ref = &hashes;
+        let plans: Vec<shard::MergePartition> = self.runtime.run_wave(
+            (0..partitions)
+                .map(|p| move || shard::partition_merge_plan(shard_refs, hashes_ref, partitions, p))
+                .collect(),
+        );
+        let (bases, distinct) = shard::merge_bases(&plans, shards.len());
+        let plans_ref = &plans;
+        let finals: Vec<Vec<TermId>> = self.runtime.run_wave(
+            (0..shards.len())
+                .map(|s| {
+                    let base = bases[s];
+                    move || shard::assign_final_ids(s, shard_refs[s].len(), plans_ref, base)
+                })
+                .collect(),
+        );
+        let finals_ref = &finals;
+        let remaps: Vec<Vec<TermId>> = self.runtime.run_wave(
+            (0..shards.len())
+                .map(|s| move || shard::resolve_shard_remap(s, finals_ref, plans_ref))
+                .collect(),
+        );
+        let (terms, term_hashes) = shard::merged_term_table(shards, &hashes, &finals, distinct);
+        let dictionary = Dictionary::from_id_ordered_terms_with_hashes(terms, &term_hashes);
+        (dictionary, remaps)
+    }
 
-        // Merge pass (sequential over distinct terms) + parallel remap.
+    /// Stages 2–4: merge + remap, index, partition.
+    fn assemble(
+        &self,
+        shards: Vec<shard::EncodedShard>,
+        options: &LoadOptions,
+        input_seconds: f64,
+        encode_seconds: f64,
+        gauges: &StreamGauges,
+    ) -> LoadOutput {
+        let chunks = shards.len().max(1);
+
+        // Merge (partitioned task waves on a parallel runtime, the
+        // sequential first-occurrence walk otherwise) + parallel remap.
         let started = Instant::now();
         let (dictionaries, local_triples): (Vec<_>, Vec<_>) = shards
             .into_iter()
             .map(|s| (s.dictionary, s.triples))
             .unzip();
-        let (dictionary, remaps) = shard::merge_dictionaries(dictionaries);
+        let merge_partitions = self.merge_partition_count(dictionaries.len());
+        let (dictionary, remaps) = if merge_partitions > 1 {
+            self.merge_partitioned(dictionaries, merge_partitions)
+        } else {
+            shard::merge_dictionaries(dictionaries)
+        };
         let remapped = self.runtime.run_wave(
             local_triples
                 .into_iter()
@@ -293,6 +549,10 @@ impl BulkLoader {
             merge_seconds,
             index_seconds,
             partition_seconds,
+            peak_inflight_bytes: gauges.peak_inflight_bytes.load(Ordering::Relaxed),
+            parsed_bytes: gauges.parsed_bytes.load(Ordering::Relaxed),
+            scratch_allocations: gauges.scratch_allocations.load(Ordering::Relaxed),
+            merge_partitions,
         };
         LoadOutput {
             graph,
@@ -411,6 +671,95 @@ mod tests {
         }
         assert!(r.total_seconds() > 0.0);
         assert!(r.triples_per_second() > 0.0);
+        assert!(r.parsed_bytes > 0);
+        assert!(r.peak_inflight_bytes > 0);
+        assert!(r.peak_inflight_bytes <= r.parsed_bytes);
+        assert_eq!(r.merge_partitions, 1, "sequential loads merge serially");
+    }
+
+    #[test]
+    fn sp2b_load_matches_sequential_generate() {
+        let scale = Sp2bScale::tiny();
+        let expected = Sp2bGenerator::new(scale).generate();
+        let expected_store = PartitionedStore::build(&expected, 3);
+        for threads in [1, 2, 8] {
+            let loader = BulkLoader::new(Runtime::with_threads(threads));
+            let output = loader.load_sp2b(scale, &LoadOptions::with_nodes(3));
+            assert_eq!(output.graph, expected, "threads={threads}");
+            assert_eq!(output.store, expected_store, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_loads_use_the_partitioned_merge() {
+        let scale = LubmScale::default(); // 3 universities → 3 shards
+        let sequential = BulkLoader::sequential().load_lubm(scale, &LoadOptions::default());
+        assert_eq!(sequential.report.merge_partitions, 1);
+        let loader = BulkLoader::new(Runtime::with_threads(2));
+        let parallel = loader.load_lubm(
+            scale,
+            &LoadOptions {
+                nodes: 7,
+                chunks: Some(3),
+            },
+        );
+        assert!(parallel.report.merge_partitions > 1);
+        assert_eq!(parallel.graph, sequential.graph);
+        assert_eq!(parallel.store, sequential.store);
+    }
+
+    /// The fused parse+encode wave holds at most a worker's worth of
+    /// decoded chunks at a time: with 16 chunks on 2 workers, peak in-flight
+    /// bytes stay well under the all-chunks-at-once total.
+    #[test]
+    fn streaming_keeps_inflight_bytes_bounded() {
+        let text = ntriples::serialize(&LubmGenerator::new(LubmScale::default()).generate());
+        let loader = BulkLoader::new(Runtime::with_threads(2));
+        let output = loader
+            .load_ntriples(
+                &text,
+                &LoadOptions {
+                    nodes: 4,
+                    chunks: Some(16),
+                },
+            )
+            .expect("load succeeds");
+        let r = output.report;
+        assert!(r.parsed_bytes > 0);
+        assert!(r.peak_inflight_bytes > 0);
+        assert!(
+            r.peak_inflight_bytes * 4 <= r.parsed_bytes,
+            "streaming window did not bound memory: peak {} of {} total bytes",
+            r.peak_inflight_bytes,
+            r.parsed_bytes
+        );
+    }
+
+    /// Scratch buffers are pooled: a cold load allocates at most one buffer
+    /// per worker, and a warm reload allocates none.
+    #[test]
+    fn scratch_pool_recycles_across_loads() {
+        let text = ntriples::serialize(&LubmGenerator::new(LubmScale::tiny()).generate());
+        let loader = BulkLoader::new(Runtime::with_threads(2));
+        let options = LoadOptions {
+            nodes: 3,
+            chunks: Some(8),
+        };
+        let cold = loader.load_ntriples(&text, &options).expect("cold load");
+        assert!(cold.report.scratch_allocations >= 1);
+        assert!(
+            cold.report.scratch_allocations <= 2,
+            "more scratch buffers than workers: {}",
+            cold.report.scratch_allocations
+        );
+        assert_eq!(
+            loader.pooled_scratch_buffers() as u64,
+            cold.report.scratch_allocations,
+            "every buffer returns to the pool"
+        );
+        let warm = loader.load_ntriples(&text, &options).expect("warm load");
+        assert_eq!(warm.report.scratch_allocations, 0);
+        assert_eq!(warm.graph, cold.graph);
     }
 
     #[test]

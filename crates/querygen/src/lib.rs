@@ -1,11 +1,14 @@
-//! Benchmark workloads: the LUBM queries of the paper's Appendix A and the
-//! synthetic query generator used in its Section 6.2 optimizer study.
+//! Benchmark workloads: the LUBM queries of the paper's Appendix A, an
+//! SP²Bench-flavoured chain/skew workload, and the synthetic query
+//! generator used in its Section 6.2 optimizer study.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod lubm_queries;
+pub mod sp2b_queries;
 pub mod synthetic;
 
 pub use lubm_queries::{lubm_queries, lubm_query, non_selective_queries, selective_queries};
+pub use sp2b_queries::{sp2b_queries, sp2b_query};
 pub use synthetic::{SyntheticShape, SyntheticWorkload, WorkloadConfig};

@@ -1,0 +1,143 @@
+//! An SP²Bench-flavoured query workload over the DBLP-like data of
+//! `cliquesquare_rdf::sp2b`.
+//!
+//! Where the LUBM queries of Appendix A exercise star-heavy university
+//! data, these six queries stress the two shapes the SP²Bench generator is
+//! skewed towards: **chain joins** over the recency-biased
+//! `dcterms:references` citation graph (S2, S3) and **skew-sensitive
+//! joins** through the power-law author and journal distributions (S4, S5,
+//! S6). S1 is the classic per-document metadata star. Each query declares
+//! the prefixes it uses, so the set is self-contained.
+
+use cliquesquare_sparql::parser::parse_query;
+use cliquesquare_sparql::BgpQuery;
+
+const PREFIXES: &str = "PREFIX bench: <http://localhost/vocabulary/bench/> \
+     PREFIX dc: <http://purl.org/dc/elements/1.1/> \
+     PREFIX dcterms: <http://purl.org/dc/terms/> \
+     PREFIX swrc: <http://swrc.ontoware.org/ontology#> \
+     PREFIX foaf: <http://xmlns.com/foaf/0.1/> ";
+
+fn q(name: &str, body: &str) -> BgpQuery {
+    let text = format!("{PREFIXES}{body}");
+    let mut query = parse_query(&text).unwrap_or_else(|e| panic!("query {name} is invalid: {e}"));
+    query.set_name(name);
+    query
+}
+
+/// S1: the metadata star of every article (5 patterns, 1 join variable).
+pub fn s1() -> BgpQuery {
+    q(
+        "S1",
+        "SELECT ?A ?T ?Y WHERE { ?A a bench:Article . ?A dc:title ?T . \
+         ?A dcterms:issued ?Y . ?A swrc:journal ?J . ?A swrc:pages ?P }",
+    )
+}
+
+/// S2: two-hop citation chains with the endpoints' years (4 patterns).
+pub fn s2() -> BgpQuery {
+    q(
+        "S2",
+        "SELECT ?A ?B ?YA ?YB WHERE { ?A dcterms:references ?B . \
+         ?B dcterms:references ?C . ?A dcterms:issued ?YA . ?B dcterms:issued ?YB }",
+    )
+}
+
+/// S3: three-hop citation chains — the pure chain shape CliqueSquare's
+/// clique decomposition flattens (3 patterns, 2 join variables).
+pub fn s3() -> BgpQuery {
+    q(
+        "S3",
+        "SELECT ?A ?D WHERE { ?A dcterms:references ?B . \
+         ?B dcterms:references ?C . ?C dcterms:references ?D }",
+    )
+}
+
+/// S4: articles joined to their creators' names — the power-law author
+/// in-degree makes `?W` heavily skewed (4 patterns).
+pub fn s4() -> BgpQuery {
+    q(
+        "S4",
+        "SELECT ?A ?N WHERE { ?A a bench:Article . ?A dc:creator ?W . \
+         ?W a foaf:Person . ?W foaf:name ?N }",
+    )
+}
+
+/// S5: pairs of articles published in the same journal — a self-join whose
+/// output is dominated by the head of the journal power law (4 patterns).
+pub fn s5() -> BgpQuery {
+    q(
+        "S5",
+        "SELECT ?A ?B ?J WHERE { ?A swrc:journal ?J . ?B swrc:journal ?J . \
+         ?A dcterms:issued ?Y . ?B dcterms:issued ?Y }",
+    )
+}
+
+/// S6: authors whose article cites another article, with the cited year —
+/// chain and skew combined (5 patterns, 2 join variables).
+pub fn s6() -> BgpQuery {
+    q(
+        "S6",
+        "SELECT ?W ?A ?B ?Y WHERE { ?A dc:creator ?W . ?A dcterms:references ?B . \
+         ?B dcterms:issued ?Y . ?A a bench:Article . ?B a bench:Article }",
+    )
+}
+
+/// All six queries in order.
+pub fn sp2b_queries() -> Vec<BgpQuery> {
+    vec![s1(), s2(), s3(), s4(), s5(), s6()]
+}
+
+/// Looks a query up by name (`"S1"` … `"S6"`).
+pub fn sp2b_query(name: &str) -> Option<BgpQuery> {
+    sp2b_queries().into_iter().find(|q| q.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesquare_sparql::analysis;
+
+    #[test]
+    fn queries_parse_and_are_connected() {
+        let queries = sp2b_queries();
+        assert_eq!(queries.len(), 6);
+        for query in &queries {
+            assert!(
+                query.is_connected(),
+                "{} contains a cartesian product",
+                query.name()
+            );
+        }
+    }
+
+    #[test]
+    fn shapes_cover_stars_and_chains() {
+        assert_eq!(analysis::stats(&s1()).join_variables, 1);
+        assert_eq!(analysis::stats(&s3()).triple_patterns, 3);
+        assert_eq!(analysis::stats(&s3()).join_variables, 2);
+        assert_eq!(analysis::stats(&s6()).join_variables, 2);
+        assert_eq!(analysis::stats(&s6()).triple_patterns, 5);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(sp2b_query("S4").is_some());
+        assert!(sp2b_query("S7").is_none());
+    }
+
+    #[test]
+    fn prefixes_expand_to_the_generator_vocabulary() {
+        use cliquesquare_sparql::PatternTerm;
+        let query = s4();
+        let mut saw_foaf_name = false;
+        for pattern in query.patterns() {
+            if let PatternTerm::Constant(term) = &pattern.property {
+                if term.value() == "http://xmlns.com/foaf/0.1/name" {
+                    saw_foaf_name = true;
+                }
+            }
+        }
+        assert!(saw_foaf_name, "foaf:name did not expand");
+    }
+}

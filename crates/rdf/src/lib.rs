@@ -13,6 +13,8 @@
 //! * [`ntriples`] — a minimal N-Triples style reader/writer,
 //! * [`lubm`] — a deterministic LUBM-like synthetic data generator standing
 //!   in for the LUBM10k dataset used in the paper's evaluation,
+//! * [`sp2b`] — a deterministic SP²Bench/DBLP-like generator with power-law
+//!   author/journal skew and long citation chains,
 //! * [`load`] — sharded bulk-load primitives (chunk splitting, per-shard
 //!   dictionary encoding, order-preserving merge) whose parallel
 //!   orchestration lives in `cliquesquare_mapreduce::load`.
@@ -39,11 +41,13 @@ pub mod graph;
 pub mod load;
 pub mod lubm;
 pub mod ntriples;
+pub mod sp2b;
 pub mod term;
 pub mod triple;
 
 pub use dictionary::Dictionary;
 pub use graph::{Graph, GraphStats};
 pub use lubm::{LubmGenerator, LubmScale};
+pub use sp2b::{Sp2bGenerator, Sp2bScale};
 pub use term::{Term, TermId};
 pub use triple::{Triple, TriplePosition};

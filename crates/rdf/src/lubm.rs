@@ -170,9 +170,17 @@ impl LubmGenerator {
     /// and the concatenation over `u = 0..universities` equals
     /// [`generate`](Self::generate).
     pub fn university_triples(&self, u: usize) -> Vec<(Term, Term, Term)> {
+        let mut out = Vec::new();
+        self.university_triples_into(u, &mut out);
+        out
+    }
+
+    /// Like [`university_triples`](Self::university_triples), but appends
+    /// into a caller-supplied buffer so the streaming bulk loader can
+    /// recycle one generation buffer per worker across university waves.
+    pub fn university_triples_into(&self, u: usize, out: &mut Vec<(Term, Term, Term)>) {
         let mut rng = StdRng::seed_from_u64(self.university_seed(u));
         let s = &self.scale;
-        let mut out: Vec<(Term, Term, Term)> = Vec::new();
         let mut emit = |s: Term, p: Term, o: Term| out.push((s, p, o));
 
         let rdf_type = Term::iri(vocab::RDF_TYPE);
@@ -354,7 +362,6 @@ impl LubmGenerator {
                 }
             }
         }
-        out
     }
 }
 

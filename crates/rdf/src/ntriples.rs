@@ -209,6 +209,19 @@ pub fn parse(text: &str) -> Result<Vec<(Term, Term, Term)>, ParseError> {
 /// line number of the offending line.
 pub fn parse_from(text: &str, first_line: usize) -> Result<Vec<(Term, Term, Term)>, ParseError> {
     let mut out = Vec::new();
+    parse_from_into(text, first_line, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`parse_from`], but appends into a caller-supplied buffer so the
+/// streaming bulk loader can recycle one triple buffer per worker across
+/// chunk waves instead of allocating a fresh `Vec` per chunk. On error the
+/// buffer holds the triples parsed before the failing line.
+pub fn parse_from_into(
+    text: &str,
+    first_line: usize,
+    out: &mut Vec<(Term, Term, Term)>,
+) -> Result<(), ParseError> {
     for (i, line) in text.lines().enumerate() {
         let line_no = first_line + i;
         if let Some([s, p, o]) = tokenize(line, line_no)? {
@@ -219,7 +232,7 @@ pub fn parse_from(text: &str, first_line: usize) -> Result<Vec<(Term, Term, Term
             ));
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Parses N-Triples text directly into a [`Graph`].

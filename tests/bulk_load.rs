@@ -106,6 +106,40 @@ fn chunk_count_never_changes_the_result() {
     }
 }
 
+/// The partitioned dictionary merge engages on parallel runtimes and stays
+/// bit-identical to the sequential first-occurrence merge at every thread
+/// count (the satellite differential for the parallel merge rework).
+#[test]
+fn partitioned_merge_is_bit_identical_across_thread_counts() {
+    let text = spiky_ntriples();
+    let expected_graph = ntriples::parse_into_graph(&text).expect("baseline parses");
+    let options = LoadOptions {
+        nodes: 4,
+        chunks: Some(6),
+    };
+    for threads in [1, 2, 8] {
+        let loader = BulkLoader::new(Runtime::with_threads(threads));
+        let output = loader
+            .load_ntriples(&text, &options)
+            .expect("load succeeds");
+        if threads == 1 {
+            assert_eq!(
+                output.report.merge_partitions, 1,
+                "sequential runtimes must keep the single-pass merge"
+            );
+        } else {
+            assert!(
+                output.report.merge_partitions > 1,
+                "threads={threads}: parallel runtime fell back to the serial merge"
+            );
+        }
+        assert_eq!(output.graph, expected_graph, "threads={threads}");
+        for (id, term) in expected_graph.dictionary().iter() {
+            assert_eq!(output.graph.lookup(term), Some(id), "threads={threads}");
+        }
+    }
+}
+
 /// A bulk-loaded cluster answers the 14 LUBM queries exactly like the
 /// sequentially loaded cluster.
 #[test]

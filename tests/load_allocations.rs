@@ -1,0 +1,113 @@
+//! Allocation regression tests for the streaming bulk-load path.
+//!
+//! A counting global allocator (the same technique as
+//! `tests/join_allocations.rs`) verifies that [`BulkLoader`] really
+//! recycles its chunk parse/encode buffers across task waves and across
+//! loads: a warm load on the same loader must take every scratch buffer
+//! from the pool (zero fresh scratch allocations, strictly fewer total
+//! allocations than the cold load) while producing a bit-identical graph.
+
+use cliquesquare::mapreduce::load::{BulkLoader, LoadOptions};
+use cliquesquare::mapreduce::Runtime;
+use cliquesquare::rdf::{ntriples, LubmGenerator, LubmScale};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Wraps the system allocator, counting every allocation made by the
+/// current thread (loads under test run on a sequential [`Runtime`], so
+/// all of their work happens on this thread).
+struct CountingAllocator;
+
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
+
+/// A second load on the same loader draws every chunk buffer from the
+/// scratch pool: zero fresh scratch allocations, strictly fewer total
+/// allocations than the cold load, identical result.
+#[test]
+fn warm_loads_reuse_parse_buffers_instead_of_allocating() {
+    let text = ntriples::serialize(&LubmGenerator::new(LubmScale::tiny()).generate());
+    let loader = BulkLoader::new(Runtime::sequential());
+    let options = LoadOptions {
+        nodes: 4,
+        chunks: Some(8),
+    };
+
+    let before = allocations();
+    let cold = loader.load_ntriples(&text, &options).expect("cold load");
+    let cold_allocations = allocations() - before;
+    assert!(
+        cold.report.scratch_allocations >= 1,
+        "cold load must allocate at least one scratch buffer"
+    );
+    assert!(
+        loader.pooled_scratch_buffers() >= 1,
+        "finished load must return its buffers to the pool"
+    );
+
+    let before = allocations();
+    let warm = loader.load_ntriples(&text, &options).expect("warm load");
+    let warm_allocations = allocations() - before;
+
+    assert_eq!(
+        warm.report.scratch_allocations, 0,
+        "warm load allocated fresh scratch buffers instead of reusing the pool"
+    );
+    assert_eq!(warm.graph, cold.graph, "recycling changed the result");
+    assert!(
+        warm_allocations < cold_allocations,
+        "warm load performed {warm_allocations} allocations vs {cold_allocations} cold \
+         (buffer recycling saves nothing)"
+    );
+}
+
+/// On a sequential runtime only one chunk is ever in flight, so the peak
+/// decoded-buffer footprint stays near one chunk — far below the total
+/// bytes parsed (the bounded-memory streaming contract, observable through
+/// the report gauges).
+#[test]
+fn sequential_streaming_holds_one_chunk_at_a_time() {
+    let text = ntriples::serialize(&LubmGenerator::new(LubmScale::default()).generate());
+    let loader = BulkLoader::new(Runtime::sequential());
+    let output = loader
+        .load_ntriples(
+            &text,
+            &LoadOptions {
+                nodes: 4,
+                chunks: Some(16),
+            },
+        )
+        .expect("load succeeds");
+    let report = &output.report;
+    assert!(report.parsed_bytes > 0);
+    assert!(
+        report.peak_inflight_bytes * 4 <= report.parsed_bytes,
+        "peak in-flight {} vs parsed {}: chunks are accumulating instead of streaming",
+        report.peak_inflight_bytes,
+        report.parsed_bytes
+    );
+}
