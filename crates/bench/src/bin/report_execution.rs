@@ -32,7 +32,12 @@
 //! counter regression table diffing `sorts_performed` /
 //! `join_inputs_resorted` / `peak_rows` against it, and **exits nonzero**
 //! when any query regressed — CI gates on this. Run it at the scale the
-//! baseline was recorded at — the repo-root default.)
+//! baseline was recorded at — the repo-root default.
+//! `--profile [PATH]` additionally runs each query once with per-query
+//! profiling, asserts the profiled answers are bit-identical to the
+//! unprofiled ones, and writes the span trees as a Chrome-trace JSON —
+//! `BENCH_profile_trace.json` by default; open it in `chrome://tracing` or
+//! Perfetto.)
 
 use cliquesquare_baselines::BinaryPlanner;
 use cliquesquare_bench::{
@@ -252,6 +257,56 @@ fn main() {
         .expect("write bench snapshot");
         println!("\nWrote bench snapshot to {path} (total sequential wall: {total:.3} ms).");
     }
+
+    if let Some(path) = profile_path_from_args(&args) {
+        write_profile_trace(&path, &csq, &parallel_executor);
+    }
+}
+
+/// Parses `--profile [PATH]` (`BENCH_profile_trace.json` when no path
+/// follows the flag).
+fn profile_path_from_args(args: &[String]) -> Option<String> {
+    let position = args.iter().position(|a| a == "--profile")?;
+    Some(
+        args.get(position + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_profile_trace.json".to_string()),
+    )
+}
+
+/// Runs every LUBM query once profiled and once not on `executor`, asserts
+/// the answers are bit-identical, and writes the profiles to `path` as
+/// Chrome-trace JSON.
+fn write_profile_trace(path: &str, csq: &Csq, executor: &Executor) {
+    let mut profiles = Vec::new();
+    for query in lubm_queries::lubm_queries() {
+        let (_, chosen, _) = csq.plan(&query);
+        let physical = translate(&chosen, csq.cluster().graph());
+        let unprofiled = executor.execute(&physical);
+        let profiled = executor.execute_profiled(&physical);
+        assert_eq!(
+            unprofiled.results,
+            profiled.results,
+            "{}: profiling changed the answer set",
+            query.name()
+        );
+        let root = profiled
+            .profile
+            .expect("profiled execution returns a span tree");
+        profiles.push(cliquesquare_obs::QueryProfile {
+            query: query.name().to_string(),
+            threads: executor.runtime().threads(),
+            total_wall_seconds: root.wall_seconds,
+            root,
+        });
+    }
+    std::fs::write(path, cliquesquare_obs::chrome_trace(&profiles)).expect("write profile trace");
+    println!(
+        "\nWrote Chrome-trace profile of {} queries to {path} \
+         (open in chrome://tracing or Perfetto).",
+        profiles.len()
+    );
 }
 
 /// Prints the counter regression table — the current run's

@@ -20,11 +20,32 @@ use cliquesquare_bench::{
     write_serving_snapshot, ServingLevel,
 };
 use cliquesquare_mapreduce::Runtime;
+use cliquesquare_obs::{Gauge, Histogram, LATENCY_SECONDS_BUCKETS};
 use cliquesquare_querygen::lubm_queries::lubm_queries;
 use cliquesquare_rdf::LubmScale;
 use cliquesquare_server::{QueryAnswer, QueryService};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Handle to the scheduler's task-wait histogram in the global registry
+/// (same name/help as the scheduler registers, so this is the same series).
+fn queue_wait_histogram() -> std::sync::Arc<Histogram> {
+    cliquesquare_obs::global().histogram(
+        "csq_scheduler_task_wait_seconds",
+        "Seconds a task waited between enqueue and dequeue",
+        &[],
+        LATENCY_SECONDS_BUCKETS,
+    )
+}
+
+/// Handle to the scheduler's queue-depth high-water gauge.
+fn queue_depth_peak_gauge() -> std::sync::Arc<Gauge> {
+    cliquesquare_obs::global().gauge(
+        "csq_scheduler_queue_depth_peak",
+        "High-water mark of the scheduler queue depth",
+        &[],
+    )
+}
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     let mut iter = args.iter();
@@ -104,8 +125,15 @@ fn main() {
         .map(|query| stable_answer(&service.run(query).expect("solo run serves")))
         .collect();
 
+    // The scheduler's own queue instrumentation: the wait histogram is
+    // snapshotted around each level so its delta is that level's waits, and
+    // the (monotonic) depth high-water mark is sampled after the level.
+    let queue_wait = queue_wait_histogram();
+    let queue_depth_peak = queue_depth_peak_gauge();
+
     let mut levels = Vec::new();
     for &clients in &client_levels {
+        let wait_before = queue_wait.snapshot();
         let started = Instant::now();
         let workers: Vec<_> = (0..clients)
             .map(|client| {
@@ -140,15 +168,20 @@ fn main() {
             .collect();
         let elapsed = started.elapsed().as_secs_f64();
         latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let level_waits = queue_wait.snapshot().since(&wait_before);
         levels.push(ServingLevel {
             clients,
             queries: latencies_ms.len(),
             p50_ms: percentile_ms(&latencies_ms, 0.5),
             p99_ms: percentile_ms(&latencies_ms, 0.99),
             queries_per_s: latencies_ms.len() as f64 / elapsed.max(1e-9),
+            queue_wait_p50_ms: level_waits.quantile(0.5).map(|s| s * 1e3),
+            queue_wait_p99_ms: level_waits.quantile(0.99).map(|s| s * 1e3),
+            queue_depth_peak: Some(queue_depth_peak.get()),
         });
     }
 
+    let fmt_opt = |value: Option<f64>| value.map_or("-".to_string(), |v| format!("{v:.3}"));
     let rows: Vec<Vec<String>> = levels
         .iter()
         .map(|level| {
@@ -158,13 +191,27 @@ fn main() {
                 format!("{:.2}", level.p50_ms),
                 format!("{:.2}", level.p99_ms),
                 format!("{:.1}", level.queries_per_s),
+                fmt_opt(level.queue_wait_p50_ms),
+                fmt_opt(level.queue_wait_p99_ms),
+                level
+                    .queue_depth_peak
+                    .map_or("-".to_string(), |v| v.to_string()),
             ]
         })
         .collect();
     println!(
         "{}",
         table(
-            &["clients", "queries", "p50 ms", "p99 ms", "queries/s"],
+            &[
+                "clients",
+                "queries",
+                "p50 ms",
+                "p99 ms",
+                "queries/s",
+                "qwait p50 ms",
+                "qwait p99 ms",
+                "qdepth peak",
+            ],
             &rows
         )
     );

@@ -657,6 +657,15 @@ pub struct ServingLevel {
     pub p99_ms: f64,
     /// Completed queries per wall-clock second.
     pub queries_per_s: f64,
+    /// Median scheduler queue wait during this level, from the
+    /// `csq_scheduler_task_wait_seconds` histogram delta (`None` in
+    /// snapshots recorded before the metric existed).
+    pub queue_wait_p50_ms: Option<f64>,
+    /// 99th-percentile scheduler queue wait during this level.
+    pub queue_wait_p99_ms: Option<f64>,
+    /// Scheduler queue-depth high-water mark sampled after this level ran
+    /// (monotonic over the process, so levels only grow it).
+    pub queue_depth_peak: Option<i64>,
 }
 
 /// The `q`-quantile (0.0–1.0) of a latency sample by nearest-rank on the
@@ -689,19 +698,66 @@ pub fn write_serving_snapshot(
     json.push_str(&format!("  \"worker_threads\": {worker_threads},\n"));
     json.push_str("  \"levels\": [\n");
     for (index, level) in levels.iter().enumerate() {
-        json.push_str(&format!(
+        let mut line = format!(
             "    {{\"clients\": {}, \"queries\": {}, \"p50_ms\": {:.3}, \
-             \"p99_ms\": {:.3}, \"queries_per_s\": {:.1}}}{}\n",
-            level.clients,
-            level.queries,
-            level.p50_ms,
-            level.p99_ms,
-            level.queries_per_s,
-            if index + 1 == levels.len() { "" } else { "," }
-        ));
+             \"p99_ms\": {:.3}, \"queries_per_s\": {:.1}",
+            level.clients, level.queries, level.p50_ms, level.p99_ms, level.queries_per_s,
+        );
+        if let Some(wait) = level.queue_wait_p50_ms {
+            line.push_str(&format!(", \"queue_wait_p50_ms\": {wait:.3}"));
+        }
+        if let Some(wait) = level.queue_wait_p99_ms {
+            line.push_str(&format!(", \"queue_wait_p99_ms\": {wait:.3}"));
+        }
+        if let Some(peak) = level.queue_depth_peak {
+            line.push_str(&format!(", \"queue_depth_peak\": {peak}"));
+        }
+        line.push_str(if index + 1 == levels.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+        json.push_str(&line);
     }
     json.push_str("  ]\n}\n");
     std::fs::write(path, json)
+}
+
+/// Reads the per-level entries of a snapshot previously written by
+/// [`write_serving_snapshot`]. Queue-wait fields missing from older
+/// recordings (which predate the scheduler metrics) come back as `None`, so
+/// readers work across both formats.
+pub fn read_serving_snapshot(path: &str) -> std::io::Result<Vec<ServingLevel>> {
+    let contents = std::fs::read_to_string(path)?;
+    let mut levels = Vec::new();
+    for line in contents.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"clients\"") {
+            continue;
+        }
+        let Some(clients) = json_field(line, "clients").and_then(|v| v.parse().ok()) else {
+            continue;
+        };
+        levels.push(ServingLevel {
+            clients,
+            queries: json_field(line, "queries")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            p50_ms: json_field(line, "p50_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0),
+            p99_ms: json_field(line, "p99_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0),
+            queries_per_s: json_field(line, "queries_per_s")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0),
+            queue_wait_p50_ms: json_field(line, "queue_wait_p50_ms").and_then(|v| v.parse().ok()),
+            queue_wait_p99_ms: json_field(line, "queue_wait_p99_ms").and_then(|v| v.parse().ok()),
+            queue_depth_peak: json_field(line, "queue_depth_peak").and_then(|v| v.parse().ok()),
+        });
+    }
+    Ok(levels)
 }
 
 #[cfg(test)]
@@ -935,6 +991,68 @@ mod tests {
         let meta = read_snapshot_meta(path).unwrap();
         assert_eq!(meta.benchmark.as_deref(), Some("execution"));
         assert_eq!(meta.dataset_triples, Some(999));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serving_snapshot_round_trips_queue_wait_fields() {
+        let levels = vec![
+            ServingLevel {
+                clients: 1,
+                queries: 14,
+                p50_ms: 2.5,
+                p99_ms: 9.0,
+                queries_per_s: 120.0,
+                queue_wait_p50_ms: Some(0.125),
+                queue_wait_p99_ms: Some(1.75),
+                queue_depth_peak: Some(6),
+            },
+            ServingLevel {
+                clients: 4,
+                queries: 56,
+                p50_ms: 3.5,
+                p99_ms: 12.0,
+                queries_per_s: 300.0,
+                queue_wait_p50_ms: None,
+                queue_wait_p99_ms: None,
+                queue_depth_peak: None,
+            },
+        ];
+        let path = std::env::temp_dir().join("csq_serving_roundtrip.json");
+        let path = path.to_str().unwrap();
+        write_serving_snapshot(path, "LUBM mix", 1000, 7, 2, &levels).unwrap();
+        let read = read_serving_snapshot(path).unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0].clients, 1);
+        assert_eq!(read[0].queries, 14);
+        assert!((read[0].p99_ms - 9.0).abs() < 1e-9);
+        assert_eq!(read[0].queue_wait_p50_ms, Some(0.125));
+        assert_eq!(read[0].queue_wait_p99_ms, Some(1.75));
+        assert_eq!(read[0].queue_depth_peak, Some(6));
+        assert_eq!(read[1].clients, 4);
+        assert_eq!(read[1].queue_wait_p50_ms, None);
+        assert_eq!(read[1].queue_depth_peak, None);
+        let meta = read_snapshot_meta(path).unwrap();
+        assert_eq!(meta.benchmark.as_deref(), Some("serving"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serving_reader_accepts_the_pre_queue_metrics_format() {
+        // A snapshot exactly as written before the scheduler queue metrics
+        // existed: no queue_wait / queue_depth fields on the level lines.
+        let old = "{\n  \"benchmark\": \"serving\",\n  \"workload\": \"LUBM Q1-Q14 closed-loop mix\",\n  \"dataset_triples\": 4880,\n  \"nodes\": 7,\n  \"worker_threads\": 4,\n  \"levels\": [\n    {\"clients\": 1, \"queries\": 14, \"p50_ms\": 1.234, \"p99_ms\": 5.678, \"queries_per_s\": 88.1},\n    {\"clients\": 2, \"queries\": 28, \"p50_ms\": 1.500, \"p99_ms\": 6.000, \"queries_per_s\": 140.0}\n  ]\n}\n";
+        let path = std::env::temp_dir().join("csq_serving_legacy.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, old).unwrap();
+        let read = read_serving_snapshot(path).unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0].clients, 1);
+        assert!((read[0].p50_ms - 1.234).abs() < 1e-9);
+        assert!((read[1].queries_per_s - 140.0).abs() < 1e-9);
+        assert_eq!(read[0].queue_wait_p50_ms, None);
+        assert_eq!(read[0].queue_wait_p99_ms, None);
+        assert_eq!(read[0].queue_depth_peak, None);
         let _ = std::fs::remove_file(path);
     }
 

@@ -30,16 +30,18 @@
 use crate::factorized::{self, RunsRelation};
 use crate::jobs::{schedule, JobSchedule};
 use crate::physical::{FilterCondition, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
-use crate::relation::{self, JoinOrder, Relation, SortOrder};
+use crate::relation::{self, stats::RelationStats, JoinOrder, Relation, SortOrder};
 use crate::translate::translate;
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_mapreduce::{
     Cluster, ExecutionMetrics, JobExecution, JobKind, JobLog, Runtime, TaskExecution,
 };
+use cliquesquare_obs::{SpanNode, TaskSpan};
 use cliquesquare_rdf::{TermId, Triple, TriplePosition};
 use cliquesquare_sparql::{PatternTerm, Variable};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::thread::ThreadId;
 use std::time::Instant;
 
 /// The result of executing one plan.
@@ -61,6 +63,12 @@ pub struct ExecutionOutput {
     pub threads: usize,
     /// The job schedule the plan was executed under.
     pub schedule: JobSchedule,
+    /// The `execute` span subtree — one node per evaluated operator,
+    /// grouped by job, each carrying wall time, rows in/out, sort/run
+    /// counters and the per-task walls of its wave. `None` unless the
+    /// plan ran through [`Executor::execute_profiled`]; recording is pure
+    /// observation, so results are bit-identical either way.
+    pub profile: Option<SpanNode>,
 }
 
 impl ExecutionOutput {
@@ -190,6 +198,19 @@ impl Executor {
 
     /// Executes a physical plan.
     pub fn execute(&self, plan: &PhysicalPlan) -> ExecutionOutput {
+        self.execute_inner(plan, false)
+    }
+
+    /// Executes a physical plan, recording the per-operator span tree into
+    /// [`ExecutionOutput::profile`]. Profiling only brackets the existing
+    /// waves with clocks and counter snapshots — it never changes what the
+    /// tasks compute, so answers are bit-identical to [`Executor::execute`]
+    /// at every thread count (asserted in `tests/observability.rs`).
+    pub fn execute_profiled(&self, plan: &PhysicalPlan) -> ExecutionOutput {
+        self.execute_inner(plan, true)
+    }
+
+    fn execute_inner(&self, plan: &PhysicalPlan, profiled: bool) -> ExecutionOutput {
         let started = Instant::now();
         let sched = schedule(plan);
         let nodes = self.cluster.nodes();
@@ -201,6 +222,7 @@ impl Executor {
             job_id: self.runtime.begin_job(),
             jobs: (0..sched.job_count).map(|_| JobState::new(nodes)).collect(),
             memo: vec![None; plan.len()],
+            prof: profiled.then(|| ProfCtx::new(started)),
         };
 
         // Operators are stored bottom-up (inputs have smaller ids than their
@@ -208,7 +230,20 @@ impl Executor {
         // operator after its inputs — no recursion, no re-evaluation.
         let needed = evaluated_ops(plan);
         for (index, _) in needed.iter().enumerate().filter(|(_, needed)| **needed) {
+            // With profiling on, bracket the operator with a driver-side
+            // clock and relation-stats snapshot; the wave wrapper in
+            // `run_timed_wave` adds what ran on worker threads.
+            let observing = state
+                .prof
+                .as_ref()
+                .map(|p| (p.epoch.elapsed().as_secs_f64(), Instant::now()))
+                .map(|(start, clock)| (start, clock, relation::stats::snapshot()));
             let result = state.eval_op(PhysId(index));
+            if let Some((start, clock, before)) = observing {
+                let wall = clock.elapsed().as_secs_f64();
+                let driver_delta = relation::stats::snapshot().since(&before);
+                state.record_node(PhysId(index), &result, start, wall, driver_delta);
+            }
             state.memo[index] = Some(result);
         }
         let root = state.memo[plan.root().index()]
@@ -262,6 +297,10 @@ impl Executor {
         }
         let metrics = job_log.total_metrics();
         let simulated_seconds = metrics.simulated_seconds(&self.cluster.config().cost, nodes);
+        let profile = state
+            .prof
+            .take()
+            .map(|prof| prof.into_execute_node(started));
         ExecutionOutput {
             results,
             job_log,
@@ -270,7 +309,82 @@ impl Executor {
             wall_seconds: started.elapsed().as_secs_f64(),
             threads: self.runtime.threads(),
             schedule: sched,
+            profile,
         }
+    }
+}
+
+/// Profiling state threaded through one `execute_profiled` run: the
+/// epoch every span offset is measured from, the finished per-operator
+/// nodes, and the observations of the operator currently evaluating
+/// (drained into its node by the driver loop).
+struct ProfCtx {
+    /// The execution's start — span offsets are seconds since this.
+    epoch: Instant,
+    /// The driver thread: wave tasks the submitter ran inline are already
+    /// inside the driver-side stats delta, so the wrapper skips re-adding
+    /// their deltas (see [`ExecState::run_timed_wave`]).
+    driver: ThreadId,
+    /// `(job, node)` per evaluated operator, in arena order.
+    nodes: Vec<(usize, SpanNode)>,
+    /// Per-task spans of the current operator's waves.
+    tasks: Vec<TaskSpan>,
+    /// Relation-stats increments observed on worker threads by the
+    /// current operator's waves.
+    worker_stats: RelationStats,
+    /// Extra attributes pushed by the current operator (shuffle volume).
+    attrs: Vec<(&'static str, u64)>,
+    /// Override for the current operator's input tuple count (scans read
+    /// raw triples, which no memoized input reports).
+    rows_in: Option<u64>,
+}
+
+impl ProfCtx {
+    fn new(epoch: Instant) -> Self {
+        Self {
+            epoch,
+            driver: std::thread::current().id(),
+            nodes: Vec::new(),
+            tasks: Vec::new(),
+            worker_stats: RelationStats::default(),
+            attrs: Vec::new(),
+            rows_in: None,
+        }
+    }
+
+    /// Assembles the finished operator nodes into the `execute` span:
+    /// one child per job, whose children are that job's operators.
+    fn into_execute_node(self, started: Instant) -> SpanNode {
+        let mut execute = SpanNode::new("execute");
+        let job_count = self.nodes.iter().map(|(job, _)| *job).max().unwrap_or(0);
+        let mut jobs: Vec<SpanNode> = (1..=job_count)
+            .map(|job| SpanNode::new(format!("job {job}")))
+            .collect();
+        for (job, node) in self.nodes {
+            jobs[job - 1].children.push(node);
+        }
+        for mut job_node in jobs {
+            if job_node.children.is_empty() {
+                continue;
+            }
+            job_node.start_seconds = job_node
+                .children
+                .iter()
+                .map(|c| c.start_seconds)
+                .fold(f64::INFINITY, f64::min);
+            let end = job_node
+                .children
+                .iter()
+                .map(|c| c.start_seconds + c.wall_seconds)
+                .fold(0.0, f64::max);
+            job_node.wall_seconds = end - job_node.start_seconds;
+            job_node.rows_in = job_node.children.first().map(|c| c.rows_in).unwrap_or(0);
+            job_node.rows_out = job_node.children.last().map(|c| c.rows_out).unwrap_or(0);
+            execute.children.push(job_node);
+        }
+        execute.wall_seconds = started.elapsed().as_secs_f64();
+        execute.rows_out = execute.children.last().map(|job| job.rows_out).unwrap_or(0);
+        execute
     }
 }
 
@@ -296,6 +410,24 @@ fn evaluated_ops(plan: &PhysicalPlan) -> Vec<bool> {
         }
     }
     needed
+}
+
+/// Field-wise sum of two relation-stats deltas (peaks combine as maxima).
+fn add_stats(a: &RelationStats, b: &RelationStats) -> RelationStats {
+    RelationStats {
+        row_allocs: a.row_allocs + b.row_allocs,
+        buffer_allocs: a.buffer_allocs + b.buffer_allocs,
+        join_rows_out: a.join_rows_out + b.join_rows_out,
+        join_inputs_presorted: a.join_inputs_presorted + b.join_inputs_presorted,
+        join_inputs_resorted: a.join_inputs_resorted + b.join_inputs_resorted,
+        sorts_performed: a.sorts_performed + b.sorts_performed,
+        sorts_elided: a.sorts_elided + b.sorts_elided,
+        runs_emitted: a.runs_emitted + b.runs_emitted,
+        rows_expanded: a.rows_expanded + b.rows_expanded,
+        peak_rows: a.peak_rows.max(b.peak_rows),
+        peak_bytes: a.peak_bytes.max(b.peak_bytes),
+        shuffle_peak_bytes: a.shuffle_peak_bytes.max(b.shuffle_peak_bytes),
+    }
 }
 
 /// Per-job accounting: per-node task tuple counts plus measured wave times.
@@ -429,12 +561,106 @@ struct ExecState<'a> {
     job_id: cliquesquare_mapreduce::JobId,
     jobs: Vec<JobState>,
     memo: Vec<Option<Arc<Intermediate>>>,
+    /// Span recording; `None` on the default (unprofiled) path.
+    prof: Option<ProfCtx>,
 }
 
 impl<'a> ExecState<'a> {
     fn job_mut(&mut self, id: PhysId) -> &mut JobState {
         let job = self.schedule.job_of(id);
         &mut self.jobs[job - 1]
+    }
+
+    /// Runs one wave of this job's tasks, timing the whole wave. With
+    /// profiling on, every task is additionally bracketed with its start
+    /// offset, wall clock, and relation-stats delta — pure observations
+    /// that cannot change task results. A task the submitter ran inline
+    /// (sequential runtime, or the scheduler's submitter-helping) already
+    /// has its stats inside the driver-side bracket of the evaluation
+    /// loop, so only deltas observed on *other* threads accumulate here.
+    fn run_timed_wave<T, F>(&mut self, tasks: Vec<F>) -> (Vec<T>, f64)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let Some(prof) = &self.prof else {
+            return self.runtime.run_job_timed_wave(self.job_id, tasks);
+        };
+        let epoch = prof.epoch;
+        let wrapped: Vec<_> = tasks
+            .into_iter()
+            .map(|task| {
+                move || {
+                    let start = epoch.elapsed().as_secs_f64();
+                    let before = relation::stats::snapshot();
+                    let clock = Instant::now();
+                    let result = task();
+                    let wall = clock.elapsed().as_secs_f64();
+                    let delta = relation::stats::snapshot().since(&before);
+                    (result, start, wall, delta, std::thread::current().id())
+                }
+            })
+            .collect();
+        let (outcomes, wave_wall) = self.runtime.run_job_timed_wave(self.job_id, wrapped);
+        let prof = self.prof.as_mut().expect("profiling stays on");
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (index, (result, start, wall, delta, thread)) in outcomes.into_iter().enumerate() {
+            prof.tasks.push(TaskSpan {
+                index,
+                start_seconds: start,
+                wall_seconds: wall,
+            });
+            if thread != prof.driver {
+                prof.worker_stats = add_stats(&prof.worker_stats, &delta);
+            }
+            results.push(result);
+        }
+        (results, wave_wall)
+    }
+
+    /// Finishes the span node of one evaluated operator: the driver-side
+    /// bracket plus whatever its waves observed on worker threads.
+    fn record_node(
+        &mut self,
+        id: PhysId,
+        result: &Intermediate,
+        start_seconds: f64,
+        wall_seconds: f64,
+        driver_delta: RelationStats,
+    ) {
+        let job = self.schedule.job_of(id);
+        let rows_in_from_inputs: u64 = self
+            .plan
+            .op(id)
+            .inputs()
+            .iter()
+            .filter_map(|input| self.memo[input.index()].as_ref())
+            .map(|value| value.cardinality())
+            .sum();
+        let prof = self.prof.as_mut().expect("record_node requires profiling");
+        let mut node = SpanNode::new(format!("{}#{}", self.plan.op(id).name(), id.index()));
+        node.start_seconds = start_seconds;
+        node.wall_seconds = wall_seconds;
+        node.rows_in = prof.rows_in.take().unwrap_or(rows_in_from_inputs);
+        node.rows_out = result.cardinality();
+        node.tasks = std::mem::take(&mut prof.tasks);
+        let stats = add_stats(&driver_delta, &std::mem::take(&mut prof.worker_stats));
+        for (name, value) in [
+            ("sorts_performed", stats.sorts_performed),
+            ("sorts_elided", stats.sorts_elided),
+            ("join_inputs_presorted", stats.join_inputs_presorted),
+            ("join_inputs_resorted", stats.join_inputs_resorted),
+            ("runs_emitted", stats.runs_emitted),
+            ("rows_expanded", stats.rows_expanded),
+        ] {
+            if value > 0 {
+                node.add_attr(name, value);
+            }
+        }
+        for (name, value) in std::mem::take(&mut prof.attrs) {
+            node.add_attr(name, value);
+        }
+        prof.nodes.push((job, node));
     }
 
     /// An already-evaluated input (arena order guarantees inputs come first).
@@ -537,7 +763,7 @@ impl<'a> ExecState<'a> {
                 }
             })
             .collect();
-        let (results, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
+        let (results, wall) = self.run_timed_wave(tasks);
 
         let checks = (extra_conditions.len() as u64).max(1);
         let mut scanned_total: u64 = 0;
@@ -555,6 +781,11 @@ impl<'a> ExecState<'a> {
         job.metrics.tuples_read += scanned_total;
         job.metrics.comparisons += scanned_total * checks;
         job.metrics.tuples_written += produced;
+        if let Some(prof) = &mut self.prof {
+            // The scan's true input is the raw triples it read, which no
+            // memoized intermediate reports.
+            prof.rows_in = Some(scanned_total);
+        }
         Arc::new(Intermediate::Local(parts))
     }
 
@@ -631,7 +862,7 @@ impl<'a> ExecState<'a> {
                     }
                 })
                 .collect();
-            let (parts, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
+            let (parts, wall) = self.run_timed_wave(tasks);
             let mut produced: u64 = 0;
             let job = self.job_mut(id);
             job.map_wall += wall;
@@ -663,7 +894,7 @@ impl<'a> ExecState<'a> {
                 }
             })
             .collect();
-        let (parts, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
+        let (parts, wall) = self.run_timed_wave(tasks);
         let mut produced: u64 = 0;
         let job = self.job_mut(id);
         job.map_wall += wall;
@@ -731,6 +962,11 @@ impl<'a> ExecState<'a> {
             .iter()
             .map(|value| partition_rows(value, &attrs, nodes))
             .collect();
+        if let Some(prof) = &mut self.prof {
+            let shuffle_bytes: u64 = buckets.iter().flatten().map(Relation::buffer_bytes).sum();
+            prof.attrs.push(("shuffle_bytes", shuffle_bytes));
+            prof.attrs.push(("tuples_shuffled", shuffled));
+        }
         // One reduce task per node joins the co-partitioned buckets; the
         // `'static` wave shares the shuffled buckets behind one `Arc`.
         let ctx = Arc::new(ReduceWave {
@@ -757,7 +993,7 @@ impl<'a> ExecState<'a> {
                     }
                 })
                 .collect();
-            let parts = self.runtime.run_job_wave(self.job_id, tasks);
+            let (parts, _wave_wall) = self.run_timed_wave(tasks);
             let buckets = &ctx.buckets;
             let mut produced: u64 = 0;
             let job = self.job_mut(id);
@@ -793,9 +1029,9 @@ impl<'a> ExecState<'a> {
                 }
             })
             .collect();
-        // `phase_started` spans shuffle + join wave + merge, so the plain
-        // (untimed) wave is enough here.
-        let parts = self.runtime.run_job_wave(self.job_id, tasks);
+        // `phase_started` spans shuffle + join wave + merge; the per-wave
+        // wall the helper returns is only kept by the profiler.
+        let (parts, _wave_wall) = self.run_timed_wave(tasks);
         let buckets = &ctx.buckets;
 
         let mut produced: u64 = 0;
@@ -845,7 +1081,7 @@ impl<'a> ExecState<'a> {
                         }
                     })
                     .collect();
-                let (projected, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
+                let (projected, wall) = self.run_timed_wave(tasks);
                 let job = self.job_mut(id);
                 job.map_wall += wall;
                 job.metrics.comparisons += rows;
@@ -871,7 +1107,7 @@ impl<'a> ExecState<'a> {
                         }
                     })
                     .collect();
-                let (projected, wall) = self.runtime.run_job_timed_wave(self.job_id, tasks);
+                let (projected, wall) = self.run_timed_wave(tasks);
                 let job = self.job_mut(id);
                 job.map_wall += wall;
                 job.metrics.comparisons += rows;

@@ -38,7 +38,9 @@ use std::cmp::Ordering;
 /// volume and which of the two sort-merge paths each input took, and the
 /// `sorts_*` counters record how every ordering requirement was met.
 pub mod stats {
+    use cliquesquare_obs::{Counter, Gauge};
     use std::cell::Cell;
+    use std::sync::{Arc, OnceLock};
 
     /// A snapshot of the thread-local relation counters.
     #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +85,33 @@ pub mod stats {
         pub shuffle_peak_bytes: u64,
     }
 
+    impl RelationStats {
+        /// Counter increments between `earlier` and `self`, both snapshots
+        /// of the *same* thread (the profiler brackets each task with
+        /// this). The `peak_*` fields are high-water marks, not monotone
+        /// counters, so the delta carries `self`'s value unchanged.
+        pub fn since(&self, earlier: &RelationStats) -> RelationStats {
+            RelationStats {
+                row_allocs: self.row_allocs.saturating_sub(earlier.row_allocs),
+                buffer_allocs: self.buffer_allocs.saturating_sub(earlier.buffer_allocs),
+                join_rows_out: self.join_rows_out.saturating_sub(earlier.join_rows_out),
+                join_inputs_presorted: self
+                    .join_inputs_presorted
+                    .saturating_sub(earlier.join_inputs_presorted),
+                join_inputs_resorted: self
+                    .join_inputs_resorted
+                    .saturating_sub(earlier.join_inputs_resorted),
+                sorts_performed: self.sorts_performed.saturating_sub(earlier.sorts_performed),
+                sorts_elided: self.sorts_elided.saturating_sub(earlier.sorts_elided),
+                runs_emitted: self.runs_emitted.saturating_sub(earlier.runs_emitted),
+                rows_expanded: self.rows_expanded.saturating_sub(earlier.rows_expanded),
+                peak_rows: self.peak_rows,
+                peak_bytes: self.peak_bytes,
+                shuffle_peak_bytes: self.shuffle_peak_bytes,
+            }
+        }
+    }
+
     thread_local! {
         static STATS: Cell<RelationStats> = const { Cell::new(RelationStats {
             row_allocs: 0,
@@ -98,6 +127,96 @@ pub mod stats {
             peak_bytes: 0,
             shuffle_peak_bytes: 0,
         }) };
+    }
+
+    /// Process-global mirrors of the thread-local counters, registered in
+    /// [`cliquesquare_obs::global`] so a live `/metrics` scrape sees the
+    /// relation layer. The thread-local [`Cell`]s stay authoritative —
+    /// `reset`/`snapshot` semantics (and therefore every `report_*`
+    /// column and baseline diff) are untouched; the mirror only *adds*
+    /// one relaxed atomic op to each per-operator counting call.
+    struct Mirror {
+        row_allocs: Arc<Counter>,
+        buffer_allocs: Arc<Counter>,
+        join_rows: Arc<Counter>,
+        join_inputs_presorted: Arc<Counter>,
+        join_inputs_resorted: Arc<Counter>,
+        sorts_performed: Arc<Counter>,
+        sorts_elided: Arc<Counter>,
+        runs_emitted: Arc<Counter>,
+        rows_expanded: Arc<Counter>,
+        peak_rows: Arc<Gauge>,
+        peak_bytes: Arc<Gauge>,
+        shuffle_peak_bytes: Arc<Gauge>,
+    }
+
+    fn mirror() -> &'static Mirror {
+        static MIRROR: OnceLock<Mirror> = OnceLock::new();
+        MIRROR.get_or_init(|| {
+            let registry = cliquesquare_obs::global();
+            Mirror {
+                row_allocs: registry.counter(
+                    "csq_relation_row_allocs_total",
+                    "Heap allocations sized to a single row",
+                    &[],
+                ),
+                buffer_allocs: registry.counter(
+                    "csq_relation_buffer_allocs_total",
+                    "Whole-buffer relation allocations",
+                    &[],
+                ),
+                join_rows: registry.counter(
+                    "csq_relation_join_rows_total",
+                    "Rows produced by the n-ary sort-merge join",
+                    &[],
+                ),
+                join_inputs_presorted: registry.counter(
+                    "csq_relation_join_inputs_total",
+                    "Join inputs by sort-merge path",
+                    &[("path", "presorted")],
+                ),
+                join_inputs_resorted: registry.counter(
+                    "csq_relation_join_inputs_total",
+                    "Join inputs by sort-merge path",
+                    &[("path", "resorted")],
+                ),
+                sorts_performed: registry.counter(
+                    "csq_relation_sorts_total",
+                    "Ordering requirements by outcome",
+                    &[("outcome", "performed")],
+                ),
+                sorts_elided: registry.counter(
+                    "csq_relation_sorts_total",
+                    "Ordering requirements by outcome",
+                    &[("outcome", "elided")],
+                ),
+                runs_emitted: registry.counter(
+                    "csq_relation_runs_emitted_total",
+                    "Key groups emitted as factorized runs",
+                    &[],
+                ),
+                rows_expanded: registry.counter(
+                    "csq_relation_rows_expanded_total",
+                    "Rows materialized from factorized runs",
+                    &[],
+                ),
+                peak_rows: registry.gauge(
+                    "csq_relation_peak_rows",
+                    "Largest single intermediate relation, in rows",
+                    &[],
+                ),
+                peak_bytes: registry.gauge(
+                    "csq_relation_peak_bytes",
+                    "Largest single intermediate buffer, in bytes",
+                    &[],
+                ),
+                shuffle_peak_bytes: registry.gauge(
+                    "csq_relation_shuffle_peak_bytes",
+                    "High-water bytes held by the streaming shuffle",
+                    &[],
+                ),
+            }
+        })
     }
 
     /// Resets this thread's counters to zero.
@@ -120,14 +239,17 @@ pub mod stats {
 
     pub(crate) fn count_row_allocs(n: u64) {
         update(|s| s.row_allocs += n);
+        mirror().row_allocs.add(n);
     }
 
     pub(crate) fn count_buffer_alloc() {
         update(|s| s.buffer_allocs += 1);
+        mirror().buffer_allocs.inc();
     }
 
     pub(crate) fn count_join_rows(n: u64) {
         update(|s| s.join_rows_out += n);
+        mirror().join_rows.add(n);
     }
 
     pub(crate) fn count_join_input(presorted: bool) {
@@ -138,6 +260,12 @@ pub mod stats {
                 s.join_inputs_resorted += 1;
             }
         });
+        let mirror = mirror();
+        if presorted {
+            mirror.join_inputs_presorted.inc();
+        } else {
+            mirror.join_inputs_resorted.inc();
+        }
     }
 
     pub(crate) fn count_sort(performed: bool) {
@@ -148,14 +276,22 @@ pub mod stats {
                 s.sorts_elided += 1;
             }
         });
+        let mirror = mirror();
+        if performed {
+            mirror.sorts_performed.inc();
+        } else {
+            mirror.sorts_elided.inc();
+        }
     }
 
     pub(crate) fn count_runs(n: u64) {
         update(|s| s.runs_emitted += n);
+        mirror().runs_emitted.add(n);
     }
 
     pub(crate) fn count_expanded(n: u64) {
         update(|s| s.rows_expanded += n);
+        mirror().rows_expanded.add(n);
     }
 
     /// Records one materialized intermediate; the peak counters keep the
@@ -165,12 +301,16 @@ pub mod stats {
             s.peak_rows = s.peak_rows.max(rows);
             s.peak_bytes = s.peak_bytes.max(bytes);
         });
+        let mirror = mirror();
+        mirror.peak_rows.record_max(rows as i64);
+        mirror.peak_bytes.record_max(bytes as i64);
     }
 
     /// Records the bytes a shuffle holds at one instant; the peak counter
     /// keeps the high-water mark over the execution.
     pub(crate) fn note_shuffle(bytes: u64) {
         update(|s| s.shuffle_peak_bytes = s.shuffle_peak_bytes.max(bytes));
+        mirror().shuffle_peak_bytes.record_max(bytes as i64);
     }
 }
 

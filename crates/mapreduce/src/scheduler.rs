@@ -29,12 +29,14 @@
 //! park on a shared condvar when every queue is empty, so an idle scheduler
 //! costs nothing but memory.
 
+use cliquesquare_obs::{Counter, Gauge, Histogram, LATENCY_SECONDS_BUCKETS};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Identifies one job (one query execution) to the scheduler. Obtained from
 /// [`Scheduler::begin_job`]; waves submitted under the same id share a queue
@@ -52,6 +54,70 @@ impl JobId {
 /// into its wave.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued task stamped with its enqueue instant, so dequeuing can
+/// observe how long it waited.
+type Queued = (Instant, Task);
+
+/// Registry handles for the scheduler's live metrics. All schedulers in a
+/// process share the global series (registration is idempotent), so
+/// `/metrics` and `report_serving` read one coherent queue picture.
+struct SchedMetrics {
+    /// Tasks currently queued (across all jobs).
+    queue_depth: Arc<Gauge>,
+    /// High-water mark of `queue_depth`.
+    queue_depth_peak: Arc<Gauge>,
+    /// Enqueue → dequeue wait per task.
+    task_wait: Arc<Histogram>,
+    jobs_total: Arc<Counter>,
+    waves_total: Arc<Counter>,
+    tasks_total: Arc<Counter>,
+}
+
+impl SchedMetrics {
+    fn register() -> Self {
+        let registry = cliquesquare_obs::global();
+        Self {
+            queue_depth: registry.gauge(
+                "csq_scheduler_queue_depth",
+                "Tasks currently queued across all jobs",
+                &[],
+            ),
+            queue_depth_peak: registry.gauge(
+                "csq_scheduler_queue_depth_peak",
+                "High-water mark of the scheduler queue depth",
+                &[],
+            ),
+            task_wait: registry.histogram(
+                "csq_scheduler_task_wait_seconds",
+                "Seconds a task waited between enqueue and dequeue",
+                &[],
+                LATENCY_SECONDS_BUCKETS,
+            ),
+            jobs_total: registry.counter(
+                "csq_scheduler_jobs_total",
+                "Jobs registered with the scheduler",
+                &[],
+            ),
+            waves_total: registry.counter(
+                "csq_scheduler_waves_total",
+                "Task waves submitted to the scheduler",
+                &[],
+            ),
+            tasks_total: registry.counter(
+                "csq_scheduler_tasks_total",
+                "Individual tasks submitted to the scheduler",
+                &[],
+            ),
+        }
+    }
+
+    /// Records one dequeue: the task is off the queue and about to run.
+    fn note_dequeue(&self, enqueued: Instant) {
+        self.queue_depth.sub(1);
+        self.task_wait.observe(enqueued.elapsed().as_secs_f64());
+    }
+}
+
 /// Aggregate counters over the scheduler's lifetime (monotone).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
@@ -67,7 +133,7 @@ struct SchedState {
     /// One FIFO task queue per job with work outstanding. Queues are
     /// created on first submission and dropped once drained, so the vector
     /// only ever holds jobs that actually have queued tasks.
-    queues: Vec<(JobId, VecDeque<Task>)>,
+    queues: Vec<(JobId, VecDeque<Queued>)>,
     /// Round-robin cursor over `queues` (by position, wrapping).
     next: usize,
     shutdown: bool,
@@ -76,7 +142,7 @@ struct SchedState {
 impl SchedState {
     /// Pops the next task, rotating across job queues: one task per queue
     /// visit, so concurrent jobs interleave at task granularity.
-    fn pop_any(&mut self) -> Option<Task> {
+    fn pop_any(&mut self) -> Option<Queued> {
         while !self.queues.is_empty() {
             let index = self.next % self.queues.len();
             let (_, queue) = &mut self.queues[index];
@@ -92,7 +158,7 @@ impl SchedState {
 
     /// Pops the next task of one specific job (the submitter helping its
     /// own wave).
-    fn pop_job(&mut self, job: JobId) -> Option<Task> {
+    fn pop_job(&mut self, job: JobId) -> Option<Queued> {
         let index = self.queues.iter().position(|(id, _)| *id == job)?;
         let task = self.queues[index].1.pop_front();
         if self.queues[index].1.is_empty() {
@@ -101,7 +167,7 @@ impl SchedState {
         task
     }
 
-    fn enqueue(&mut self, job: JobId, tasks: impl Iterator<Item = Task>) {
+    fn enqueue(&mut self, job: JobId, tasks: impl Iterator<Item = Queued>) {
         match self.queues.iter_mut().find(|(id, _)| *id == job) {
             Some((_, queue)) => queue.extend(tasks),
             None => self.queues.push((job, tasks.collect())),
@@ -113,6 +179,8 @@ struct Inner {
     state: Mutex<SchedState>,
     /// Signalled when tasks are enqueued (or on shutdown); workers park here.
     work_ready: Condvar,
+    /// Live queue gauges and wait histogram (global registry handles).
+    metrics: SchedMetrics,
 }
 
 /// Everything one in-flight wave shares between its tasks and its submitter.
@@ -167,6 +235,7 @@ impl Scheduler {
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            metrics: SchedMetrics::register(),
         });
         let workers = (0..threads)
             .map(|index| {
@@ -198,6 +267,7 @@ impl Scheduler {
     /// hold no scheduler resources until they submit a wave.
     pub fn begin_job(&self) -> JobId {
         self.jobs_started.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.jobs_total.inc();
         JobId(self.next_job.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -224,6 +294,8 @@ impl Scheduler {
         let count = tasks.len();
         self.waves.fetch_add(1, Ordering::Relaxed);
         self.tasks.fetch_add(count as u64, Ordering::Relaxed);
+        self.inner.metrics.waves_total.inc();
+        self.inner.metrics.tasks_total.add(count as u64);
         if count == 0 {
             return Vec::new();
         }
@@ -237,13 +309,22 @@ impl Scheduler {
             done: Condvar::new(),
         });
         {
+            let enqueued_at = Instant::now();
             let mut state = self.inner.state.lock().expect("scheduler state");
             let wrapped = tasks.into_iter().enumerate().map(|(index, task)| {
                 let wave = Arc::clone(&wave);
-                Box::new(move || run_task(&wave, index, task)) as Task
+                (
+                    enqueued_at,
+                    Box::new(move || run_task(&wave, index, task)) as Task,
+                )
             });
             state.enqueue(job, wrapped);
         }
+        let metrics = &self.inner.metrics;
+        metrics.queue_depth.add(count as i64);
+        metrics
+            .queue_depth_peak
+            .record_max(metrics.queue_depth.get());
         self.inner.work_ready.notify_all();
 
         // Help: drain this job's own queue on the submitting thread, so a
@@ -254,7 +335,10 @@ impl Scheduler {
                 state.pop_job(job)
             };
             match task {
-                Some(task) => task(),
+                Some((enqueued, task)) => {
+                    self.inner.metrics.note_dequeue(enqueued);
+                    task()
+                }
                 None => break,
             }
         }
@@ -319,7 +403,7 @@ fn run_task<T>(wave: &WaveState<T>, index: usize, task: impl FnOnce() -> T) {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let task = {
+        let (enqueued, task) = {
             let mut state = inner.state.lock().expect("scheduler state");
             loop {
                 if let Some(task) = state.pop_any() {
@@ -331,6 +415,7 @@ fn worker_loop(inner: &Inner) {
                 state = inner.work_ready.wait(state).expect("scheduler state");
             }
         };
+        inner.metrics.note_dequeue(enqueued);
         // The wrapper contains its own catch_unwind; a worker never dies.
         task();
     }

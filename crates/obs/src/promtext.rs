@@ -1,0 +1,234 @@
+//! A small parser for the Prometheus text exposition format.
+//!
+//! Not a full scrape client — just enough validation for tests (and the
+//! CI smoke step) to assert that `GET /metrics` output stays
+//! well-formed: every line is a valid comment, `# HELP`/`# TYPE`
+//! directive, or a `name{labels} value [timestamp]` sample with a
+//! parsable float value.
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs in the order written.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses an exposition document, returning every sample, or a
+/// `line N: reason` error for the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let number = index + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            parse_comment(rest).map_err(|e| format!("line {number}: {e}"))?;
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {number}: {e}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_comment(rest: &str) -> Result<(), String> {
+    let rest = rest.trim_start();
+    if let Some(help) = rest.strip_prefix("HELP ") {
+        let name = help.split_whitespace().next().unwrap_or("");
+        if !valid_name(name) {
+            return Err(format!("invalid metric name in HELP: {name:?}"));
+        }
+    } else if let Some(ty) = rest.strip_prefix("TYPE ") {
+        let mut parts = ty.split_whitespace();
+        let name = parts.next().unwrap_or("");
+        let kind = parts.next().unwrap_or("");
+        if !valid_name(name) {
+            return Err(format!("invalid metric name in TYPE: {name:?}"));
+        }
+        if !matches!(
+            kind,
+            "counter" | "gauge" | "histogram" | "summary" | "untyped"
+        ) {
+            return Err(format!("unknown metric type {kind:?}"));
+        }
+    }
+    // Other `#` lines are free-form comments.
+    Ok(())
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or("sample has no value")?;
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let (parsed, remainder) = parse_labels(after_brace)?;
+        labels = parsed;
+        rest = remainder;
+    }
+    let mut parts = rest.split_whitespace();
+    let value_text = parts.next().ok_or("sample has no value")?;
+    let value = parse_value(value_text)?;
+    if let Some(timestamp) = parts.next() {
+        timestamp
+            .parse::<i64>()
+            .map_err(|_| format!("invalid timestamp {timestamp:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after timestamp".to_string());
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Label pairs plus the text remaining after the closing brace.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parses `k="v",…}` (the opening brace already consumed), returning the
+/// pairs and the text after the closing brace.
+fn parse_labels(text: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    loop {
+        // Label name up to '='; a '}' here closes the (possibly empty) set.
+        let start = match chars.peek() {
+            Some(&(i, '}')) => {
+                chars.next();
+                return Ok((labels, &text[i + 1..]));
+            }
+            Some(&(i, _)) => i,
+            None => return Err("unterminated label set".to_string()),
+        };
+        let mut eq = None;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                eq = Some(i);
+                break;
+            }
+        }
+        let eq = eq.ok_or("label without '='")?;
+        let key = text[start..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err("label value must be quoted".to_string()),
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err("unterminated label value".to_string());
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => return Ok((labels, &text[i + 1..])),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => text
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value {text:?}")),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn parses_rendered_registry() {
+        let registry = Registry::new();
+        registry
+            .counter("req_total", "requests", &[("endpoint", "/query")])
+            .add(7);
+        registry.gauge("depth", "queue depth", &[]).set(-2);
+        let h = registry.histogram("wait_seconds", "wait", &[], &[0.01, 0.1]);
+        h.observe(0.05);
+        let samples = parse(&registry.render_prometheus()).expect("valid exposition");
+        let req = samples.iter().find(|s| s.name == "req_total").unwrap();
+        assert_eq!(req.value, 7.0);
+        assert_eq!(req.label("endpoint"), Some("/query"));
+        let depth = samples.iter().find(|s| s.name == "depth").unwrap();
+        assert_eq!(depth.value, -2.0);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "wait_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 1.0);
+        assert!(samples.iter().any(|s| s.name == "wait_seconds_count"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("9bad_name 1").is_err());
+        assert!(parse("name{unclosed=\"v\" 1").is_err());
+        assert!(parse("name{k=\"v\"} not_a_number").is_err());
+        assert!(parse("# TYPE m frobnicator").is_err());
+        assert!(parse("name 1 2 3").is_err());
+    }
+
+    #[test]
+    fn accepts_labels_and_timestamps() {
+        let samples =
+            parse("m{a=\"x\",b=\"y\\\"z\"} 1.5 1700000000\n# random comment\nplain 2\n").unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].label("b"), Some("y\"z"));
+        assert_eq!(samples[1].name, "plain");
+    }
+}

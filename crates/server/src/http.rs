@@ -3,22 +3,31 @@
 //! Routes:
 //!
 //! * `GET /health` — liveness plus serving counters.
+//! * `GET /metrics` — the process-wide metric registry in Prometheus text
+//!   exposition format.
 //! * `POST /sparql` — the request body is the SPARQL text.
 //! * `GET /sparql?query=…` — percent-encoded SPARQL text in the URL.
 //! * `GET /query?name=Q4` — a named query from the LUBM catalog.
 //!
+//! The query routes accept `profile=1` in the query string, which attaches a
+//! per-query execution profile (parse → plan → per-job execute span tree) to
+//! the JSON answer; answers are bit-identical with or without it.
+//!
 //! Every error is a structured JSON body with the status the
 //! [`ServeError`] maps to (400 malformed query, 404 unknown name or route,
-//! 413 oversized request, 500 contained execution panic). Each connection is
-//! handled on its own thread; the actual query work all funnels into the
-//! service's shared serving runtime.
+//! 408 read timeout, 413 oversized request, 500 contained execution panic).
+//! Each connection is handled on its own thread with read/write timeouts;
+//! the actual query work all funnels into the service's shared serving
+//! runtime.
 
 use crate::service::{QueryAnswer, QueryService, ServeError};
+use cliquesquare_obs::LATENCY_SECONDS_BUCKETS;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Configuration of the HTTP front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,12 +35,20 @@ pub struct ServerConfig {
     /// Maximum accepted request size (headers + body) in bytes; anything
     /// larger is rejected with 413 before being read in full.
     pub max_request_bytes: usize,
+    /// Per-connection read timeout: a client that stalls mid-request gets a
+    /// 408 and its connection closed. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout: a client that stops draining its
+    /// response loses the connection. `None` waits forever.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             max_request_bytes: 64 * 1024,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -112,12 +129,70 @@ fn handle_connection(
     mut stream: TcpStream,
     config: ServerConfig,
 ) -> io::Result<()> {
-    let response = match read_request(&mut stream, config.max_request_bytes) {
-        Ok(request) => route(service, &request),
-        Err(RequestError::Serve(error)) => error_response(&error),
+    let started = Instant::now();
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    let (endpoint, response) = match read_request(&mut stream, config.max_request_bytes) {
+        Ok(request) => (endpoint_label(&request.path), route(service, &request)),
+        Err(RequestError::Serve(error)) => ("error", error_response(&error)),
+        Err(RequestError::Io(error)) if is_timeout(&error) => {
+            // The client never delivered a full request; tell it why before
+            // closing, best-effort.
+            let response = error_response(&ServeError::Timeout);
+            observe_request("error", response.status, started.elapsed().as_secs_f64());
+            let _ = write_response(&mut stream, &response);
+            return Ok(());
+        }
         Err(RequestError::Io(error)) => return Err(error),
     };
+    observe_request(endpoint, response.status, started.elapsed().as_secs_f64());
     write_response(&mut stream, &response)
+}
+
+/// Bounded-cardinality endpoint label for the request metrics.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/health" | "/" => "health",
+        "/metrics" => "metrics",
+        "/sparql" => "sparql",
+        "/query" => "query",
+        _ => "other",
+    }
+}
+
+/// Records one handled request in the global metric registry.
+fn observe_request(endpoint: &'static str, status: u16, seconds: f64) {
+    let registry = cliquesquare_obs::global();
+    let labels = [("endpoint", endpoint)];
+    registry
+        .counter("csq_http_requests_total", "HTTP requests handled", &labels)
+        .inc();
+    if status >= 400 {
+        registry
+            .counter(
+                "csq_http_errors_total",
+                "HTTP requests answered with a 4xx/5xx status",
+                &labels,
+            )
+            .inc();
+    }
+    registry
+        .histogram(
+            "csq_http_request_seconds",
+            "End-to-end HTTP request handling time",
+            &labels,
+            LATENCY_SECONDS_BUCKETS,
+        )
+        .observe(seconds);
+}
+
+/// Whether an I/O error is the socket read/write timeout firing. Unix
+/// reports `WouldBlock` for `SO_RCVTIMEO`, Windows `TimedOut`.
+fn is_timeout(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// A parsed (enough) HTTP request.
@@ -254,14 +329,24 @@ fn percent_decode(text: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// A rendered response: status, reason, JSON body.
+/// A rendered response: status, reason, content type, body.
 struct Response {
     status: u16,
     reason: &'static str,
+    content_type: &'static str,
     body: String,
 }
 
+/// Whether the query string asks for a per-query execution profile.
+fn wants_profile(query_string: &str) -> bool {
+    matches!(
+        query_param(query_string, "profile").as_deref(),
+        Some("1") | Some("true")
+    )
+}
+
 fn route(service: &QueryService, request: &Request) -> Response {
+    let profile = wants_profile(&request.query_string);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") | ("GET", "/") => {
             let (served, failed) = service.counters();
@@ -270,15 +355,21 @@ fn route(service: &QueryService, request: &Request) -> Response {
                 service.threads()
             ))
         }
-        ("POST", "/sparql") => answer(service.execute_text(&request.body)),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain; version=0.0.4",
+            body: cliquesquare_obs::global().render_prometheus(),
+        },
+        ("POST", "/sparql") => answer(service.execute_text_opts(&request.body, profile)),
         ("GET", "/sparql") => match query_param(&request.query_string, "query") {
-            Some(text) => answer(service.execute_text(&text)),
+            Some(text) => answer(service.execute_text_opts(&text, profile)),
             None => error_response(&ServeError::BadQuery(
                 "missing ?query= parameter".to_string(),
             )),
         },
         ("GET", "/query") => match query_param(&request.query_string, "name") {
-            Some(name) => answer(service.execute_named(&name)),
+            Some(name) => answer(service.execute_named_opts(&name, profile)),
             None => error_response(&ServeError::BadQuery(
                 "missing ?name= parameter".to_string(),
             )),
@@ -298,6 +389,7 @@ fn ok_body(body: String) -> Response {
     Response {
         status: 200,
         reason: "OK",
+        content_type: "application/json",
         body,
     }
 }
@@ -306,6 +398,7 @@ fn error_response(error: &ServeError) -> Response {
     Response {
         status: error.status(),
         reason: error.reason(),
+        content_type: "application/json",
         body: format!(
             "{{\"error\": \"{}\", \"status\": {}}}\n",
             json_escape(&error.to_string()),
@@ -359,7 +452,13 @@ fn render_answer(answer: &QueryAnswer) -> String {
             }
         ));
     }
-    json.push_str("  ]\n}\n");
+    match &answer.profile {
+        Some(profile) => {
+            json.push_str("  ],\n");
+            json.push_str(&format!("  \"profile\": {}\n}}\n", profile.to_json()));
+        }
+        None => json.push_str("  ]\n}\n"),
+    }
     json
 }
 
@@ -382,9 +481,10 @@ fn json_escape(text: &str) -> String {
 fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         response.status,
         response.reason,
+        response.content_type,
         response.body.len(),
         response.body
     )?;

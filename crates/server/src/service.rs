@@ -2,6 +2,7 @@
 
 use cliquesquare_engine::{translate, Csq, CsqConfig, Executor};
 use cliquesquare_mapreduce::{Cluster, Runtime};
+use cliquesquare_obs::{QueryProfile, SpanNode};
 use cliquesquare_querygen::lubm_queries::lubm_queries;
 use cliquesquare_sparql::parser::parse_query;
 use cliquesquare_sparql::BgpQuery;
@@ -9,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Default cap on the number of result rows decoded into one answer, so a
 /// single huge query cannot balloon an HTTP response without bound. The full
@@ -35,6 +37,9 @@ pub enum ServeError {
     /// Query execution panicked; the job was cancelled and the worker pool
     /// survived (HTTP 500).
     Internal(String),
+    /// The client did not deliver its request within the connection's read
+    /// timeout (HTTP 408).
+    Timeout,
 }
 
 impl ServeError {
@@ -45,6 +50,7 @@ impl ServeError {
             ServeError::UnknownQuery(_) => 404,
             ServeError::TooLarge { .. } => 413,
             ServeError::Internal(_) => 500,
+            ServeError::Timeout => 408,
         }
     }
 
@@ -55,6 +61,7 @@ impl ServeError {
             ServeError::UnknownQuery(_) => "Not Found",
             ServeError::TooLarge { .. } => "Payload Too Large",
             ServeError::Internal(_) => "Internal Server Error",
+            ServeError::Timeout => "Request Timeout",
         }
     }
 }
@@ -71,6 +78,7 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Internal(message) => write!(f, "query execution failed: {message}"),
+            ServeError::Timeout => write!(f, "request not received before the read timeout"),
         }
     }
 }
@@ -96,6 +104,9 @@ pub struct QueryAnswer {
     pub simulated_seconds: f64,
     /// Measured wall-clock execution time, in seconds.
     pub wall_seconds: f64,
+    /// Per-query execution profile (parse → plan → execute span tree),
+    /// present only when the request asked for one with `profile=1`.
+    pub profile: Option<QueryProfile>,
 }
 
 /// A shared, thread-safe query service over one loaded cluster.
@@ -159,6 +170,14 @@ impl QueryService {
 
     /// Parses and executes ad-hoc SPARQL text.
     pub fn execute_text(&self, text: &str) -> Result<QueryAnswer, ServeError> {
+        self.execute_text_opts(text, false)
+    }
+
+    /// [`execute_text`](Self::execute_text), optionally capturing a
+    /// per-query execution profile. Answers are bit-identical either way;
+    /// profiling only fills [`QueryAnswer::profile`].
+    pub fn execute_text_opts(&self, text: &str, profile: bool) -> Result<QueryAnswer, ServeError> {
+        let parse_started = Instant::now();
         let query = match parse_query(text) {
             Ok(query) => query,
             Err(error) => {
@@ -166,16 +185,23 @@ impl QueryService {
                 return Err(ServeError::BadQuery(error.to_string()));
             }
         };
-        self.run(&query)
+        let parse_seconds = parse_started.elapsed().as_secs_f64();
+        self.run_opts(&query, profile.then_some(parse_seconds))
     }
 
     /// Executes a catalog query by name (`Q1` … `Q14`).
     pub fn execute_named(&self, name: &str) -> Result<QueryAnswer, ServeError> {
+        self.execute_named_opts(name, false)
+    }
+
+    /// [`execute_named`](Self::execute_named), optionally capturing a
+    /// per-query execution profile.
+    pub fn execute_named_opts(&self, name: &str, profile: bool) -> Result<QueryAnswer, ServeError> {
         let Some(query) = self.named.get(name).cloned() else {
             self.failed.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::UnknownQuery(name.to_string()));
         };
-        self.run(&query)
+        self.run_opts(&query, profile.then_some(0.0))
     }
 
     /// Plans and executes one parsed query, catching any panic at the
@@ -183,7 +209,19 @@ impl QueryService {
     /// the scheduler, re-raises on this (submitting) thread, and is caught
     /// here — the worker pool keeps serving other jobs throughout.
     pub fn run(&self, query: &BgpQuery) -> Result<QueryAnswer, ServeError> {
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.run_unguarded(query)));
+        self.run_opts(query, None)
+    }
+
+    /// `parse_seconds` is `Some` to request a profile; its value is the
+    /// already-spent parse time credited as the tree's first span.
+    fn run_opts(
+        &self,
+        query: &BgpQuery,
+        parse_seconds: Option<f64>,
+    ) -> Result<QueryAnswer, ServeError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.run_unguarded(query, parse_seconds)
+        }));
         match outcome {
             Ok(answer) => {
                 self.served.fetch_add(1, Ordering::Relaxed);
@@ -196,10 +234,38 @@ impl QueryService {
         }
     }
 
-    fn run_unguarded(&self, query: &BgpQuery) -> QueryAnswer {
-        let (_, chosen, _) = self.csq.plan(query);
+    fn run_unguarded(&self, query: &BgpQuery, parse_seconds: Option<f64>) -> QueryAnswer {
+        let epoch = Instant::now();
+        let (_, chosen, plan_ms) = self.csq.plan(query);
         let physical = translate(&chosen, self.csq.cluster().graph());
-        let output = self.executor.execute(&physical);
+        let plan_seconds = epoch.elapsed().as_secs_f64();
+        let output = if parse_seconds.is_some() {
+            self.executor.execute_profiled(&physical)
+        } else {
+            self.executor.execute(&physical)
+        };
+        let profile = parse_seconds.map(|parse_seconds| {
+            let mut root = SpanNode::new("query");
+            root.wall_seconds = parse_seconds + epoch.elapsed().as_secs_f64();
+            let mut parse = SpanNode::new("parse");
+            parse.wall_seconds = parse_seconds;
+            let mut plan = SpanNode::new("plan");
+            plan.start_seconds = parse_seconds;
+            plan.wall_seconds = plan_seconds;
+            plan.add_attr("optimize_us", (plan_ms * 1_000.0) as u64);
+            root.children.push(parse);
+            root.children.push(plan);
+            if let Some(mut execute) = output.profile.clone() {
+                execute.shift(parse_seconds + plan_seconds);
+                root.children.push(execute);
+            }
+            QueryProfile {
+                query: query.name().to_string(),
+                threads: self.threads(),
+                total_wall_seconds: root.wall_seconds,
+                root,
+            }
+        });
         let results = output.results.distinct();
         let graph = self.csq.cluster().graph();
         let total_rows = results.len();
@@ -225,6 +291,7 @@ impl QueryService {
             job_descriptor: output.job_log.descriptor(),
             simulated_seconds: output.simulated_seconds,
             wall_seconds: output.wall_seconds,
+            profile,
         }
     }
 }

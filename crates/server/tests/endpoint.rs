@@ -1,6 +1,7 @@
 //! Live-socket tests of the HTTP SPARQL endpoint: every status code the
-//! serving boundary promises (200/400/404/413/500), plus concurrent clients
-//! getting bit-identical answers.
+//! serving boundary promises (200/400/404/408/413/500), concurrent clients
+//! getting bit-identical answers, `/metrics` exposing the registry in valid
+//! Prometheus text, and `profile=1` attaching a consistent span tree.
 
 use cliquesquare_mapreduce::{Cluster, ClusterConfig, Runtime};
 use cliquesquare_rdf::{LubmGenerator, LubmScale};
@@ -8,6 +9,7 @@ use cliquesquare_server::{HttpServer, QueryService, ServerConfig, ShutdownHandle
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct LiveServer {
     addr: SocketAddr,
@@ -81,6 +83,7 @@ fn post_sparql(addr: SocketAddr, query: &str) -> (u16, String) {
 fn the_endpoint_serves_every_promised_status_code() {
     let server = start_server(ServerConfig {
         max_request_bytes: 4096,
+        ..ServerConfig::default()
     });
     let addr = server.addr;
 
@@ -137,6 +140,136 @@ fn the_endpoint_serves_every_promised_status_code() {
     // … and the pool keeps serving afterwards.
     let (status, _) = get(addr, "/query?name=Q2");
     assert_eq!(status, 200);
+}
+
+/// Like [`request`] but returns the raw response text (status line, headers
+/// and body), for asserting on headers.
+fn raw_request(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+#[test]
+fn metrics_endpoint_renders_valid_prometheus_text() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.addr;
+
+    // Serve one query so execution series exist, then scrape.
+    let (status, _) = get(addr, "/query?name=Q1");
+    assert_eq!(status, 200);
+    let response = raw_request(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+    assert!(response.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+    let body = response.split_once("\r\n\r\n").expect("body").1;
+
+    let samples = cliquesquare_obs::promtext::parse(body).expect("valid Prometheus text");
+    assert!(!samples.is_empty());
+    let has = |name: &str| samples.iter().any(|s| s.name == name);
+    assert!(has("csq_http_requests_total"), "body: {body}");
+    assert!(has("csq_scheduler_tasks_total"), "body: {body}");
+    assert!(has("csq_relation_join_rows_total"), "body: {body}");
+    assert!(has("csq_http_request_seconds_bucket"), "body: {body}");
+}
+
+#[test]
+fn metrics_stay_consistent_under_concurrent_query_load() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.addr;
+
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for name in ["Q1", "Q2", "Q14"] {
+                    let (status, _) = get(addr, &format!("/query?name={name}"));
+                    assert_eq!(status, 200);
+                }
+            })
+        })
+        .collect();
+
+    // Scrape repeatedly while the queries run: every scrape must parse and
+    // the request counter must be monotonically non-decreasing.
+    let requests_total = |body: &str| -> f64 {
+        cliquesquare_obs::promtext::parse(body)
+            .expect("valid Prometheus text")
+            .iter()
+            .filter(|s| s.name == "csq_http_requests_total")
+            .map(|s| s.value)
+            .sum()
+    };
+    let mut last = 0.0;
+    for _ in 0..5 {
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let total = requests_total(&body);
+        assert!(
+            total >= last,
+            "requests_total went backwards: {total} < {last}"
+        );
+        last = total;
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+    let (_, body) = get(addr, "/metrics");
+    assert!(requests_total(&body) >= last);
+}
+
+#[test]
+fn profile_flag_attaches_a_span_tree_without_changing_the_answer() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.addr;
+
+    let (status, plain) = get(addr, "/query?name=Q2");
+    assert_eq!(status, 200);
+    assert!(!plain.contains("\"profile\""));
+
+    let (status, profiled) = get(addr, "/query?name=Q2&profile=1");
+    assert_eq!(status, 200, "body: {profiled}");
+    assert!(profiled.contains("\"profile\": {"), "body: {profiled}");
+    for span in [
+        "\"name\":\"query\"",
+        "\"name\":\"parse\"",
+        "\"name\":\"plan\"",
+    ] {
+        assert!(profiled.contains(span), "missing {span} in: {profiled}");
+    }
+    assert!(profiled.contains("\"children\""), "body: {profiled}");
+
+    // Identical answers modulo the wall-clock lines and the profile itself
+    // (trailing commas shift when the profile key is appended).
+    let strip = |text: &str| -> String {
+        text.lines()
+            .filter(|line| !line.contains("wall_seconds") && !line.contains("\"profile\""))
+            .map(|line| line.trim_end_matches(','))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&plain), strip(&profiled));
+}
+
+#[test]
+fn a_stalled_request_gets_a_408_when_the_read_timeout_fires() {
+    let server = start_server(ServerConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    });
+
+    // Open a connection, send half a request line, then stall.
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream.write_all(b"GET /health HT").expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.1 408 Request Timeout"),
+        "response: {response}"
+    );
 }
 
 #[test]

@@ -30,6 +30,7 @@ pub use cliquesquare_bench as bench;
 pub use cliquesquare_core as core;
 pub use cliquesquare_engine as engine;
 pub use cliquesquare_mapreduce as mapreduce;
+pub use cliquesquare_obs as obs;
 pub use cliquesquare_querygen as querygen;
 pub use cliquesquare_rdf as rdf;
 pub use cliquesquare_sparql as sparql;

@@ -1,0 +1,153 @@
+//! Cross-cutting observability guarantees:
+//!
+//! * profiling a query must never change its answer, at any thread count;
+//! * the per-query span tree must tile the measured wall clock — parse,
+//!   plan and execute spans cover the query, job spans cover the execution;
+//! * the global metric registry must mirror the thread-local relation
+//!   counters the reports are built from.
+
+use cliquesquare::engine::csq::{Csq, CsqConfig};
+use cliquesquare::engine::relation::stats as relation_stats;
+use cliquesquare::engine::{translate, Executor};
+use cliquesquare::mapreduce::{Cluster, ClusterConfig, Runtime};
+use cliquesquare::obs;
+use cliquesquare::querygen::lubm_queries::lubm_queries;
+use cliquesquare::rdf::{LubmGenerator, LubmScale};
+use cliquesquare_server::QueryService;
+
+fn cluster() -> Cluster {
+    let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+    Cluster::load(graph, ClusterConfig::with_nodes(4))
+}
+
+#[test]
+fn profiling_is_bit_neutral_at_every_thread_count() {
+    let cluster = cluster();
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    for threads in [1, 2, 8] {
+        let executor = Executor::with_runtime(&cluster, Runtime::with_threads(threads));
+        for query in lubm_queries() {
+            let (_, chosen, _) = csq.plan(&query);
+            let physical = translate(&chosen, cluster.graph());
+            let plain = executor.execute(&physical);
+            let profiled = executor.execute_profiled(&physical);
+            assert_eq!(
+                plain.results,
+                profiled.results,
+                "{} at {threads} thread(s): profiling changed the answer set",
+                query.name()
+            );
+            assert_eq!(
+                plain.job_log.descriptor(),
+                profiled.job_log.descriptor(),
+                "{} at {threads} thread(s): profiling changed the job structure",
+                query.name()
+            );
+            assert!(plain.profile.is_none());
+            let tree = profiled.profile.expect("profiled run returns a span tree");
+            assert!(!tree.children.is_empty(), "execute span has job children");
+        }
+    }
+}
+
+#[test]
+fn profile_spans_tile_the_measured_wall_clock() {
+    let service = QueryService::new(cluster(), Runtime::serving(2));
+    let answer = service
+        .execute_named_opts("Q2", true)
+        .expect("Q2 serves profiled");
+    let profile = answer.profile.expect("profile attached");
+    assert_eq!(profile.query, "Q2");
+    assert_eq!(profile.threads, 2);
+    assert!(profile.total_wall_seconds > 0.0);
+    assert_eq!(profile.root.name, "query");
+
+    let names: Vec<&str> = profile
+        .root
+        .children
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(names, ["parse", "plan", "execute"]);
+
+    // parse + plan + execute cover the whole query: nothing else happens
+    // between those phases, so their walls sum to the total up to the
+    // instrumentation gaps themselves.
+    let phase_sum = profile.root.children_wall_seconds();
+    let total = profile.root.wall_seconds;
+    assert!(
+        (phase_sum - total).abs() <= 0.1 * total + 1e-3,
+        "phase walls {phase_sum}s do not tile the query total {total}s"
+    );
+
+    // Jobs run one after another inside the execution, so the per-job
+    // (wave-level) walls are disjoint and must fit inside the execute span.
+    let execute = &profile.root.children[2];
+    assert!(
+        !execute.children.is_empty(),
+        "execute span has job children"
+    );
+    let job_sum = execute.children_wall_seconds();
+    assert!(
+        job_sum <= execute.wall_seconds + 1e-3,
+        "job walls {job_sum}s exceed the execute span {}s",
+        execute.wall_seconds
+    );
+    for job in &execute.children {
+        assert!(job.name.starts_with("job "));
+        assert!(
+            !job.children.is_empty(),
+            "{}: job span has operator children",
+            job.name
+        );
+    }
+    // The execution produced the answer the client saw.
+    let last_job = execute.children.last().unwrap();
+    assert!(last_job.rows_out as usize >= answer.total_rows);
+}
+
+#[test]
+fn registry_mirrors_the_thread_local_relation_counters() {
+    let registry = obs::global();
+    let join_rows = registry.counter(
+        "csq_relation_join_rows_total",
+        "Rows produced by the n-ary sort-merge join",
+        &[],
+    );
+    let sorts_performed = registry.counter(
+        "csq_relation_sorts_total",
+        "Ordering requirements by outcome",
+        &[("outcome", "performed")],
+    );
+    let runs_emitted = registry.counter(
+        "csq_relation_runs_emitted_total",
+        "Key groups emitted as factorized runs",
+        &[],
+    );
+    let peak_rows = registry.gauge(
+        "csq_relation_peak_rows",
+        "Largest single intermediate relation, in rows",
+        &[],
+    );
+
+    let cluster = cluster();
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let executor = Executor::sequential(&cluster);
+    let query = lubm_queries().remove(1); // Q2: has joins and sorts
+    let (_, chosen, _) = csq.plan(&query);
+    let physical = translate(&chosen, cluster.graph());
+
+    let before = (join_rows.get(), sorts_performed.get(), runs_emitted.get());
+    relation_stats::reset();
+    std::hint::black_box(executor.execute(&physical));
+    let local = relation_stats::snapshot();
+
+    // The sequential runtime bumps both the thread-local counters and the
+    // registry from this thread; other tests in this process may add more,
+    // so the registry delta is a lower-bounded mirror.
+    assert!(local.join_rows_out > 0, "Q2 joins produce rows");
+    assert!(join_rows.get() - before.0 >= local.join_rows_out);
+    assert!(sorts_performed.get() - before.1 >= local.sorts_performed);
+    assert!(runs_emitted.get() - before.2 >= local.runs_emitted);
+    assert!(peak_rows.get() >= local.peak_rows as i64);
+}
