@@ -21,18 +21,24 @@
 //! interesting-orders pass satisfied without sorting, and join inputs that
 //! paid a column-permuted re-sort.
 //!
-//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution [-- --threads N] [--scale U] [--snapshot [PATH]] [--baseline [PATH]]`
+//! Usage: `cargo run --release -p cliquesquare-bench --bin report_execution [-- --threads N] [--scale U] [--cardinality] [--snapshot [PATH]] [--baseline [PATH]]`
 //! (`--threads auto` uses all cores; default: `CSQ_THREADS` or sequential.
 //! `--scale U` generates U LUBM universities — larger datasets amortize the
 //! per-wave thread spawn cost, which is what the speedup column measures.
 //! `--snapshot [PATH]` additionally writes the per-query wall times and
 //! totals to `PATH` — `BENCH_execution.json` by default — as the recorded
 //! perf-trajectory artifact.
+//! `--cardinality` additionally runs each query with the cost model's
+//! per-operator estimates attached as `est_rows` span attributes, prints
+//! estimated-vs-actual rows as per-query median/max q-error for the
+//! statistics-driven estimator *and* the uniform baseline (plus the same
+//! differential on the SP²Bench mix), and records the per-query medians
+//! into the snapshot.
 //! `--baseline [PATH]` reads a previously recorded snapshot, prints a
 //! counter regression table diffing `sorts_performed` /
-//! `join_inputs_resorted` / `peak_rows` against it, and **exits nonzero**
-//! when any query regressed — CI gates on this. Run it at the scale the
-//! baseline was recorded at — the repo-root default.
+//! `join_inputs_resorted` / `peak_rows` / median q-error against it, and
+//! **exits nonzero** when any query regressed — CI gates on this. Run it at
+//! the scale the baseline was recorded at — the repo-root default.
 //! `--profile [PATH]` additionally runs each query once with per-query
 //! profiling, asserts the profiled answers are bit-identical to the
 //! unprofiled ones, and writes the span trees as a Chrome-trace JSON —
@@ -48,8 +54,10 @@ use cliquesquare_bench::{
 use cliquesquare_core::LogicalPlan;
 use cliquesquare_engine::csq::{Csq, CsqConfig};
 use cliquesquare_engine::relation::stats as relation_stats;
-use cliquesquare_engine::{translate, Executor};
+use cliquesquare_engine::{q_error, translate, Executor, MapReduceCostModel, PhysicalPlan};
+use cliquesquare_mapreduce::Cluster;
 use cliquesquare_querygen::lubm_queries;
+use cliquesquare_sparql::BgpQuery;
 
 /// Wall-clock measurement repetitions (best-of).
 const REPEATS: usize = 5;
@@ -57,6 +65,7 @@ const REPEATS: usize = 5;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let runtime = runtime_from_args(&args);
+    let cardinality = args.iter().any(|a| a == "--cardinality");
     let cluster = lubm_cluster(scale_from_args(&args, report_scale()));
     println!(
         "== Figure 20: MSC plans vs best binary bushy / linear plans ==\n\
@@ -73,6 +82,9 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut snapshot_queries: Vec<SnapshotQuery> = Vec::new();
+    let mut cardinality_rows: Vec<Vec<String>> = Vec::new();
+    let mut all_stats_q: Vec<f64> = Vec::new();
+    let mut all_uniform_q: Vec<f64> = Vec::new();
     for query in lubm_queries::lubm_queries() {
         let report = csq.run(&query);
         let run_binary = |plan: Option<LogicalPlan>| {
@@ -151,6 +163,39 @@ fn main() {
             );
         }
 
+        // `--cardinality`: estimated vs actual rows per operator, for the
+        // statistics-driven estimator and the uniform baseline, from one
+        // profiled execution each (answers asserted unchanged).
+        let q_summary = cardinality.then(|| {
+            let stats = operator_q_errors(
+                &MapReduceCostModel::new(&cluster),
+                &executor,
+                &physical,
+                &sequential_output,
+                query.name(),
+            );
+            let uniform = operator_q_errors(
+                &MapReduceCostModel::uniform(&cluster),
+                &executor,
+                &physical,
+                &sequential_output,
+                query.name(),
+            );
+            (stats, uniform)
+        });
+        if let Some((stats, uniform)) = &q_summary {
+            cardinality_rows.push(vec![
+                query.name().to_string(),
+                stats.len().to_string(),
+                fmt_f64(median(&q_values(stats))),
+                fmt_f64(max(&q_values(stats))),
+                fmt_f64(median(&q_values(uniform))),
+                fmt_f64(max(&q_values(uniform))),
+            ]);
+            all_stats_q.extend(q_values(stats));
+            all_uniform_q.extend(q_values(uniform));
+        }
+
         snapshot_queries.push(SnapshotQuery {
             name: query.name().to_string(),
             patterns: query.len(),
@@ -166,6 +211,10 @@ fn main() {
             rows_expanded: rel_stats.rows_expanded,
             peak_rows: rel_stats.peak_rows,
             peak_bytes: rel_stats.peak_bytes,
+            median_q_error: q_summary
+                .as_ref()
+                .map(|(stats, _)| median(&q_values(stats))),
+            max_q_error: q_summary.as_ref().map(|(stats, _)| max(&q_values(stats))),
         });
         rows.push(vec![
             format!(
@@ -235,6 +284,33 @@ fn main() {
     );
     println!("Expected shape (paper): MSC plans are fastest for every query, up to ~2x vs bushy and up to ~16x vs linear.");
 
+    if cardinality {
+        println!("\n== Cardinality estimation: per-operator q-error (est vs measured rows) ==");
+        println!(
+            "{}",
+            table(
+                &[
+                    "Query",
+                    "ops",
+                    "stats median",
+                    "stats max",
+                    "uniform median",
+                    "uniform max",
+                ],
+                &cardinality_rows
+            )
+        );
+        println!(
+            "LUBM workload q-error: statistics median {} / max {}, uniform median {} / max {} \
+             (q-error = max(est/actual, actual/est); 1.0 is perfect).",
+            fmt_f64(median(&all_stats_q)),
+            fmt_f64(max(&all_stats_q)),
+            fmt_f64(median(&all_uniform_q)),
+            fmt_f64(max(&all_uniform_q)),
+        );
+        sp2b_cardinality_differential(runtime.threads());
+    }
+
     if let Some(path) = baseline_path_from_args(&args) {
         if print_baseline_diff(&path, cluster.graph().len(), &snapshot_queries) {
             eprintln!(
@@ -261,6 +337,120 @@ fn main() {
     if let Some(path) = profile_path_from_args(&args) {
         write_profile_trace(&path, &csq, &parallel_executor);
     }
+}
+
+/// One operator's estimated-vs-actual cardinality: `(span, est, actual)`.
+type OpCard = (String, u64, u64);
+
+/// Executes `plan` profiled with `model`'s per-operator estimates attached,
+/// asserts the answers match the unprofiled `reference` execution, and
+/// extracts every `(est_rows, rows_out)` pair from the span tree.
+fn operator_q_errors(
+    model: &MapReduceCostModel,
+    executor: &Executor,
+    plan: &PhysicalPlan,
+    reference: &cliquesquare_engine::ExecutionOutput,
+    query_name: &str,
+) -> Vec<OpCard> {
+    let cards = model.estimate_cards(plan);
+    let output = executor.execute_profiled_with_estimates(plan, &cards);
+    assert_eq!(
+        output.results, reference.results,
+        "{query_name}: estimate-annotated profiling changed the answer set"
+    );
+    let mut pairs = Vec::new();
+    if let Some(root) = output.profile {
+        collect_estimates(&root, &mut pairs);
+    }
+    pairs
+}
+
+/// Walks a span tree collecting every node that carries an `est_rows`
+/// attribute next to its measured `rows_out`.
+fn collect_estimates(node: &cliquesquare_obs::SpanNode, out: &mut Vec<OpCard>) {
+    if let Some(&(_, est)) = node.attrs.iter().find(|(name, _)| name == "est_rows") {
+        out.push((node.name.clone(), est, node.rows_out));
+    }
+    for child in &node.children {
+        collect_estimates(child, out);
+    }
+}
+
+/// The q-errors of a per-operator cardinality list.
+fn q_values(cards: &[OpCard]) -> Vec<f64> {
+    cards
+        .iter()
+        .map(|&(_, est, actual)| q_error(est, actual))
+        .collect()
+}
+
+/// Median of a non-empty sample (mean of the middle pair for even sizes);
+/// 1.0 — the perfect q-error — for an empty one.
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Largest value of a sample (1.0 for an empty one).
+fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(1.0f64, f64::max)
+}
+
+/// The SP²B leg of the `--cardinality` differential: plans the SP²Bench
+/// query mix on a tiny DBLP-like cluster and prints the workload median/max
+/// q-error of the statistics estimator next to the uniform baseline. Kept
+/// at a fixed small scale — the point is the estimator comparison on a
+/// power-law (non-LUBM) value distribution, not wall-clock.
+fn sp2b_cardinality_differential(threads: usize) {
+    use cliquesquare_mapreduce::ClusterConfig;
+    use cliquesquare_rdf::{Sp2bGenerator, Sp2bScale};
+
+    let graph = Sp2bGenerator::new(Sp2bScale::tiny()).generate();
+    let cluster = Cluster::load(graph, ClusterConfig::with_nodes(7));
+    let csq = Csq::new(cluster.clone(), CsqConfig::default());
+    let executor = Executor::sequential(&cluster);
+    let mut stats_q = Vec::new();
+    let mut uniform_q = Vec::new();
+    let queries: Vec<BgpQuery> = cliquesquare_querygen::sp2b_queries();
+    for query in &queries {
+        let (_, chosen, _) = csq.plan(query);
+        let physical = translate(&chosen, cluster.graph());
+        let reference = executor.execute(&physical);
+        stats_q.extend(q_values(&operator_q_errors(
+            &MapReduceCostModel::new(&cluster),
+            &executor,
+            &physical,
+            &reference,
+            query.name(),
+        )));
+        uniform_q.extend(q_values(&operator_q_errors(
+            &MapReduceCostModel::uniform(&cluster),
+            &executor,
+            &physical,
+            &reference,
+            query.name(),
+        )));
+    }
+    println!(
+        "SP2B workload q-error ({} queries, {} triples, {} thread(s)): \
+         statistics median {} / max {}, uniform median {} / max {}.",
+        queries.len(),
+        cluster.graph().len(),
+        threads,
+        fmt_f64(median(&stats_q)),
+        fmt_f64(max(&stats_q)),
+        fmt_f64(median(&uniform_q)),
+        fmt_f64(max(&uniform_q)),
+    );
 }
 
 /// Parses `--profile [PATH]` (`BENCH_profile_trace.json` when no path
@@ -376,6 +566,7 @@ fn print_baseline_diff(path: &str, dataset_triples: usize, current: &[SnapshotQu
         let base_sorts = base.and_then(|b| b.sorts_performed);
         let base_resorts = base.and_then(|b| b.join_inputs_resorted);
         let base_peak = base.and_then(|b| b.peak_rows);
+        let base_qerr = base.and_then(|b| b.median_q_error);
         sorts_now += q.sorts_performed;
         resorts_now += q.join_inputs_resorted;
         match (base_sorts, base_resorts) {
@@ -385,11 +576,18 @@ fn print_baseline_diff(path: &str, dataset_triples: usize, current: &[SnapshotQu
             }
             _ => complete = false,
         }
-        // Gate per query: more sorts, a re-sorted join input, or a larger
-        // peak intermediate than the recorded baseline is a regression.
+        // Gate per query: more sorts, a re-sorted join input, a larger peak
+        // intermediate, or a meaningfully worse median estimator q-error
+        // (>10% over the recorded baseline; the q-error gate only applies
+        // when both this run and the baseline measured cardinalities).
         regressed |= base_sorts.is_some_and(|s| q.sorts_performed > s)
             || base_resorts.is_some_and(|r| q.join_inputs_resorted > r)
-            || base_peak.is_some_and(|p| q.peak_rows > p);
+            || base_peak.is_some_and(|p| q.peak_rows > p)
+            || matches!(
+                (q.median_q_error, base_qerr),
+                (Some(now), Some(then)) if now > then * 1.10
+            );
+        let fmt_qerr = |value: Option<f64>| value.map_or("-".to_string(), fmt_f64);
         rows.push(vec![
             q.name.clone(),
             fmt_count(base_sorts),
@@ -401,6 +599,8 @@ fn print_baseline_diff(path: &str, dataset_triples: usize, current: &[SnapshotQu
             fmt_count(base_peak),
             q.peak_rows.to_string(),
             fmt_delta(q.peak_rows, base_peak),
+            fmt_qerr(base_qerr),
+            fmt_qerr(q.median_q_error),
             base.and_then(|b| b.wall_sequential_ms)
                 .map_or("-".to_string(), fmt_f64),
             fmt_f64(q.wall_sequential_ms),
@@ -421,6 +621,8 @@ fn print_baseline_diff(path: &str, dataset_triples: usize, current: &[SnapshotQu
                 "peak(base)",
                 "peak(now)",
                 "Δ",
+                "qerr(base)",
+                "qerr(now)",
                 "wall base (ms)",
                 "wall now (ms)",
             ],

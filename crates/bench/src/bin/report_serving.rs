@@ -14,10 +14,16 @@
 //! submitting clients also help drain their own job, so throughput scales
 //! with clients even on a small pool). `--smoke` shrinks everything for CI:
 //! tiny dataset, client levels {1, 2}, one round.
+//!
+//! Planning and execution walls are reported *separately* (an earlier
+//! version folded planning into the single latency number): each level shows
+//! its median planning and execution slices plus the template-plan-cache hit
+//! rate, and a solo cold-vs-warm pass up front quantifies what a cache hit
+//! saves over full optimization.
 
 use cliquesquare_bench::{
     lubm_cluster, percentile_ms, scale_from_args, snapshot_path_with_default, table,
-    write_serving_snapshot, ServingLevel,
+    write_serving_snapshot, PlanningSummary, ServingLevel,
 };
 use cliquesquare_mapreduce::Runtime;
 use cliquesquare_obs::{Gauge, Histogram, LATENCY_SECONDS_BUCKETS};
@@ -120,10 +126,42 @@ fn main() {
     );
 
     // The oracle: each query's answer served solo, before any concurrency.
+    // This first pass is also the *cold* planning pass — every template gets
+    // fully optimized — so its planning walls are the cold baseline.
+    let mut cold_plan_ms: Vec<f64> = Vec::with_capacity(queries.len());
     let reference: Vec<_> = queries
         .iter()
-        .map(|query| stable_answer(&service.run(query).expect("solo run serves")))
+        .map(|query| {
+            let answer = service.run(query).expect("solo run serves");
+            cold_plan_ms.push(answer.plan_seconds * 1e3);
+            stable_answer(&answer)
+        })
         .collect();
+    // A second solo pass is served from the template plan cache: the *warm*
+    // planning wall is constant rebinding instead of full optimization.
+    let warm_plan_ms: Vec<f64> = queries
+        .iter()
+        .map(|query| service.run(query).expect("solo rerun serves").plan_seconds * 1e3)
+        .collect();
+    let sorted = |mut samples: Vec<f64>| {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+        samples
+    };
+    let planning = PlanningSummary {
+        cold_plan_ms: percentile_ms(&sorted(cold_plan_ms), 0.5),
+        warm_plan_ms: percentile_ms(&sorted(warm_plan_ms), 0.5),
+    };
+    println!(
+        "planning wall, solo (median over the mix): cold {:.3} ms, warm {:.3} ms \
+         ({} plan cache)\n",
+        planning.cold_plan_ms,
+        planning.warm_plan_ms,
+        if service.plan_cache().is_some() {
+            "template"
+        } else {
+            "no"
+        }
+    );
 
     // The scheduler's own queue instrumentation: the wait histogram is
     // snapshotted around each level so its delta is that level's waits, and
@@ -134,6 +172,7 @@ fn main() {
     let mut levels = Vec::new();
     for &clients in &client_levels {
         let wait_before = queue_wait.snapshot();
+        let cache_before = service.plan_cache().map(|cache| cache.counters());
         let started = Instant::now();
         let workers: Vec<_> = (0..clients)
             .map(|client| {
@@ -141,7 +180,7 @@ fn main() {
                 let queries = queries.clone();
                 let reference = reference.clone();
                 std::thread::spawn(move || {
-                    let mut latencies_ms = Vec::with_capacity(queries.len() * rounds);
+                    let mut samples = Vec::with_capacity(queries.len() * rounds);
                     for round in 0..rounds {
                         // Offset each client's walk through the mix so the
                         // scheduler really interleaves different plans.
@@ -149,7 +188,11 @@ fn main() {
                             let index = (client + round + step) % queries.len();
                             let begun = Instant::now();
                             let answer = service.run(&queries[index]).expect("mix query serves");
-                            latencies_ms.push(begun.elapsed().as_secs_f64() * 1e3);
+                            samples.push((
+                                begun.elapsed().as_secs_f64() * 1e3,
+                                answer.plan_seconds * 1e3,
+                                answer.wall_seconds * 1e3,
+                            ));
                             assert_eq!(
                                 stable_answer(&answer),
                                 reference[index],
@@ -158,17 +201,32 @@ fn main() {
                             );
                         }
                     }
-                    latencies_ms
+                    samples
                 })
             })
             .collect();
-        let mut latencies_ms: Vec<f64> = workers
+        let samples: Vec<(f64, f64, f64)> = workers
             .into_iter()
             .flat_map(|w| w.join().expect("client thread"))
             .collect();
         let elapsed = started.elapsed().as_secs_f64();
-        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let sorted = |mut values: Vec<f64>| {
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            values
+        };
+        let latencies_ms = sorted(samples.iter().map(|s| s.0).collect());
+        let plans_ms = sorted(samples.iter().map(|s| s.1).collect());
+        let execs_ms = sorted(samples.iter().map(|s| s.2).collect());
         let level_waits = queue_wait.snapshot().since(&wait_before);
+        let cache_hit_rate = cache_before.map(|(hits0, misses0, _)| {
+            let (hits, misses, _) = service.plan_cache().expect("cache still on").counters();
+            let lookups = (hits - hits0) + (misses - misses0);
+            if lookups == 0 {
+                0.0
+            } else {
+                (hits - hits0) as f64 / lookups as f64
+            }
+        });
         levels.push(ServingLevel {
             clients,
             queries: latencies_ms.len(),
@@ -178,6 +236,9 @@ fn main() {
             queue_wait_p50_ms: level_waits.quantile(0.5).map(|s| s * 1e3),
             queue_wait_p99_ms: level_waits.quantile(0.99).map(|s| s * 1e3),
             queue_depth_peak: Some(queue_depth_peak.get()),
+            plan_p50_ms: Some(percentile_ms(&plans_ms, 0.5)),
+            exec_p50_ms: Some(percentile_ms(&execs_ms, 0.5)),
+            cache_hit_rate,
         });
     }
 
@@ -191,6 +252,11 @@ fn main() {
                 format!("{:.2}", level.p50_ms),
                 format!("{:.2}", level.p99_ms),
                 format!("{:.1}", level.queries_per_s),
+                fmt_opt(level.plan_p50_ms),
+                fmt_opt(level.exec_p50_ms),
+                level
+                    .cache_hit_rate
+                    .map_or("-".to_string(), |v| format!("{:.0}%", v * 100.0)),
                 fmt_opt(level.queue_wait_p50_ms),
                 fmt_opt(level.queue_wait_p99_ms),
                 level
@@ -208,6 +274,9 @@ fn main() {
                 "p50 ms",
                 "p99 ms",
                 "queries/s",
+                "plan p50 ms",
+                "exec p50 ms",
+                "hit rate",
                 "qwait p50 ms",
                 "qwait p99 ms",
                 "qdepth peak",
@@ -224,6 +293,7 @@ fn main() {
             cluster.graph().len(),
             cluster.nodes(),
             worker_threads,
+            Some(planning),
             &levels,
         )
         .expect("write serving snapshot");

@@ -188,6 +188,11 @@ pub struct SnapshotQuery {
     pub peak_rows: u64,
     /// Peak bytes held by any single join intermediate.
     pub peak_bytes: u64,
+    /// Median per-operator q-error of the statistics-driven estimator
+    /// against measured `rows_out` (`--cardinality` runs only).
+    pub median_q_error: Option<f64>,
+    /// Largest per-operator q-error (`--cardinality` runs only).
+    pub max_q_error: Option<f64>,
 }
 
 /// Minimal JSON string escaping (the snapshot only contains query names and
@@ -236,13 +241,22 @@ pub fn write_execution_snapshot(
     ));
     json.push_str("  \"queries\": [\n");
     for (index, q) in queries.iter().enumerate() {
+        // q-error fields only appear when the run measured them
+        // (`--cardinality`), so older readers and diff tools see an
+        // unchanged layout otherwise.
+        let q_errors = match (q.median_q_error, q.max_q_error) {
+            (Some(median), Some(max)) => {
+                format!(", \"median_q_error\": {median:.4}, \"max_q_error\": {max:.4}")
+            }
+            _ => String::new(),
+        };
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"patterns\": {}, \"jobs\": \"{}\", \
              \"simulated_seconds\": {:.6}, \"wall_sequential_ms\": {:.3}, \
              \"wall_parallel_ms\": {:.3}, \"results\": {}, \
              \"sorts_performed\": {}, \"sorts_elided\": {}, \
              \"join_inputs_resorted\": {}, \"runs_emitted\": {}, \
-             \"rows_expanded\": {}, \"peak_rows\": {}, \"peak_bytes\": {}}}{}\n",
+             \"rows_expanded\": {}, \"peak_rows\": {}, \"peak_bytes\": {}{}}}{}\n",
             json_escape(&q.name),
             q.patterns,
             json_escape(&q.jobs),
@@ -257,6 +271,7 @@ pub fn write_execution_snapshot(
             q.rows_expanded,
             q.peak_rows,
             q.peak_bytes,
+            q_errors,
             if index + 1 == queries.len() { "" } else { "," }
         ));
     }
@@ -288,6 +303,11 @@ pub struct BaselineQuery {
     pub peak_rows: Option<u64>,
     /// Recorded `peak_bytes` counter, if the snapshot has one.
     pub peak_bytes: Option<u64>,
+    /// Recorded median estimator q-error, if the snapshot was made by a
+    /// `--cardinality` run.
+    pub median_q_error: Option<f64>,
+    /// Recorded maximum estimator q-error, if the snapshot has one.
+    pub max_q_error: Option<f64>,
 }
 
 /// Extracts the raw value of `"key": value` from one JSON object line
@@ -335,6 +355,8 @@ pub fn read_execution_snapshot(path: &str) -> std::io::Result<Vec<BaselineQuery>
             rows_expanded: json_field(line, "rows_expanded").and_then(|v| v.parse().ok()),
             peak_rows: json_field(line, "peak_rows").and_then(|v| v.parse().ok()),
             peak_bytes: json_field(line, "peak_bytes").and_then(|v| v.parse().ok()),
+            median_q_error: json_field(line, "median_q_error").and_then(|v| v.parse().ok()),
+            max_q_error: json_field(line, "max_q_error").and_then(|v| v.parse().ok()),
         });
     }
     Ok(queries)
@@ -666,6 +688,28 @@ pub struct ServingLevel {
     /// Scheduler queue-depth high-water mark sampled after this level ran
     /// (monotonic over the process, so levels only grow it).
     pub queue_depth_peak: Option<i64>,
+    /// Median per-query *planning* wall in milliseconds — the slice of each
+    /// request spent in the optimizer (or the plan-cache hit path) before
+    /// execution starts. `None` in snapshots recorded before planning and
+    /// execution walls were reported separately.
+    pub plan_p50_ms: Option<f64>,
+    /// Median per-query *execution* wall in milliseconds, disjoint from
+    /// `plan_p50_ms` (the two no longer get conflated into one number).
+    pub exec_p50_ms: Option<f64>,
+    /// Fraction of this level's queries served from the template plan
+    /// cache, from the `csq_plancache_{hits,misses}_total` counter deltas.
+    pub cache_hit_rate: Option<f64>,
+}
+
+/// Cold-vs-warm planning walls measured solo before the concurrency levels:
+/// `cold` is the first planning of each template (full optimization), `warm`
+/// is a repeat pass served by template-cache rebinding.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanningSummary {
+    /// Median first-time planning wall across the mix, in milliseconds.
+    pub cold_plan_ms: f64,
+    /// Median repeat planning wall across the mix, in milliseconds.
+    pub warm_plan_ms: f64,
 }
 
 /// The `q`-quantile (0.0–1.0) of a latency sample by nearest-rank on the
@@ -687,6 +731,7 @@ pub fn write_serving_snapshot(
     dataset_triples: usize,
     nodes: usize,
     worker_threads: usize,
+    planning: Option<PlanningSummary>,
     levels: &[ServingLevel],
 ) -> std::io::Result<()> {
     let mut json = String::new();
@@ -696,6 +741,12 @@ pub fn write_serving_snapshot(
     json.push_str(&format!("  \"dataset_triples\": {dataset_triples},\n"));
     json.push_str(&format!("  \"nodes\": {nodes},\n"));
     json.push_str(&format!("  \"worker_threads\": {worker_threads},\n"));
+    if let Some(planning) = planning {
+        json.push_str(&format!(
+            "  \"cold_plan_ms\": {:.4},\n  \"warm_plan_ms\": {:.4},\n",
+            planning.cold_plan_ms, planning.warm_plan_ms
+        ));
+    }
     json.push_str("  \"levels\": [\n");
     for (index, level) in levels.iter().enumerate() {
         let mut line = format!(
@@ -711,6 +762,15 @@ pub fn write_serving_snapshot(
         }
         if let Some(peak) = level.queue_depth_peak {
             line.push_str(&format!(", \"queue_depth_peak\": {peak}"));
+        }
+        if let Some(plan) = level.plan_p50_ms {
+            line.push_str(&format!(", \"plan_p50_ms\": {plan:.4}"));
+        }
+        if let Some(exec) = level.exec_p50_ms {
+            line.push_str(&format!(", \"exec_p50_ms\": {exec:.4}"));
+        }
+        if let Some(rate) = level.cache_hit_rate {
+            line.push_str(&format!(", \"cache_hit_rate\": {rate:.4}"));
         }
         line.push_str(if index + 1 == levels.len() {
             "}\n"
@@ -755,9 +815,38 @@ pub fn read_serving_snapshot(path: &str) -> std::io::Result<Vec<ServingLevel>> {
             queue_wait_p50_ms: json_field(line, "queue_wait_p50_ms").and_then(|v| v.parse().ok()),
             queue_wait_p99_ms: json_field(line, "queue_wait_p99_ms").and_then(|v| v.parse().ok()),
             queue_depth_peak: json_field(line, "queue_depth_peak").and_then(|v| v.parse().ok()),
+            plan_p50_ms: json_field(line, "plan_p50_ms").and_then(|v| v.parse().ok()),
+            exec_p50_ms: json_field(line, "exec_p50_ms").and_then(|v| v.parse().ok()),
+            cache_hit_rate: json_field(line, "cache_hit_rate").and_then(|v| v.parse().ok()),
         });
     }
     Ok(levels)
+}
+
+/// Reads the top-level cold-vs-warm planning walls from a serving snapshot;
+/// `None` for recordings that predate separate planning/execution reporting.
+pub fn read_serving_planning(path: &str) -> std::io::Result<Option<PlanningSummary>> {
+    let contents = std::fs::read_to_string(path)?;
+    let mut cold = None;
+    let mut warm = None;
+    for line in contents.lines() {
+        if line.trim_start().starts_with('{') && line.contains("\"clients\"") {
+            break; // planning walls sit above the levels array
+        }
+        if let Some(value) = json_field(line, "cold_plan_ms") {
+            cold = value.parse().ok();
+        }
+        if let Some(value) = json_field(line, "warm_plan_ms") {
+            warm = value.parse().ok();
+        }
+    }
+    Ok(match (cold, warm) {
+        (Some(cold_plan_ms), Some(warm_plan_ms)) => Some(PlanningSummary {
+            cold_plan_ms,
+            warm_plan_ms,
+        }),
+        _ => None,
+    })
 }
 
 #[cfg(test)]
@@ -837,6 +926,8 @@ mod tests {
                 rows_expanded: 40,
                 peak_rows: 60,
                 peak_bytes: 480,
+                median_q_error: Some(1.25),
+                max_q_error: Some(8.0),
             },
             SnapshotQuery {
                 name: "Q2".to_string(),
@@ -853,6 +944,8 @@ mod tests {
                 rows_expanded: 0,
                 peak_rows: 7,
                 peak_bytes: 56,
+                median_q_error: None,
+                max_q_error: None,
             },
         ];
         let path = std::env::temp_dir().join("csq_snapshot_roundtrip.json");
@@ -869,8 +962,14 @@ mod tests {
         assert_eq!(read[0].rows_expanded, Some(40));
         assert_eq!(read[0].peak_rows, Some(60));
         assert_eq!(read[0].peak_bytes, Some(480));
+        assert_eq!(read[0].median_q_error, Some(1.25));
+        assert_eq!(read[0].max_q_error, Some(8.0));
         assert_eq!(read[1].name, "Q2");
         assert_eq!(read[1].sorts_performed, Some(0));
+        // A query recorded without q-error fields reads back as None — the
+        // reader is back-compatible with pre-cardinality snapshots.
+        assert_eq!(read[1].median_q_error, None);
+        assert_eq!(read[1].max_q_error, None);
         let _ = std::fs::remove_file(path);
     }
 
@@ -985,6 +1084,8 @@ mod tests {
                 rows_expanded: 0,
                 peak_rows: 0,
                 peak_bytes: 0,
+                median_q_error: None,
+                max_q_error: None,
             }],
         )
         .unwrap();
@@ -1006,6 +1107,9 @@ mod tests {
                 queue_wait_p50_ms: Some(0.125),
                 queue_wait_p99_ms: Some(1.75),
                 queue_depth_peak: Some(6),
+                plan_p50_ms: Some(0.4),
+                exec_p50_ms: Some(2.1),
+                cache_hit_rate: Some(0.9286),
             },
             ServingLevel {
                 clients: 4,
@@ -1016,11 +1120,18 @@ mod tests {
                 queue_wait_p50_ms: None,
                 queue_wait_p99_ms: None,
                 queue_depth_peak: None,
+                plan_p50_ms: None,
+                exec_p50_ms: None,
+                cache_hit_rate: None,
             },
         ];
+        let planning = PlanningSummary {
+            cold_plan_ms: 0.85,
+            warm_plan_ms: 0.05,
+        };
         let path = std::env::temp_dir().join("csq_serving_roundtrip.json");
         let path = path.to_str().unwrap();
-        write_serving_snapshot(path, "LUBM mix", 1000, 7, 2, &levels).unwrap();
+        write_serving_snapshot(path, "LUBM mix", 1000, 7, 2, Some(planning), &levels).unwrap();
         let read = read_serving_snapshot(path).unwrap();
         assert_eq!(read.len(), 2);
         assert_eq!(read[0].clients, 1);
@@ -1029,9 +1140,19 @@ mod tests {
         assert_eq!(read[0].queue_wait_p50_ms, Some(0.125));
         assert_eq!(read[0].queue_wait_p99_ms, Some(1.75));
         assert_eq!(read[0].queue_depth_peak, Some(6));
+        assert_eq!(read[0].plan_p50_ms, Some(0.4));
+        assert_eq!(read[0].exec_p50_ms, Some(2.1));
+        assert_eq!(read[0].cache_hit_rate, Some(0.9286));
         assert_eq!(read[1].clients, 4);
         assert_eq!(read[1].queue_wait_p50_ms, None);
         assert_eq!(read[1].queue_depth_peak, None);
+        assert_eq!(read[1].plan_p50_ms, None);
+        assert_eq!(read[1].cache_hit_rate, None);
+        let walls = read_serving_planning(path)
+            .unwrap()
+            .expect("planning walls");
+        assert!((walls.cold_plan_ms - 0.85).abs() < 1e-9);
+        assert!((walls.warm_plan_ms - 0.05).abs() < 1e-9);
         let meta = read_snapshot_meta(path).unwrap();
         assert_eq!(meta.benchmark.as_deref(), Some("serving"));
         let _ = std::fs::remove_file(path);
@@ -1053,6 +1174,10 @@ mod tests {
         assert_eq!(read[0].queue_wait_p50_ms, None);
         assert_eq!(read[0].queue_wait_p99_ms, None);
         assert_eq!(read[0].queue_depth_peak, None);
+        assert_eq!(read[0].plan_p50_ms, None);
+        assert_eq!(read[0].exec_p50_ms, None);
+        assert_eq!(read[0].cache_hit_rate, None);
+        assert!(read_serving_planning(path).unwrap().is_none());
         let _ = std::fs::remove_file(path);
     }
 

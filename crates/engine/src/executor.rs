@@ -198,7 +198,7 @@ impl Executor {
 
     /// Executes a physical plan.
     pub fn execute(&self, plan: &PhysicalPlan) -> ExecutionOutput {
-        self.execute_inner(plan, false)
+        self.execute_inner(plan, false, None)
     }
 
     /// Executes a physical plan, recording the per-operator span tree into
@@ -207,10 +207,31 @@ impl Executor {
     /// tasks compute, so answers are bit-identical to [`Executor::execute`]
     /// at every thread count (asserted in `tests/observability.rs`).
     pub fn execute_profiled(&self, plan: &PhysicalPlan) -> ExecutionOutput {
-        self.execute_inner(plan, true)
+        self.execute_inner(plan, true, None)
     }
 
-    fn execute_inner(&self, plan: &PhysicalPlan, profiled: bool) -> ExecutionOutput {
+    /// Like [`execute_profiled`](Self::execute_profiled), but additionally
+    /// attaches the cost model's per-operator estimated cardinalities
+    /// (`estimates[i]` for operator `i`, as produced by
+    /// `MapReduceCostModel::estimate_cards`) as `est_rows` span attributes
+    /// next to the measured `rows_out`, and observes each operator's
+    /// q-error — `max(est/actual, actual/est)` — into the process-wide
+    /// `csq_plan_qerror` histogram. Pure observation: answers stay
+    /// bit-identical to [`Executor::execute`] at every thread count.
+    pub fn execute_profiled_with_estimates(
+        &self,
+        plan: &PhysicalPlan,
+        estimates: &[u64],
+    ) -> ExecutionOutput {
+        self.execute_inner(plan, true, Some(estimates))
+    }
+
+    fn execute_inner(
+        &self,
+        plan: &PhysicalPlan,
+        profiled: bool,
+        estimates: Option<&[u64]>,
+    ) -> ExecutionOutput {
         let started = Instant::now();
         let sched = schedule(plan);
         let nodes = self.cluster.nodes();
@@ -223,6 +244,7 @@ impl Executor {
             jobs: (0..sched.job_count).map(|_| JobState::new(nodes)).collect(),
             memo: vec![None; plan.len()],
             prof: profiled.then(|| ProfCtx::new(started)),
+            estimates,
         };
 
         // Operators are stored bottom-up (inputs have smaller ids than their
@@ -312,6 +334,23 @@ impl Executor {
             profile,
         }
     }
+}
+
+/// Histogram bucket bounds for per-operator q-error: 1.0 is a perfect
+/// estimate, each bucket doubles (roughly) the tolerated mis-estimation.
+const QERROR_BUCKETS: &[f64] = &[1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0];
+
+/// Observes one operator's estimation quality into the process-wide
+/// `csq_plan_qerror` histogram (q-error = `max(est/actual, actual/est)`).
+fn observe_q_error(estimated: u64, actual: u64) {
+    cliquesquare_obs::global()
+        .histogram(
+            "csq_plan_qerror",
+            "Per-operator cardinality estimation q-error (max of est/actual, actual/est)",
+            &[],
+            QERROR_BUCKETS,
+        )
+        .observe(crate::cost::q_error(estimated, actual));
 }
 
 /// Profiling state threaded through one `execute_profiled` run: the
@@ -563,6 +602,9 @@ struct ExecState<'a> {
     memo: Vec<Option<Arc<Intermediate>>>,
     /// Span recording; `None` on the default (unprofiled) path.
     prof: Option<ProfCtx>,
+    /// Cost-model estimated cardinalities per operator (arena-indexed),
+    /// attached as `est_rows` span attributes when profiling.
+    estimates: Option<&'a [u64]>,
 }
 
 impl<'a> ExecState<'a> {
@@ -659,6 +701,10 @@ impl<'a> ExecState<'a> {
         }
         for (name, value) in std::mem::take(&mut prof.attrs) {
             node.add_attr(name, value);
+        }
+        if let Some(&estimated) = self.estimates.and_then(|cards| cards.get(id.index())) {
+            node.add_attr("est_rows", estimated);
+            observe_q_error(estimated, node.rows_out);
         }
         prof.nodes.push((job, node));
     }
@@ -1259,6 +1305,42 @@ mod tests {
         assert_eq!(output.job_log.descriptor(), "M");
         assert_eq!(output.metrics.tuples_shuffled, 0);
         assert!(output.distinct_count() > 0);
+    }
+
+    #[test]
+    fn estimates_attach_as_span_attrs_without_changing_answers() {
+        let cluster = cluster();
+        let query = "SELECT ?x ?z WHERE { ?x ub:advisor ?y . ?y ub:worksFor ?z }";
+        let q = parse_query(query).unwrap();
+        let logical = Optimizer::with_variant(Variant::Msc)
+            .optimize(&q)
+            .flattest_plans()[0]
+            .clone();
+        let physical = crate::translate::translate(&logical, cluster.graph());
+        let estimates = crate::cost::MapReduceCostModel::new(&cluster).estimate_cards(&physical);
+        let executor = Executor::sequential(&cluster);
+        let plain = executor.execute(&physical);
+        let with_estimates = executor.execute_profiled_with_estimates(&physical, &estimates);
+        assert_eq!(
+            plain.results.clone().distinct().sorted(),
+            with_estimates.results.clone().distinct().sorted(),
+            "estimate attachment is pure observation"
+        );
+        let profile = with_estimates
+            .profile
+            .expect("profiled run has a span tree");
+        let mut est_attrs = 0usize;
+        let mut stack = vec![&profile];
+        while let Some(node) = stack.pop() {
+            if node.attrs.iter().any(|(name, _)| name == "est_rows") {
+                est_attrs += 1;
+            }
+            stack.extend(node.children.iter());
+        }
+        assert!(
+            est_attrs >= 2,
+            "every evaluated operator carries est_rows (got {est_attrs})"
+        );
     }
 
     #[test]

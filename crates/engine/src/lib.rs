@@ -52,10 +52,10 @@ pub mod reference;
 pub mod relation;
 pub mod translate;
 
-pub use cost::{CostEstimate, MapReduceCostModel};
+pub use cost::{q_error, CostEstimate, MapReduceCostModel};
 pub use csq::{Csq, CsqConfig, CsqReport};
 pub use executor::{ExecutionOutput, Executor};
 pub use factorized::{join_runs, RunsRelation};
 pub use physical::{OpOrdering, PhysId, PhysicalOp, PhysicalPlan, ScanSpec};
 pub use relation::{hash_partition, JoinOrder, MergeStack, Relation, SortOrder};
-pub use translate::{interesting_orders, translate};
+pub use translate::{interesting_orders, rebind_constants, translate};

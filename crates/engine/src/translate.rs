@@ -477,6 +477,88 @@ pub fn translate(plan: &LogicalPlan, graph: &Graph) -> PhysicalPlan {
     PhysicalPlan::new(ops, root)
 }
 
+/// Rebinds a cached physical plan to a structurally identical query with
+/// (possibly) different constants — the warm path of the template plan
+/// cache: the expensive decompose→optimize→translate pipeline ran once for
+/// the template, and each repetition only re-resolves its constants.
+///
+/// The plan's variable names stay those of the template query it was built
+/// from (answer rows depend only on pattern structure, constants and the
+/// projection's position order, never on variable *names*); constants live
+/// in exactly three places and all are rewritten from `query`:
+///
+/// * each `ScanSpec.pattern`'s constant positions (read by the row binder),
+/// * `ScanSpec.property` / `ScanSpec.type_object` (the file restrictions),
+/// * residual `FilterCondition.constant`s of the scan's fused filter.
+///
+/// Returns `None` when `query` does not structurally match the plan (a
+/// pattern index out of range, or a constant position that is not constant
+/// in `query`) — callers fall back to full planning. A correctly keyed
+/// cache never takes that path; it guards against key collisions.
+pub fn rebind_constants(
+    plan: &PhysicalPlan,
+    query: &cliquesquare_sparql::BgpQuery,
+    graph: &Graph,
+) -> Option<PhysicalPlan> {
+    let rdf_type = graph.lookup(&Term::iri(vocab::RDF_TYPE));
+    let mut ops = plan.ops().to_vec();
+    // Pattern index of each MapScan op, so filters can find the pattern
+    // their conditions came from (a residual filter sits directly on its
+    // scan — see `build_scan`).
+    let mut scan_patterns: Vec<Option<usize>> = vec![None; ops.len()];
+    for (index, op) in ops.iter_mut().enumerate() {
+        match op {
+            PhysicalOp::MapScan { spec, .. } => {
+                let new_pattern = query.patterns().get(spec.pattern_index)?;
+                scan_patterns[index] = Some(spec.pattern_index);
+                for (cached, new) in [
+                    (&mut spec.pattern.subject, &new_pattern.subject),
+                    (&mut spec.pattern.property, &new_pattern.property),
+                    (&mut spec.pattern.object, &new_pattern.object),
+                ] {
+                    if !cached.is_variable() {
+                        *cached = PatternTerm::Constant(new.as_constant()?.clone());
+                    }
+                }
+                spec.property = spec
+                    .pattern
+                    .property
+                    .as_constant()
+                    .map(|t| resolve(graph, t));
+                let is_type_scan = spec.property.is_some() && spec.property == rdf_type;
+                spec.type_object = if is_type_scan {
+                    spec.pattern.object.as_constant().map(|t| resolve(graph, t))
+                } else {
+                    None
+                };
+            }
+            PhysicalOp::Filter {
+                conditions, input, ..
+            } => {
+                if conditions.is_empty() {
+                    continue;
+                }
+                let pattern_index = scan_patterns[input.index()]?;
+                let new_pattern = query.patterns().get(pattern_index)?;
+                for condition in conditions.iter_mut() {
+                    let term = match condition.position {
+                        TriplePosition::Subject => &new_pattern.subject,
+                        TriplePosition::Property => &new_pattern.property,
+                        TriplePosition::Object => &new_pattern.object,
+                    };
+                    condition.constant = resolve(graph, term.as_constant()?);
+                }
+            }
+            _ => {}
+        }
+    }
+    // `PhysicalPlan::new` re-runs the interesting-orders and factorization
+    // passes; both depend only on operator structure and variables, which
+    // rebinding leaves untouched, so the rebuilt plan is the cached plan
+    // with fresh constants.
+    Some(PhysicalPlan::new(ops, plan.root()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -805,5 +887,87 @@ mod tests {
             resolve_claims(&[vec![v("x"), v("k")], vec![v("y"), v("k")]]),
             vec![v("x"), v("k")]
         );
+    }
+
+    #[test]
+    fn rebind_to_the_same_query_reproduces_the_plan() {
+        let graph = lubm_graph();
+        let query = parse_query(
+            "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?d . ?x ub:advisor ?a }",
+        )
+        .unwrap();
+        let logical = Optimizer::with_variant(Variant::Msc)
+            .optimize(&query)
+            .flattest_plans()
+            .first()
+            .map(|p| (*p).clone())
+            .expect("plan found");
+        let physical = translate(&logical, &graph);
+        let rebound = rebind_constants(&physical, &query, &graph).expect("same query rebinds");
+        assert_eq!(rebound, physical);
+    }
+
+    #[test]
+    fn rebind_swaps_constants_and_matches_cold_planning_answers() {
+        use crate::executor::Executor;
+        use cliquesquare_mapreduce::{Cluster, ClusterConfig};
+
+        let graph = lubm_graph();
+        let cluster = Cluster::load(graph, ClusterConfig::with_nodes(2));
+        let template = parse_query(
+            "SELECT ?x ?d WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?d }",
+        )
+        .unwrap();
+        // Same shape, different class constant.
+        let repeat = parse_query(
+            "SELECT ?x ?d WHERE { ?x rdf:type ub:UndergraduateStudent . ?x ub:memberOf ?d }",
+        )
+        .unwrap();
+
+        let plan_for = |q: &cliquesquare_sparql::BgpQuery| {
+            let logical = Optimizer::with_variant(Variant::Msc)
+                .optimize(q)
+                .flattest_plans()
+                .first()
+                .map(|p| (*p).clone())
+                .expect("plan found");
+            translate(&logical, cluster.graph())
+        };
+
+        let cached = plan_for(&template);
+        let rebound =
+            rebind_constants(&cached, &repeat, cluster.graph()).expect("template rebinds");
+        // The type split must follow the new class constant.
+        let new_class = cluster
+            .graph()
+            .lookup(&Term::iri(vocab::ub("UndergraduateStudent")));
+        assert!(rebound.ops().iter().any(|op| matches!(
+            op,
+            PhysicalOp::MapScan { spec, .. } if spec.type_object == new_class && new_class.is_some()
+        )));
+
+        let executor = Executor::sequential(&cluster);
+        let warm = executor.execute(&rebound);
+        let cold = executor.execute(&plan_for(&repeat));
+        assert_eq!(warm.results, cold.results);
+        assert!(!cold.results.is_empty(), "repeat query should have answers");
+    }
+
+    #[test]
+    fn rebind_rejects_structurally_different_queries() {
+        let graph = lubm_graph();
+        let template =
+            parse_query("SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?d }")
+                .unwrap();
+        // Constant position became a variable: not the same template.
+        let other = parse_query("SELECT ?x WHERE { ?x rdf:type ?c . ?x ub:memberOf ?d }").unwrap();
+        let logical = Optimizer::with_variant(Variant::Msc)
+            .optimize(&template)
+            .flattest_plans()
+            .first()
+            .map(|p| (*p).clone())
+            .expect("plan found");
+        let physical = translate(&logical, &graph);
+        assert!(rebind_constants(&physical, &other, &graph).is_none());
     }
 }

@@ -2,9 +2,39 @@
 
 use crate::metrics::CostParameters;
 use crate::partition::PartitionedStore;
-use cliquesquare_rdf::Graph;
+use crate::runtime::Runtime;
+use cliquesquare_rdf::{Graph, GraphStatistics, StatsFragment, Term};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide counter stamping each loaded cluster with a distinct,
+/// monotonically increasing statistics epoch. A plan cached against one
+/// epoch is invalid against any other: different data, different statistics,
+/// possibly a different best plan.
+static STATS_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Computes the catalog statistics of `graph` on `runtime`'s task waves:
+/// a map wave folds one [`StatsFragment`] per triple chunk, and the merge
+/// finalizes them into [`GraphStatistics`]. Fragments are order-independent
+/// partials, so the result is identical to the sequential computation at
+/// any thread count.
+pub fn compute_statistics(graph: &Graph, runtime: &Runtime) -> GraphStatistics {
+    let rdf_type = graph.lookup(&Term::iri(cliquesquare_rdf::term::vocab::RDF_TYPE));
+    let triples = graph.triples();
+    let fragments = if !runtime.is_parallel() || triples.len() < 2 {
+        vec![StatsFragment::from_triples(triples, rdf_type)]
+    } else {
+        let chunk_size = triples.len().div_ceil(runtime.threads());
+        runtime.run_wave(
+            triples
+                .chunks(chunk_size)
+                .map(|chunk| move || StatsFragment::from_triples(chunk, rdf_type))
+                .collect(),
+        )
+    };
+    GraphStatistics::from_fragments(fragments, rdf_type)
+}
 
 /// Static configuration of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,17 +71,30 @@ pub struct Cluster {
     config: ClusterConfig,
     graph: Arc<Graph>,
     store: Arc<PartitionedStore>,
+    statistics: Arc<GraphStatistics>,
+    stats_epoch: u64,
 }
 
 impl Cluster {
     /// Partitions `graph` across the configured nodes and returns the
     /// ready-to-query cluster.
     pub fn load(graph: Graph, config: ClusterConfig) -> Self {
-        let store = PartitionedStore::build(&graph, config.nodes);
+        Self::load_with(graph, config, &Runtime::sequential())
+    }
+
+    /// Partitions `graph` and computes its catalog statistics on
+    /// `runtime`'s task waves. Bit-identical to [`load`](Self::load) at any
+    /// thread count (both the store build and the statistics fold are
+    /// order-independent).
+    pub fn load_with(graph: Graph, config: ClusterConfig, runtime: &Runtime) -> Self {
+        let store = PartitionedStore::build_with(&graph, config.nodes, runtime);
+        let statistics = compute_statistics(&graph, runtime);
         Self {
             config,
             graph: Arc::new(graph),
             store: Arc::new(store),
+            statistics: Arc::new(statistics),
+            stats_epoch: STATS_EPOCH.fetch_add(1, Ordering::Relaxed) + 1,
         }
     }
 
@@ -86,6 +129,22 @@ impl Cluster {
     pub fn store_arc(&self) -> Arc<PartitionedStore> {
         Arc::clone(&self.store)
     }
+
+    /// The catalog statistics computed when the cluster was loaded.
+    pub fn statistics(&self) -> &GraphStatistics {
+        &self.statistics
+    }
+
+    /// An owned snapshot handle to the (immutable) statistics.
+    pub fn statistics_arc(&self) -> Arc<GraphStatistics> {
+        Arc::clone(&self.statistics)
+    }
+
+    /// The statistics epoch of this snapshot: distinct per load, so plans
+    /// cached against one loaded dataset never serve another.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +175,35 @@ mod tests {
         let clone = cluster.clone();
         assert!(Arc::ptr_eq(&cluster.graph, &clone.graph));
         assert!(Arc::ptr_eq(&cluster.store, &clone.store));
+        assert!(Arc::ptr_eq(&cluster.statistics, &clone.statistics));
+        assert_eq!(cluster.stats_epoch(), clone.stats_epoch());
+    }
+
+    #[test]
+    fn parallel_statistics_match_sequential_at_any_thread_count() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let sequential = compute_statistics(&graph, &Runtime::sequential());
+        assert_eq!(sequential.triples(), graph.len());
+        for threads in [1, 2, 8] {
+            let parallel = compute_statistics(&graph, &Runtime::with_threads(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn loaded_cluster_carries_statistics_and_a_fresh_epoch() {
+        let graph = LubmGenerator::new(LubmScale::tiny()).generate();
+        let first = Cluster::load(graph.clone(), ClusterConfig::with_nodes(4));
+        let second = Cluster::load_with(
+            graph,
+            ClusterConfig::with_nodes(4),
+            &Runtime::with_threads(4),
+        );
+        assert_eq!(first.statistics(), second.statistics());
+        assert_eq!(first.statistics().triples(), first.graph().len());
+        assert!(
+            second.stats_epoch() > first.stats_epoch(),
+            "every load gets a fresh epoch"
+        );
     }
 }

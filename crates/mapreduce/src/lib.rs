@@ -44,7 +44,7 @@ pub mod partition;
 pub mod runtime;
 pub mod scheduler;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{compute_statistics, Cluster, ClusterConfig};
 pub use job::{JobExecution, JobKind, JobLog, TaskExecution};
 pub use load::{BulkLoader, LoadOptions, LoadOutput, LoadReport};
 pub use metrics::{CostParameters, ExecutionMetrics};

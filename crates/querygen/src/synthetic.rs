@@ -185,6 +185,61 @@ impl SyntheticWorkload {
         }
         queries
     }
+
+    /// A cyclic query: a chain whose last pattern closes back on the first
+    /// variable — `?v0 p1 ?v1 . ?v1 p2 ?v2 . … ?v(n-1) pn ?v0`. Cycles
+    /// break the acyclicity assumptions chain/star estimators lean on: the
+    /// closing edge is far more selective than independent-join reasoning
+    /// predicts, so estimators that ignore it overestimate wildly. At least
+    /// three patterns (two patterns would repeat an edge).
+    pub fn cycle(patterns: usize) -> BgpQuery {
+        let patterns = patterns.max(3);
+        let triples = (0..patterns)
+            .map(|i| TriplePattern::new(var(i), prop(i + 1), var((i + 1) % patterns)))
+            .collect();
+        BgpQuery::named(
+            format!("cycle-{patterns}"),
+            vec![Variable::new("v0")],
+            triples,
+        )
+    }
+
+    /// A cross product: two independent chains sharing no variable —
+    /// `?v0 … ?v(left)` and `?w0 … ?w(right)`. The result is the Cartesian
+    /// product of the two sides, the worst case for any cardinality
+    /// estimator that damps joins. The query is *disconnected*, which the
+    /// clique-based planner rejects; estimator tests price each connected
+    /// component separately and multiply.
+    pub fn cross_product(left: usize, right: usize) -> BgpQuery {
+        let (left, right) = (left.max(1), right.max(1));
+        let wvar = |i: usize| PatternTerm::variable(format!("w{i}"));
+        let mut triples: Vec<TriplePattern> = (0..left)
+            .map(|i| TriplePattern::new(var(i), prop(i + 1), var(i + 1)))
+            .collect();
+        triples.extend(
+            (0..right).map(|i| TriplePattern::new(wvar(i), prop(left + i + 1), wvar(i + 1))),
+        );
+        BgpQuery::named(
+            format!("cross-{left}x{right}"),
+            vec![Variable::new("v0"), Variable::new("w0")],
+            triples,
+        )
+    }
+
+    /// The adversarial *estimation* workload: cyclic queries and cross
+    /// products of every size in `3..=max_patterns`, for the estimator
+    /// differential tests. Kept separate from
+    /// [`adversarial_workload`](Self::adversarial_workload) because cross
+    /// products are disconnected and cannot be executed by the engine
+    /// end-to-end.
+    pub fn estimator_adversarial_workload(max_patterns: usize) -> Vec<BgpQuery> {
+        let mut queries = Vec::new();
+        for n in 3..=max_patterns.max(3) {
+            queries.push(Self::cycle(n));
+            queries.push(Self::cross_product(n - 1, n / 2));
+        }
+        queries
+    }
 }
 
 fn var(i: usize) -> PatternTerm {
@@ -332,6 +387,29 @@ mod tests {
         let workload = SyntheticWorkload::adversarial_workload(6);
         assert_eq!(workload.len(), 10);
         assert!(workload.iter().all(|q| q.is_connected()));
+    }
+
+    #[test]
+    fn cycles_are_connected_and_cross_products_are_not() {
+        let cycle = SyntheticWorkload::cycle(4);
+        assert_eq!(cycle.len(), 4);
+        assert!(cycle.is_connected());
+        // The cycle closes: v0 appears in the first and the last pattern.
+        assert!(cycle
+            .patterns()
+            .last()
+            .unwrap()
+            .mentions(&Variable::new("v0")));
+
+        let cross = SyntheticWorkload::cross_product(2, 3);
+        assert_eq!(cross.len(), 5);
+        assert!(!cross.is_connected());
+        assert_eq!(cross.connected_components().len(), 2);
+
+        let workload = SyntheticWorkload::estimator_adversarial_workload(5);
+        assert_eq!(workload.len(), 6);
+        assert!(workload.iter().any(|q| q.is_connected()));
+        assert!(workload.iter().any(|q| !q.is_connected()));
     }
 
     #[test]

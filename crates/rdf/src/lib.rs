@@ -15,6 +15,8 @@
 //!   in for the LUBM10k dataset used in the paper's evaluation,
 //! * [`sp2b`] — a deterministic SP²Bench/DBLP-like generator with power-law
 //!   author/journal skew and long citation chains,
+//! * [`stats`] — catalog statistics (per-predicate counts and distincts,
+//!   characteristic sets) backing the engine's selectivity estimates,
 //! * [`load`] — sharded bulk-load primitives (chunk splitting, per-shard
 //!   dictionary encoding, order-preserving merge) whose parallel
 //!   orchestration lives in `cliquesquare_mapreduce::load`.
@@ -42,6 +44,7 @@ pub mod load;
 pub mod lubm;
 pub mod ntriples;
 pub mod sp2b;
+pub mod stats;
 pub mod term;
 pub mod triple;
 
@@ -49,5 +52,6 @@ pub use dictionary::Dictionary;
 pub use graph::{Graph, GraphStats};
 pub use lubm::{LubmGenerator, LubmScale};
 pub use sp2b::{Sp2bGenerator, Sp2bScale};
+pub use stats::{CharacteristicSet, GraphStatistics, PredicateStats, StatsFragment};
 pub use term::{Term, TermId};
 pub use triple::{Triple, TriplePosition};

@@ -1,0 +1,346 @@
+//! Data statistics backing the cost model's selectivity estimates.
+//!
+//! [`GraphStatistics`] summarizes a loaded graph the way a relational
+//! optimizer's catalog would: per-predicate triple counts, per-predicate
+//! distinct subject/object counts (the denominators of distinct-count join
+//! estimation), per-class `rdf:type` counts (mirroring the store's split
+//! type files), and *characteristic sets* — the distinct predicate
+//! combinations subjects exhibit, with how many subjects and triples each
+//! combination covers (Neumann & Moerkotte's structure summary for
+//! star-shaped selectivity).
+//!
+//! The computation is expressed as order-independent *fragments* so a task
+//! runtime can build it as a map wave (one [`StatsFragment`] per triple
+//! chunk) followed by a merge: [`StatsFragment::absorb`] is commutative and
+//! associative, and [`GraphStatistics::from_fragments`] finalizes sets into
+//! counts deterministically. The parallel orchestration lives in
+//! `cliquesquare_mapreduce` next to the partition build; any merge order at
+//! any thread count yields the same statistics.
+
+use crate::graph::Graph;
+use crate::term::{vocab, Term, TermId};
+use crate::triple::{Triple, TriplePosition};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Statistics of one predicate (property value).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Number of triples with this property.
+    pub triples: usize,
+    /// Number of distinct subject values among those triples.
+    pub distinct_subjects: usize,
+    /// Number of distinct object values among those triples.
+    pub distinct_objects: usize,
+}
+
+/// One characteristic set: a predicate combination subjects exhibit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharacteristicSet {
+    /// The predicates of the set, sorted by id.
+    pub properties: Vec<TermId>,
+    /// Number of subjects whose predicate set is exactly `properties`.
+    pub subjects: usize,
+    /// Total triples of those subjects.
+    pub triples: usize,
+}
+
+/// An order-independent partial of [`GraphStatistics`] built from one chunk
+/// of triples. Merging fragments in any order yields the same totals.
+#[derive(Debug, Clone, Default)]
+pub struct StatsFragment {
+    triples: usize,
+    objects: HashSet<TermId>,
+    /// Per-predicate (triple count, subject set, object set).
+    predicates: HashMap<TermId, (usize, HashSet<TermId>, HashSet<TermId>)>,
+    /// Per-class triple counts of `rdf:type` (the store's split type files).
+    type_classes: HashMap<TermId, usize>,
+    /// Per-subject predicate set and triple count.
+    subjects: HashMap<TermId, (BTreeSet<TermId>, usize)>,
+}
+
+impl StatsFragment {
+    /// Accumulates one chunk of triples. `rdf_type` is the dictionary id of
+    /// `rdf:type` in the source graph, if present.
+    pub fn from_triples(triples: &[Triple], rdf_type: Option<TermId>) -> Self {
+        let mut fragment = Self::default();
+        for triple in triples {
+            fragment.triples += 1;
+            fragment.objects.insert(triple.object);
+            let (count, subjects, objects) =
+                fragment.predicates.entry(triple.property).or_default();
+            *count += 1;
+            subjects.insert(triple.subject);
+            objects.insert(triple.object);
+            if Some(triple.property) == rdf_type {
+                *fragment.type_classes.entry(triple.object).or_default() += 1;
+            }
+            let (properties, count) = fragment.subjects.entry(triple.subject).or_default();
+            properties.insert(triple.property);
+            *count += 1;
+        }
+        fragment
+    }
+
+    /// Merges `other` into `self` (commutative up to the final counts).
+    pub fn absorb(&mut self, other: Self) {
+        self.triples += other.triples;
+        self.objects.extend(other.objects);
+        for (property, (count, subjects, objects)) in other.predicates {
+            let entry = self.predicates.entry(property).or_default();
+            entry.0 += count;
+            entry.1.extend(subjects);
+            entry.2.extend(objects);
+        }
+        for (class, count) in other.type_classes {
+            *self.type_classes.entry(class).or_default() += count;
+        }
+        for (subject, (properties, count)) in other.subjects {
+            let entry = self.subjects.entry(subject).or_default();
+            entry.0.extend(properties);
+            entry.1 += count;
+        }
+    }
+}
+
+/// Catalog-style statistics of a loaded graph, carried on the cluster
+/// snapshot and read by the cost model's selectivity estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStatistics {
+    triples: usize,
+    distinct_subjects: usize,
+    distinct_objects: usize,
+    rdf_type: Option<TermId>,
+    predicates: HashMap<TermId, PredicateStats>,
+    type_classes: HashMap<TermId, usize>,
+    characteristic_sets: Vec<CharacteristicSet>,
+}
+
+impl GraphStatistics {
+    /// Computes the statistics of `graph` sequentially (one fragment). The
+    /// parallel wave build in `cliquesquare_mapreduce` produces identical
+    /// output at any thread count.
+    pub fn compute(graph: &Graph) -> Self {
+        let rdf_type = graph.lookup(&Term::iri(vocab::RDF_TYPE));
+        Self::from_fragments(
+            vec![StatsFragment::from_triples(graph.triples(), rdf_type)],
+            rdf_type,
+        )
+    }
+
+    /// Finalizes merged fragments into the statistics catalog. The result
+    /// depends only on the multiset of triples the fragments covered, not on
+    /// chunking or merge order.
+    pub fn from_fragments(fragments: Vec<StatsFragment>, rdf_type: Option<TermId>) -> Self {
+        let mut merged = StatsFragment::default();
+        for fragment in fragments {
+            merged.absorb(fragment);
+        }
+        let predicates = merged
+            .predicates
+            .into_iter()
+            .map(|(property, (triples, subjects, objects))| {
+                (
+                    property,
+                    PredicateStats {
+                        triples,
+                        distinct_subjects: subjects.len(),
+                        distinct_objects: objects.len(),
+                    },
+                )
+            })
+            .collect();
+        // Group subjects by their exact predicate combination; BTreeMap
+        // keys give a deterministic set order.
+        let mut sets: BTreeMap<Vec<TermId>, (usize, usize)> = BTreeMap::new();
+        for (properties, triple_count) in merged.subjects.values() {
+            let key: Vec<TermId> = properties.iter().copied().collect();
+            let entry = sets.entry(key).or_default();
+            entry.0 += 1;
+            entry.1 += triple_count;
+        }
+        let characteristic_sets = sets
+            .into_iter()
+            .map(|(properties, (subjects, triples))| CharacteristicSet {
+                properties,
+                subjects,
+                triples,
+            })
+            .collect();
+        Self {
+            triples: merged.triples,
+            distinct_subjects: merged.subjects.len(),
+            distinct_objects: merged.objects.len(),
+            rdf_type,
+            predicates,
+            type_classes: merged.type_classes,
+            characteristic_sets,
+        }
+    }
+
+    /// Total triples in the graph.
+    pub fn triples(&self) -> usize {
+        self.triples
+    }
+
+    /// Distinct subject values across the graph.
+    pub fn distinct_subjects(&self) -> usize {
+        self.distinct_subjects
+    }
+
+    /// Distinct property values across the graph.
+    pub fn distinct_properties(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Distinct object values across the graph.
+    pub fn distinct_objects(&self) -> usize {
+        self.distinct_objects
+    }
+
+    /// The dictionary id of `rdf:type`, if the graph has one.
+    pub fn rdf_type(&self) -> Option<TermId> {
+        self.rdf_type
+    }
+
+    /// Statistics of one predicate (`None` if the graph never uses it).
+    pub fn predicate(&self, property: TermId) -> Option<&PredicateStats> {
+        self.predicates.get(&property)
+    }
+
+    /// Triples carrying `rdf:type` with the given class object.
+    pub fn type_class_triples(&self, class: TermId) -> usize {
+        self.type_classes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// The characteristic sets (distinct per-subject predicate
+    /// combinations), in deterministic predicate-list order.
+    pub fn characteristic_sets(&self) -> &[CharacteristicSet] {
+        &self.characteristic_sets
+    }
+
+    /// Exact cardinality of a property-restricted scan: how many triples a
+    /// `MapScan` with the given file restrictions reads, answered from the
+    /// catalog without touching the store.
+    pub fn scan_cardinality(&self, property: Option<TermId>, type_object: Option<TermId>) -> usize {
+        match (property, type_object) {
+            (Some(p), Some(class)) if Some(p) == self.rdf_type => self.type_class_triples(class),
+            (Some(p), _) => self.predicate(p).map_or(0, |stats| stats.triples),
+            (None, _) => self.triples,
+        }
+    }
+
+    /// Distinct values the given predicate's triples have at `position`:
+    /// the denominator of distinct-count join estimation for a scan of that
+    /// predicate joined on the variable at `position`. The property
+    /// position of a constant-property scan has exactly one value.
+    pub fn distinct_at(&self, property: TermId, position: TriplePosition) -> usize {
+        match position {
+            TriplePosition::Subject => self.predicate(property).map_or(0, |s| s.distinct_subjects),
+            TriplePosition::Property => usize::from(self.predicates.contains_key(&property)),
+            TriplePosition::Object => self.predicate(property).map_or(0, |s| s.distinct_objects),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lubm::{LubmGenerator, LubmScale};
+
+    fn graph() -> Graph {
+        LubmGenerator::new(LubmScale::tiny()).generate()
+    }
+
+    #[test]
+    fn totals_match_graph_stats() {
+        let g = graph();
+        let stats = GraphStatistics::compute(&g);
+        let graph_stats = g.stats();
+        assert_eq!(stats.triples(), graph_stats.triples);
+        assert_eq!(stats.distinct_subjects(), graph_stats.distinct_subjects);
+        assert_eq!(stats.distinct_properties(), graph_stats.distinct_properties);
+        assert_eq!(stats.distinct_objects(), graph_stats.distinct_objects);
+    }
+
+    #[test]
+    fn per_predicate_counts_match_the_index() {
+        let g = graph();
+        let stats = GraphStatistics::compute(&g);
+        for (property, expected) in g.property_cardinalities() {
+            let per_predicate = stats.predicate(property).expect("predicate present");
+            assert_eq!(per_predicate.triples, expected, "property {property:?}");
+            assert!(per_predicate.distinct_subjects <= expected);
+            assert!(per_predicate.distinct_objects <= expected);
+            assert!(per_predicate.distinct_subjects >= 1);
+            assert_eq!(stats.scan_cardinality(Some(property), None), expected);
+        }
+        assert_eq!(stats.scan_cardinality(None, None), g.len());
+        assert_eq!(stats.scan_cardinality(Some(TermId(9_999_999)), None), 0);
+    }
+
+    #[test]
+    fn type_classes_match_pattern_matching() {
+        let g = graph();
+        let stats = GraphStatistics::compute(&g);
+        let rdf_type = stats.rdf_type().expect("LUBM has rdf:type");
+        let mut total = 0;
+        for set in stats.characteristic_sets() {
+            assert!(set.subjects > 0);
+            assert!(set.triples >= set.properties.len() * set.subjects);
+            total += set.subjects;
+        }
+        assert_eq!(total, stats.distinct_subjects());
+        // Every class count equals the graph's own pattern match.
+        let grad = g
+            .lookup(&Term::iri(vocab::ub("GraduateStudent")))
+            .expect("class exists");
+        assert_eq!(
+            stats.scan_cardinality(Some(rdf_type), Some(grad)),
+            g.match_pattern(None, Some(rdf_type), Some(grad)).count()
+        );
+    }
+
+    #[test]
+    fn chunked_fragments_merge_to_the_sequential_result() {
+        let g = graph();
+        let rdf_type = g.lookup(&Term::iri(vocab::RDF_TYPE));
+        let sequential = GraphStatistics::compute(&g);
+        for chunks in [2, 3, 7] {
+            let chunk_size = g.len().div_ceil(chunks).max(1);
+            let fragments: Vec<StatsFragment> = g
+                .triples()
+                .chunks(chunk_size)
+                .map(|chunk| StatsFragment::from_triples(chunk, rdf_type))
+                .collect();
+            let chunked = GraphStatistics::from_fragments(fragments, rdf_type);
+            assert_eq!(chunked, sequential, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_statistics_are_empty() {
+        let stats = GraphStatistics::compute(&Graph::new());
+        assert_eq!(stats.triples(), 0);
+        assert_eq!(stats.distinct_subjects(), 0);
+        assert!(stats.characteristic_sets().is_empty());
+        assert_eq!(stats.scan_cardinality(None, None), 0);
+    }
+
+    #[test]
+    fn distinct_at_reports_positional_denominators() {
+        let mut g = Graph::new();
+        // Two subjects share one object through p; one subject has q.
+        g.insert_terms(Term::iri("s1"), Term::iri("p"), Term::iri("o"));
+        g.insert_terms(Term::iri("s2"), Term::iri("p"), Term::iri("o"));
+        g.insert_terms(Term::iri("s1"), Term::iri("q"), Term::iri("o2"));
+        let stats = GraphStatistics::compute(&g);
+        let p = g.lookup(&Term::iri("p")).unwrap();
+        let q = g.lookup(&Term::iri("q")).unwrap();
+        assert_eq!(stats.distinct_at(p, TriplePosition::Subject), 2);
+        assert_eq!(stats.distinct_at(p, TriplePosition::Object), 1);
+        assert_eq!(stats.distinct_at(p, TriplePosition::Property), 1);
+        assert_eq!(stats.distinct_at(q, TriplePosition::Subject), 1);
+        assert_eq!(stats.distinct_at(TermId(77), TriplePosition::Subject), 0);
+        assert_eq!(stats.characteristic_sets().len(), 2);
+    }
+}

@@ -1,12 +1,14 @@
 //! `csq_server` — serve SPARQL over HTTP against a generated LUBM cluster.
 //!
 //! ```text
-//! csq_server [--addr HOST:PORT] [--threads N|auto] [--scale U]
+//! csq_server [--addr HOST:PORT] [--threads N|auto] [--scale U] [--plan-cache N|off]
 //! ```
 //!
 //! Loads a LUBM graph at `--scale U` universities onto a 7-node simulated
-//! cluster, starts a persistent serving scheduler with `--threads` workers,
-//! and answers until killed:
+//! cluster (statistics computed in parallel on the same thread budget),
+//! starts a persistent serving scheduler with `--threads` workers, and
+//! answers until killed. `--plan-cache` bounds the template plan cache
+//! (default 128 entries) or disables it with `off`:
 //!
 //! ```text
 //! curl 'http://127.0.0.1:7878/query?name=Q4'
@@ -46,11 +48,27 @@ fn main() {
         .unwrap_or(1)
         .max(1);
 
+    let plan_cache = match flag_value(&args, "--plan-cache").unwrap_or("128").trim() {
+        "off" | "0" => None,
+        value => match value.parse::<usize>() {
+            Ok(capacity) => Some(capacity),
+            Err(_) => {
+                eprintln!("error: invalid --plan-cache (expected a capacity or `off`)");
+                std::process::exit(2);
+            }
+        },
+    };
+
     eprintln!("loading LUBM ({universities} universities) onto 7 nodes …");
     let graph = LubmGenerator::new(LubmScale::with_universities(universities)).generate();
     let triples = graph.len();
-    let cluster = Cluster::load(graph, ClusterConfig::default());
-    let service = Arc::new(QueryService::new(cluster, Runtime::serving(threads)));
+    let cluster = Cluster::load_with(
+        graph,
+        ClusterConfig::default(),
+        &Runtime::with_threads(threads),
+    );
+    let service =
+        Arc::new(QueryService::new(cluster, Runtime::serving(threads)).with_plan_cache(plan_cache));
 
     let server = HttpServer::bind(Arc::clone(&service), addr, ServerConfig::default())
         .unwrap_or_else(|error| {

@@ -12,6 +12,11 @@
 //!   mode becomes a structured [`service::ServeError`] — malformed SPARQL,
 //!   unknown query names, oversized requests, and worker panics all stay
 //!   behind the boundary instead of poisoning a scheduler thread.
+//! * [`plancache`] — a structure-keyed template plan cache: queries that
+//!   repeat a BGP shape with different constants skip clique decomposition,
+//!   plan-space search and translation entirely; the cached physical plan is
+//!   rebound to the new constants in one pass. Bounded LRU, invalidated by
+//!   the cluster's statistics epoch.
 //! * [`http`] — a minimal HTTP/1.1 front end on `std::net::TcpListener`:
 //!   `POST /sparql` with a query body, `GET /query?name=Q4` for the named
 //!   LUBM mix, `GET /health`. Errors map to 400/404/413/500.
@@ -25,7 +30,9 @@
 #![forbid(unsafe_code)]
 
 pub mod http;
+pub mod plancache;
 pub mod service;
 
 pub use http::{HttpServer, ServerConfig, ShutdownHandle};
+pub use plancache::{CachedPlan, PlanCache, TemplateKey};
 pub use service::{QueryAnswer, QueryService, ServeError};

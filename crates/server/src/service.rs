@@ -1,15 +1,19 @@
 //! The serving boundary: SPARQL text in, structured answers or errors out.
 
-use cliquesquare_engine::{translate, Csq, CsqConfig, Executor};
+use crate::plancache::{CachedPlan, PlanCache, TemplateKey, DEFAULT_CAPACITY};
+use cliquesquare_engine::{
+    rebind_constants, translate, Csq, CsqConfig, Executor, MapReduceCostModel, PhysicalPlan,
+};
 use cliquesquare_mapreduce::{Cluster, Runtime};
 use cliquesquare_obs::{QueryProfile, SpanNode};
 use cliquesquare_querygen::lubm_queries::lubm_queries;
 use cliquesquare_sparql::parser::parse_query;
 use cliquesquare_sparql::BgpQuery;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default cap on the number of result rows decoded into one answer, so a
@@ -104,6 +108,12 @@ pub struct QueryAnswer {
     pub simulated_seconds: f64,
     /// Measured wall-clock execution time, in seconds.
     pub wall_seconds: f64,
+    /// Measured wall-clock planning time (plan choice + translation on a
+    /// cache miss, constant rebinding on a hit), in seconds. Disjoint from
+    /// [`wall_seconds`](Self::wall_seconds), which covers execution only.
+    pub plan_seconds: f64,
+    /// Whether the physical plan came from the template plan cache.
+    pub cache_hit: bool,
     /// Per-query execution profile (parse → plan → execute span tree),
     /// present only when the request asked for one with `profile=1`.
     pub profile: Option<QueryProfile>,
@@ -122,13 +132,16 @@ pub struct QueryService {
     executor: Executor,
     named: BTreeMap<String, BgpQuery>,
     max_rows: usize,
+    plan_cache: Option<PlanCache>,
     served: AtomicU64,
     failed: AtomicU64,
 }
 
 impl QueryService {
     /// Creates a service over `cluster` executing on `runtime`. The named
-    /// query catalog is the LUBM mix (`Q1` … `Q14`).
+    /// query catalog is the LUBM mix (`Q1` … `Q14`). The template plan
+    /// cache is on by default with [`DEFAULT_CAPACITY`] entries; disable it
+    /// with [`with_plan_cache`](Self::with_plan_cache)`(None)`.
     pub fn new(cluster: Cluster, runtime: Runtime) -> Self {
         let named = lubm_queries()
             .into_iter()
@@ -139,6 +152,7 @@ impl QueryService {
             csq: Csq::new(cluster, CsqConfig::default()),
             named,
             max_rows: DEFAULT_MAX_ROWS,
+            plan_cache: Some(PlanCache::new(DEFAULT_CAPACITY)),
             served: AtomicU64::new(0),
             failed: AtomicU64::new(0),
         }
@@ -148,6 +162,20 @@ impl QueryService {
     pub fn with_max_rows(mut self, max_rows: usize) -> Self {
         self.max_rows = max_rows.max(1);
         self
+    }
+
+    /// This service with the template plan cache capped at `capacity`
+    /// entries, or with the cache disabled (`None`). Answers are
+    /// bit-identical either way — the cache only decides whether repeated
+    /// templates pay for planning again.
+    pub fn with_plan_cache(mut self, capacity: Option<usize>) -> Self {
+        self.plan_cache = capacity.map(PlanCache::new);
+        self
+    }
+
+    /// The plan cache, when enabled.
+    pub fn plan_cache(&self) -> Option<&PlanCache> {
+        self.plan_cache.as_ref()
     }
 
     /// The names of the catalog queries, in order.
@@ -234,13 +262,79 @@ impl QueryService {
         }
     }
 
+    /// Produces the physical plan for `query`: on a plan-cache hit the
+    /// cached template plan is rebound to this query's constants (skipping
+    /// decomposition, plan-space search and translation entirely); on a
+    /// miss the full pipeline runs and the result is cached under the
+    /// query's template key. Returns the plan, the optimizer milliseconds
+    /// (0 on a hit), whether this was a hit, and — on a hit — the map from
+    /// the cached plan's variable names to this query's.
+    fn plan_physical(
+        &self,
+        query: &BgpQuery,
+    ) -> (
+        Arc<PhysicalPlan>,
+        f64,
+        bool,
+        Option<HashMap<String, String>>,
+    ) {
+        let graph = self.csq.cluster().graph();
+        let stats_epoch = self.csq.cluster().stats_epoch();
+        let key = match &self.plan_cache {
+            Some(cache) => {
+                let key = TemplateKey::of(query);
+                if key.is_none() {
+                    cache.note_uncacheable();
+                }
+                key
+            }
+            None => None,
+        };
+        if let (Some(cache), Some(key)) = (&self.plan_cache, &key) {
+            if let Some(cached) = cache.lookup(key, stats_epoch) {
+                match rebind_constants(&cached.plan, query, graph) {
+                    Some(rebound) => {
+                        // The plan carries the template's variable names;
+                        // first-occurrence order aligns them with this
+                        // query's names for presenting the answer schema.
+                        let rename = cached
+                            .variables
+                            .iter()
+                            .zip(query.variables())
+                            .map(|(t, q)| (t.name().to_string(), q.name().to_string()))
+                            .collect();
+                        return (Arc::new(rebound), 0.0, true, Some(rename));
+                    }
+                    // A template-key collision (the key should rule this
+                    // out; guarded anyway): drop the colliding entry and
+                    // fall back to full planning.
+                    None => cache.remove(key),
+                }
+            }
+        }
+        let (_, chosen, optimize_ms) = self.csq.plan(query);
+        let plan = Arc::new(translate(&chosen, graph));
+        if let (Some(cache), Some(key)) = (&self.plan_cache, key) {
+            cache.insert(
+                key,
+                stats_epoch,
+                CachedPlan {
+                    plan: Arc::clone(&plan),
+                    variables: query.variables(),
+                },
+            );
+        }
+        (plan, optimize_ms, false, None)
+    }
+
     fn run_unguarded(&self, query: &BgpQuery, parse_seconds: Option<f64>) -> QueryAnswer {
         let epoch = Instant::now();
-        let (_, chosen, plan_ms) = self.csq.plan(query);
-        let physical = translate(&chosen, self.csq.cluster().graph());
+        let (physical, plan_ms, cache_hit, rename) = self.plan_physical(query);
         let plan_seconds = epoch.elapsed().as_secs_f64();
         let output = if parse_seconds.is_some() {
-            self.executor.execute_profiled(&physical)
+            let estimates = MapReduceCostModel::new(self.csq.cluster()).estimate_cards(&physical);
+            self.executor
+                .execute_profiled_with_estimates(&physical, &estimates)
         } else {
             self.executor.execute(&physical)
         };
@@ -253,6 +347,7 @@ impl QueryService {
             plan.start_seconds = parse_seconds;
             plan.wall_seconds = plan_seconds;
             plan.add_attr("optimize_us", (plan_ms * 1_000.0) as u64);
+            plan.add_attr("cache_hit", cache_hit as u64);
             root.children.push(parse);
             root.children.push(plan);
             if let Some(mut execute) = output.profile.clone() {
@@ -284,13 +379,26 @@ impl QueryService {
             .collect();
         QueryAnswer {
             query: query.name().to_string(),
-            variables: results.schema().iter().map(|v| v.to_string()).collect(),
+            // On a cache hit the plan's schema carries the template's
+            // variable names; translate them back to this query's names.
+            variables: results
+                .schema()
+                .iter()
+                .map(
+                    |v| match rename.as_ref().and_then(|map| map.get(v.name())) {
+                        Some(name) => format!("?{name}"),
+                        None => v.to_string(),
+                    },
+                )
+                .collect(),
             rows,
             total_rows,
             truncated,
             job_descriptor: output.job_log.descriptor(),
             simulated_seconds: output.simulated_seconds,
             wall_seconds: output.wall_seconds,
+            plan_seconds,
+            cache_hit,
             profile,
         }
     }
